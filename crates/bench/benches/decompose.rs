@@ -1,0 +1,54 @@
+//! Benchmarks for pattern preprocessing: decomposition search, `ρ(H)`,
+//! automorphisms, and tuple multiplicity — the per-pattern setup cost of
+//! the FGP sampler (paid once per plan, however many trials share it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgs_graph::decompose::{decompose, tuple_multiplicity};
+use sgs_graph::Pattern;
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for p in [
+        Pattern::triangle(),
+        Pattern::clique(6),
+        Pattern::clique(8),
+        Pattern::cycle(7),
+        Pattern::star(6),
+        Pattern::path(7),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &p,
+            |b, p| {
+                b.iter(|| black_box(decompose(p)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_automorphisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automorphism_count");
+    for p in [Pattern::clique(7), Pattern::cycle(8), Pattern::star(7)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &p,
+            |b, p| {
+                b.iter(|| black_box(p.automorphism_count()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tuple_multiplicity(c: &mut Criterion) {
+    let p = Pattern::clique(6);
+    let d = decompose(&p).unwrap();
+    c.bench_function("tuple_multiplicity_k6", |b| {
+        b.iter(|| black_box(tuple_multiplicity(&p, &d.pieces)));
+    });
+}
+
+criterion_group!(benches, bench_decompose, bench_automorphisms, bench_tuple_multiplicity);
+criterion_main!(benches);

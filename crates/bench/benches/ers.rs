@@ -1,0 +1,49 @@
+//! Benchmarks for the ERS clique-counting pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgs_core::ers::{count_cliques_insertion, ErsParams};
+use sgs_graph::{degeneracy::degeneracy, exact, gen};
+use sgs_stream::InsertionStream;
+use std::hint::black_box;
+
+fn bench_ers_triangles(c: &mut Criterion) {
+    let g = gen::barabasi_albert(400, 5, 3);
+    let lam = degeneracy(&g);
+    let exact_t = exact::cliques::count_cliques(&g, 3);
+    let stream = InsertionStream::from_graph(&g, 4);
+    let mut group = c.benchmark_group("ers_k3_ba400");
+    group.sample_size(10);
+    for &instances in &[1usize, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &instances,
+            |b, &instances| {
+                let params = ErsParams::practical(3, lam, 0.4, exact_t as f64 * 0.5);
+                b.iter(|| {
+                    black_box(count_cliques_insertion(&params, &stream, instances, 5))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ers_by_r(c: &mut Criterion) {
+    let g = gen::barabasi_albert(200, 5, 7);
+    let lam = degeneracy(&g);
+    let stream = InsertionStream::from_graph(&g, 8);
+    let mut group = c.benchmark_group("ers_by_r_ba200");
+    group.sample_size(10);
+    for &r in &[3usize, 4] {
+        let exact_r = exact::cliques::count_cliques(&g, r).max(1);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let mut params = ErsParams::practical(r, lam, 0.4, exact_r as f64 * 0.5);
+            params.q_act = 2;
+            b.iter(|| black_box(count_cliques_insertion(&params, &stream, 1, 9)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ers_triangles, bench_ers_by_r);
+criterion_main!(benches);

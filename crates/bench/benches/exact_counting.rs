@@ -1,0 +1,58 @@
+//! Microbenchmarks for the exact (ground-truth) counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgs_graph::{exact, gen, Pattern};
+use std::hint::black_box;
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_triangles");
+    for &n in &[200usize, 800] {
+        let g = gen::gnm(n, 8 * n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(exact::triangles::count_triangles(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cliques(c: &mut Criterion) {
+    let g = gen::barabasi_albert(500, 6, 7);
+    let mut group = c.benchmark_group("exact_cliques");
+    for &r in &[3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(exact::cliques::count_cliques(&g, r)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_generic_pattern(c: &mut Criterion) {
+    let g = gen::gnm(80, 400, 9);
+    let mut group = c.benchmark_group("exact_generic");
+    for p in [Pattern::cycle(4), Pattern::path(3), Pattern::star(3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &p,
+            |b, p| {
+                b.iter(|| black_box(exact::generic::count_pattern(&g, p)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_degeneracy(c: &mut Criterion) {
+    let g = gen::gnm(2000, 16_000, 11);
+    c.bench_function("core_decomposition_n2000_m16000", |b| {
+        b.iter(|| black_box(sgs_graph::degeneracy::CoreDecomposition::compute(&g).degeneracy));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_triangles,
+    bench_cliques,
+    bench_generic_pattern,
+    bench_degeneracy
+);
+criterion_main!(benches);

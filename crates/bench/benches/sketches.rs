@@ -1,0 +1,55 @@
+//! Microbenchmarks for the streaming sketches: ℓ₀-sampler update/query
+//! throughput and reservoir sampling throughput — the per-update cost
+//! drivers of Theorems 9 and 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgs_stream::l0::{L0Sampler, DEFAULT_REPS};
+use sgs_stream::reservoir::ReservoirSampler;
+use std::hint::black_box;
+
+fn bench_l0_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l0_update");
+    for &levels in &[16u32, 32, 48] {
+        group.throughput(Throughput::Elements(1024));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| {
+                b.iter(|| {
+                    let mut s = L0Sampler::new(levels, DEFAULT_REPS, 7);
+                    for k in 0..1024u64 {
+                        s.update(black_box(k * 2654435761), 1);
+                    }
+                    black_box(s.sample())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_l0_sample(c: &mut Criterion) {
+    let mut s = L0Sampler::new(32, DEFAULT_REPS, 9);
+    for k in 0..4096u64 {
+        s.update(k * 11400714819323198485, 1);
+    }
+    c.bench_function("l0_sample_query", |b| b.iter(|| black_box(s.sample())));
+}
+
+fn bench_reservoir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservoir_offer");
+    group.throughput(Throughput::Elements(65536));
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            let mut r = ReservoirSampler::new(3);
+            for i in 0..65536u64 {
+                r.offer(black_box(i));
+            }
+            black_box(r.sample())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_l0_update, bench_l0_sample, bench_reservoir);
+criterion_main!(benches);

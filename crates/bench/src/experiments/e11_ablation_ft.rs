@@ -1,0 +1,69 @@
+//! E11 (ablation) — why the `1/f_T(H)` acceptance coin exists
+//! (Algorithm 9, line 15). With the coin disabled, each copy of `H` is
+//! returned with probability `f_T(H)/(2m)^ρ` instead of `1/(2m)^ρ`, so
+//! the estimator overcounts by a factor approaching `f_T(H)` (not always
+//! exactly: when one sampled tuple is compatible with several copies,
+//! only one can be returned, which dampens the factor for patterns with
+//! `|C(S)| > 1`). Patterns with `f_T = 1` are unaffected.
+
+use crate::table::{f, Table};
+use sgs_core::{SamplerMode, SamplerPlan, SubgraphSampler};
+use sgs_graph::{exact, gen, Pattern, StaticGraph};
+use sgs_query::exec::run_on_oracle;
+use sgs_query::{ExactOracle, Parallel};
+use sgs_stream::hash::split_seed;
+
+pub fn run(quick: bool) -> Table {
+    let trials: usize = if quick { 60_000 } else { 250_000 };
+    let mut t = Table::new(
+        "E11 — ablation: estimator with vs without the 1/f_T acceptance coin",
+        &["pattern", "f_T", "#H exact", "with coin", "without coin", "overcount x"],
+    );
+    let cases: Vec<(Pattern, sgs_graph::AdjListGraph)> = vec![
+        (Pattern::triangle(), gen::gnm(25, 120, 91)), // f_T = 1: no effect
+        (Pattern::clique(4), gen::gnm(13, 55, 92)),   // f_T = 24
+        (Pattern::path(3), gen::gnm(18, 60, 93)),     // f_T = 8
+        (Pattern::cycle(4), gen::gnm(16, 60, 94)),    // f_T = 16
+    ];
+    for (pattern, g) in cases {
+        let plan = SamplerPlan::new(&pattern).unwrap();
+        let exact_count = exact::count_pattern_auto(&g, &pattern).max(1);
+        let m = g.num_edges();
+        let run = |disable: bool, seed: u64| -> f64 {
+            let par = Parallel::new(
+                (0..trials)
+                    .map(|i| {
+                        let s = SubgraphSampler::new(
+                            plan.clone(),
+                            SamplerMode::Indexed,
+                            split_seed(seed, i as u64),
+                        );
+                        if disable {
+                            s.ablation_disable_acceptance()
+                        } else {
+                            s
+                        }
+                    })
+                    .collect(),
+            );
+            let mut oracle = ExactOracle::new(&g, split_seed(seed, u64::MAX));
+            let (outs, _) = run_on_oracle(par, &mut oracle);
+            let hits = outs.iter().filter(|o| o.copy.is_some()).count() as f64;
+            plan.rho().pow(2.0 * m as f64) * hits / trials as f64
+        };
+        let with = run(false, 0xe11);
+        let without = run(true, 0xe11b);
+        t.row(vec![
+            pattern.name().to_string(),
+            plan.tuple_multiplicity().to_string(),
+            exact_count.to_string(),
+            f(with),
+            f(without),
+            f(without / exact_count as f64),
+        ]);
+    }
+    t.note("claim: the corrected estimator matches #H; the uncorrected one");
+    t.note("overcounts by up to f_T(H), confirming the acceptance coin is");
+    t.note("what makes the per-copy probability exactly 1/(2m)^rho.");
+    t
+}

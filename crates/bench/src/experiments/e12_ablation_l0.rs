@@ -1,0 +1,48 @@
+//! E12 (ablation) — ℓ₀-sampler repetitions: one subsampling hierarchy
+//! fails on ties at the deepest level (a constant-probability event), so
+//! the sampler keeps `R` independent repetitions. This table quantifies
+//! the failure-rate/space trade-off that motivated `DEFAULT_REPS`, and
+//! the knock-on effect on the turnstile estimator's success rate (each
+//! failed `f1` kills one trial, deflating the estimate).
+
+use crate::table::{f, pct, Table};
+use sgs_stream::hash::split_seed;
+use sgs_stream::l0::L0Sampler;
+use sgs_stream::SpaceUsage;
+
+pub fn run(quick: bool) -> Table {
+    let trials: u64 = if quick { 5_000 } else { 20_000 };
+    let support = 64u64;
+    let mut t = Table::new(
+        "E12 — ablation: l0-sampler repetitions vs failure rate",
+        &["reps R", "fail rate", "bytes/sampler", "est. trial deflation (4 samplers)"],
+    );
+    for &reps in &[1usize, 2, 4, 8, 16] {
+        let mut fails = 0u64;
+        let mut bytes = 0;
+        for trial in 0..trials {
+            let mut s = L0Sampler::new(30, reps, split_seed(0xe12, trial * 31 + reps as u64));
+            for k in 0..support {
+                s.update(k * 977 + 3, 1);
+            }
+            bytes = s.space_bytes();
+            if s.sample().is_none() {
+                fails += 1;
+            }
+        }
+        let p_fail = fails as f64 / trials as f64;
+        // A triangle trial in the turnstile model consumes ~4 sampling
+        // queries (2 edges + 1 neighbor + ...): each failure kills it.
+        let deflation = 1.0 - (1.0 - p_fail).powi(4);
+        t.row(vec![
+            reps.to_string(),
+            pct(p_fail),
+            bytes.to_string(),
+            f(deflation),
+        ]);
+    }
+    t.note("claim: failure decays geometrically with R while space grows");
+    t.note("linearly; R=8 pushes trial deflation below the estimator's");
+    t.note("statistical noise, matching Lemma 7's 'success w.p. 1-1/n^c'.");
+    t
+}

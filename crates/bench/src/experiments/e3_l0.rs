@@ -1,0 +1,69 @@
+//! E3 — Lemma 7: the ℓ₀-sampler returns a (near-)uniform element of the
+//! support with low failure probability and polylogarithmic space. We
+//! measure total-variation distance from uniform, failure rate, and the
+//! concrete per-sampler footprint across support sizes, including
+//! supports produced by heavy insert/delete churn.
+
+use crate::table::{f, pct, Table};
+use sgs_stream::hash::split_seed;
+use sgs_stream::l0::{L0Sampler, DEFAULT_REPS};
+use sgs_stream::SpaceUsage;
+use std::collections::HashMap;
+
+pub fn run(quick: bool) -> Table {
+    let trials: u64 = if quick { 4_000 } else { 20_000 };
+    let mut t = Table::new(
+        "E3 — l0-sampler uniformity and space (Lemma 7)",
+        &["support", "churn deletes", "TV dist", "noise floor", "fail rate", "bytes/sampler"],
+    );
+    for &(support, churn) in &[(4usize, 0usize), (64, 0), (64, 192), (512, 0), (512, 1024)] {
+        let mut hits: HashMap<u64, u64> = HashMap::new();
+        let mut fails = 0u64;
+        let mut bytes = 0usize;
+        for trial in 0..trials {
+            let mut s = L0Sampler::new(30, DEFAULT_REPS, split_seed(0xe3, trial));
+            // Live keys 0..support; churn keys live above and get deleted.
+            for k in 0..support as u64 {
+                s.update(k, 1);
+            }
+            for c in 0..churn as u64 {
+                s.update(1_000_000 + c, 1);
+            }
+            for c in 0..churn as u64 {
+                s.update(1_000_000 + c, -1);
+            }
+            bytes = s.space_bytes();
+            match s.sample() {
+                Some(k) => {
+                    assert!(k < support as u64, "sampled a deleted key");
+                    *hits.entry(k).or_default() += 1;
+                }
+                None => fails += 1,
+            }
+        }
+        let total: u64 = hits.values().sum();
+        let uniform = total as f64 / support as f64;
+        let tv: f64 = (0..support as u64)
+            .map(|k| {
+                let h = *hits.get(&k).unwrap_or(&0) as f64;
+                (h - uniform).abs()
+            })
+            .sum::<f64>()
+            / (2.0 * total as f64);
+        // Expected TV of a uniform multinomial sample of this size:
+        // ~ sqrt(S/(2*pi*N)) — the noise floor an ideal sampler shows.
+        let noise = (support as f64 / (2.0 * std::f64::consts::PI * total as f64)).sqrt();
+        t.row(vec![
+            support.to_string(),
+            churn.to_string(),
+            f(tv),
+            f(noise),
+            pct(fails as f64 / trials as f64),
+            bytes.to_string(),
+        ]);
+    }
+    t.note("claim: TV matches the multinomial noise floor (no detectable bias),");
+    t.note("failures are rare, and space is independent of support size and");
+    t.note("unchanged by churn (linear sketch).");
+    t
+}

@@ -1,0 +1,82 @@
+//! E5 — pass complexity: measured passes of every algorithm in this
+//! repository next to the paper's claims and the prior-work numbers
+//! quoted in §1.
+
+use crate::table::Table;
+use sgs_core::ers::{count_cliques_insertion, ErsParams};
+use sgs_core::fgp::estimate_insertion;
+use sgs_graph::{exact, gen, Pattern};
+use sgs_stream::InsertionStream;
+
+pub fn run(_quick: bool) -> Table {
+    let mut t = Table::new(
+        "E5 — pass complexity: measured vs claimed",
+        &["algorithm", "pattern", "claimed passes", "measured", "reference"],
+    );
+
+    let g = gen::gnm(30, 150, 41);
+    let ins = InsertionStream::from_graph(&g, 42);
+    for pattern in [
+        Pattern::triangle(),
+        Pattern::cycle(5),
+        Pattern::clique(4),
+        Pattern::star(3),
+        Pattern::path(3),
+    ] {
+        // The worst case is 3 passes; patterns whose optimal decomposition
+        // is star-only skip the wedge round and use 2.
+        let plan = sgs_core::SamplerPlan::new(&pattern).unwrap();
+        let has_cycle = plan
+            .pieces()
+            .iter()
+            .any(|p| matches!(p, sgs_graph::decompose::Piece::OddCycle(_)));
+        let claim = if has_cycle { "3" } else { "3 (2: star-only decomposition)" };
+        let est = estimate_insertion(&pattern, &ins, 200, 43).unwrap();
+        t.row(vec![
+            "FGP (Thm 1/17)".into(),
+            pattern.name().to_string(),
+            claim.into(),
+            est.report.passes.to_string(),
+            "this paper".into(),
+        ]);
+    }
+
+    let ba = gen::barabasi_albert(60, 4, 44);
+    let ba_stream = InsertionStream::from_graph(&ba, 45);
+    for r in [3usize, 4, 5] {
+        let exact_r = exact::cliques::count_cliques(&ba, r).max(1);
+        // Pass counting only: one instance, one activity run, generous
+        // lower bound keep the run fast without changing the pass count.
+        let mut params = ErsParams::practical(r, 4, 0.5, exact_r as f64);
+        params.q_act = 1;
+        let est = count_cliques_insertion(&params, &ba_stream, 1, 46);
+        t.row(vec![
+            "ERS (Thm 2)".into(),
+            format!("K{r}"),
+            format!("<= 5r = {}", 5 * r),
+            est.report.passes.to_string(),
+            "this paper".into(),
+        ]);
+    }
+
+    // Prior-work pass counts quoted in the paper's §1 (analytic).
+    for (alg, pat, passes, refr) in [
+        ("Manjunath et al. turnstile", "C_r", "1 (space m^r/#C^2)", "[Man+11]"),
+        ("MVV 2-pass", "triangle", "2 (space m/sqrt(#T))", "[MVV16]"),
+        ("MVV 3-pass + degree oracle", "triangle", "3 (space m^1.5/#T)", "[MVV16]"),
+        ("Bera-Chakrabarti", "triangle", "4 (space m^1.5/#T)", "[BC17]"),
+        ("Bera-Seshadhri degeneracy", "triangle", "6 (space m*lambda/#T)", "[BS20]"),
+        ("AKK sampler-tree stream", "any H", ">= rho(H) ~ |V(H)|", "[AKK19]"),
+    ] {
+        t.row(vec![
+            alg.into(),
+            pat.into(),
+            passes.into(),
+            "-".into(),
+            refr.into(),
+        ]);
+    }
+    t.note("claim: FGP uses 3 passes for every H even in turnstile streams,");
+    t.note("matching [AKK19] space at constant passes; ERS stays within 5r.");
+    t
+}

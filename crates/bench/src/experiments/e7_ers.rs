@@ -1,0 +1,57 @@
+//! E7 — Theorem 2: on low-degeneracy graphs the ERS counter achieves
+//! good accuracy with sample sets sized like `m·λ^{r-2}/#K_r`, while the
+//! FGP estimator pays `(2m)^{r/2}/#K_r` trials on the same input — the
+//! "who wins" comparison behind the Bera–Seshadhri conjecture.
+
+use crate::table::{f, pct, Table};
+use sgs_core::ers::{count_cliques_insertion, ErsParams};
+use sgs_core::fgp::practical_trials;
+use sgs_graph::{degeneracy::degeneracy, exact, gen, Pattern, StaticGraph};
+use sgs_stream::hash::split_seed;
+use sgs_stream::InsertionStream;
+
+pub fn run(quick: bool) -> Table {
+    let instances = if quick { 5 } else { 7 };
+    let mut t = Table::new(
+        "E7 — ERS on low-degeneracy graphs vs FGP budget (Thm 2)",
+        &[
+            "graph", "r", "lambda", "#Kr", "ERS rel err", "ERS passes",
+            "ERS max s_t", "m*l^(r-2)/Kr", "FGP trials (m^(r/2)/Kr)",
+        ],
+    );
+    let cases: Vec<(&str, sgs_graph::AdjListGraph)> = vec![
+        ("BA(600,5)", gen::barabasi_albert(600, 5, 61)),
+        ("BA(1200,6)", gen::barabasi_albert(1200, 6, 62)),
+    ];
+    for (name, g) in &cases {
+        let m = g.num_edges();
+        let lam = degeneracy(g);
+        let stream = InsertionStream::from_graph(g, 63);
+        for r in [3usize, 4] {
+            let exact_r = exact::cliques::count_cliques(g, r);
+            if exact_r < 10 {
+                continue;
+            }
+            let params = ErsParams::practical(r, lam, 0.35, exact_r as f64);
+            let est = count_cliques_insertion(&params, &stream, instances, split_seed(0xe7, r as u64));
+            let theory_ers = m as f64 * (lam as f64).powi(r as i32 - 2) / exact_r as f64;
+            let plan = sgs_core::SamplerPlan::new(&Pattern::clique(r)).unwrap();
+            let fgp_k = practical_trials(m, plan.rho(), 0.35, exact_r as f64);
+            t.row(vec![
+                name.to_string(),
+                r.to_string(),
+                lam.to_string(),
+                exact_r.to_string(),
+                pct(est.relative_error(exact_r)),
+                est.report.passes.to_string(),
+                est.max_sample_size().to_string(),
+                f(theory_ers),
+                fgp_k.to_string(),
+            ]);
+        }
+    }
+    t.note("claim: ERS errors ~ eps with sample sets ~ m*lambda^(r-2)/#Kr;");
+    t.note("the FGP trial column explodes with r while ERS's budget stays tame");
+    t.note("(for r=4 on BA graphs, FGP needs orders of magnitude more samples).");
+    t
+}

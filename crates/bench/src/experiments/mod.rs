@@ -1,0 +1,14 @@
+//! Experiment implementations (see DESIGN.md §4 for the index).
+
+pub mod e10_example;
+pub mod e11_ablation_ft;
+pub mod e12_ablation_l0;
+pub mod e1_sampler_prob;
+pub mod e2_accuracy;
+pub mod e3_l0;
+pub mod e4_turnstile;
+pub mod e5_passes;
+pub mod e6_space;
+pub mod e7_ers;
+pub mod e8_rho;
+pub mod e9_baselines;

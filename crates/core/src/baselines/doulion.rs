@@ -1,0 +1,119 @@
+//! DOULION-style sparsified counting ([Tso+09] in the paper's
+//! bibliography).
+//!
+//! Keep each edge independently with probability `p` — implemented with a
+//! deterministic hash coin per edge so a turnstile deletion removes the
+//! edge from the sample iff its insertion added it — then count `#H` in
+//! the sparsified graph and scale by `p^{-|E(H)|}`. One pass and `O(pm)`
+//! expected space, but unbiasedness comes with variance that explodes as
+//! `#H` shrinks: the baseline whose failure mode motivates
+//! `m^ρ/(ε²·#H)`-space algorithms (experiment E9).
+
+use sgs_graph::{exact, AdjListGraph, Pattern, StaticGraph};
+use sgs_stream::hash::SeededHash;
+use sgs_stream::EdgeStream;
+
+/// Result of a DOULION run.
+#[derive(Clone, Debug)]
+pub struct DoulionEstimate {
+    /// The `p^{-|E(H)|}`-scaled estimate of `#H`.
+    pub estimate: f64,
+    /// Exact count inside the sparsified graph.
+    pub sampled_count: u64,
+    /// Edges retained.
+    pub kept_edges: usize,
+    /// Passes used (always 1).
+    pub passes: usize,
+    /// Bytes of stored state.
+    pub space_bytes: usize,
+}
+
+/// Run the baseline with retention probability `p`.
+pub fn estimate_doulion(
+    pattern: &Pattern,
+    stream: &impl EdgeStream,
+    p: f64,
+    seed: u64,
+) -> DoulionEstimate {
+    assert!((0.0..=1.0).contains(&p) && p > 0.0);
+    let coin = SeededHash::new(seed);
+    let threshold = (p * u64::MAX as f64) as u64;
+    let mut g = AdjListGraph::new(stream.num_vertices());
+    stream.replay(&mut |u| {
+        // Deterministic coin: consistent across insert/delete of the same
+        // edge, which is what makes this correct under turnstile churn.
+        if coin.hash64(u.edge.key()) <= threshold {
+            if u.is_insert() {
+                g.add_edge(u.edge);
+            } else {
+                g.remove_edge(u.edge);
+            }
+        }
+    });
+    let sampled_count = exact::count_pattern_auto(&g, pattern);
+    let scale = p.powi(-(pattern.num_edges() as i32));
+    DoulionEstimate {
+        estimate: sampled_count as f64 * scale,
+        sampled_count,
+        kept_edges: g.num_edges(),
+        passes: 1,
+        space_bytes: g.num_edges() * 8 + g.num_vertices() * 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::gen;
+    use sgs_stream::hash::split_seed;
+    use sgs_stream::{InsertionStream, TurnstileStream};
+
+    #[test]
+    fn p_one_is_exact() {
+        let g = gen::gnm(30, 120, 5);
+        let exact = sgs_graph::exact::triangles::count_triangles(&g);
+        let ins = InsertionStream::from_graph(&g, 6);
+        let res = estimate_doulion(&Pattern::triangle(), &ins, 1.0, 7);
+        assert_eq!(res.estimate, exact as f64);
+        assert_eq!(res.kept_edges, 120);
+    }
+
+    #[test]
+    fn roughly_unbiased_on_triangle_rich_graph() {
+        let g = gen::gnm(40, 400, 9);
+        let exact = sgs_graph::exact::triangles::count_triangles(&g) as f64;
+        assert!(exact > 300.0);
+        let ins = InsertionStream::from_graph(&g, 10);
+        let mut sum = 0.0;
+        let runs = 60;
+        for s in 0..runs {
+            sum += estimate_doulion(&Pattern::triangle(), &ins, 0.5, split_seed(11, s)).estimate;
+        }
+        let mean = sum / runs as f64;
+        let rel = (mean - exact).abs() / exact;
+        assert!(rel < 0.2, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn sample_size_tracks_p() {
+        let g = gen::gnm(60, 600, 12);
+        let ins = InsertionStream::from_graph(&g, 13);
+        let res = estimate_doulion(&Pattern::triangle(), &ins, 0.25, 14);
+        let frac = res.kept_edges as f64 / 600.0;
+        assert!((0.15..0.35).contains(&frac), "kept fraction {frac}");
+        assert!(res.space_bytes < 600 * 8);
+    }
+
+    #[test]
+    fn turnstile_consistent() {
+        let g = gen::gnm(30, 150, 15);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 16);
+        let ins = InsertionStream::from_graph(&g, 17);
+        // The hash coin makes the sparsified final graph identical
+        // whether churn happened or not.
+        let a = estimate_doulion(&Pattern::triangle(), &tst, 0.5, 18);
+        let b = estimate_doulion(&Pattern::triangle(), &ins, 0.5, 18);
+        assert_eq!(a.sampled_count, b.sampled_count);
+        assert_eq!(a.kept_edges, b.kept_edges);
+    }
+}

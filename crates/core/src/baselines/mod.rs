@@ -1,0 +1,19 @@
+//! Comparison baselines from the paper's related-work discussion (§1).
+//!
+//! * [`exact_stream`] — the trivial 1-pass algorithm: store the whole
+//!   graph, count exactly. `O(m)` space, zero error; the yardstick every
+//!   sublinear-space algorithm is judged against.
+//! * [`doulion`] — DOULION-style sparsification (Tsourakakis et al.,
+//!   cited as [Tso+09]): keep each edge with probability `p` via a
+//!   deterministic hash coin (hence deletion-consistent), count in the
+//!   sparsified graph, scale by `p^{-|E(H)|}`. 1 pass, `O(pm)` space,
+//!   but the variance blows up exactly when `#H` is small — the regime
+//!   Theorem 1's `m^ρ/#H` bound is designed for (experiment E9).
+
+pub mod doulion;
+pub mod exact_stream;
+pub mod triest;
+
+pub use doulion::DoulionEstimate;
+pub use exact_stream::ExactStreamCount;
+pub use triest::TriestEstimate;

@@ -1,0 +1,266 @@
+//! The shared sampling-chain primitive of the ERS algorithm.
+//!
+//! `StreamSet` (Algorithm 4) grows a multiset `R_t` of ordered `t`-cliques
+//! into `R_{t+1}` in two rounds/passes:
+//!
+//! 1. draw `s_{t+1}` cliques `⃗T ∝ dg(⃗T)` (offline, from the collected
+//!    degree dictionary), pick the minimum-degree vertex `u` of each, and
+//!    query a uniformly random neighbor `w` of `u` (`f3` with a
+//!    self-sampled index);
+//! 2. query the adjacency of `w` against the rest of `⃗T` plus the degree
+//!    of `w`; extensions that complete a clique join `R_{t+1}`.
+//!
+//! Each specific ordered `(t+1)`-clique extension is drawn with
+//! probability `dg(⃗T)/dg(R_t) · 1/dg(⃗T) = 1/dg(R_t)` per draw — the
+//! invariant behind the estimator's unbiasedness (§5.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sgs_graph::order::precedes_with_degrees;
+use sgs_graph::VertexId;
+use sgs_query::{Answer, Query};
+use std::collections::HashMap;
+
+/// An ordered clique: vertices in their sampling order.
+pub type OrderedClique = Vec<VertexId>;
+
+/// `dg(⃗T)` = degree of the minimum-degree vertex (ties by id, matching
+/// the vertex order `≺_G`), together with that vertex.
+pub fn clique_weight(
+    cq: &OrderedClique,
+    deg: &HashMap<VertexId, usize>,
+) -> (usize, VertexId) {
+    let mut best = cq[0];
+    let mut best_d = deg[&cq[0]];
+    for &v in &cq[1..] {
+        let d = deg[&v];
+        if precedes_with_degrees(v, d, best, best_d) {
+            best = v;
+            best_d = d;
+        }
+    }
+    (best_d, best)
+}
+
+/// `dg(R_t)` = sum of clique weights.
+pub fn set_weight(r_t: &[OrderedClique], deg: &HashMap<VertexId, usize>) -> u64 {
+    r_t.iter().map(|c| clique_weight(c, deg).0 as u64).sum()
+}
+
+/// One pending draw: the chosen base clique and its minimum-degree vertex.
+#[derive(Clone, Debug)]
+pub struct GrowDraw {
+    /// Chosen base clique.
+    pub base: OrderedClique,
+    /// Its minimum-degree vertex (the extension point).
+    pub u: VertexId,
+}
+
+/// Emit the round-A queries: `s` weighted draws, each asking for one
+/// random neighbor of the extension point via a self-sampled index.
+pub fn draw_queries(
+    r_t: &[OrderedClique],
+    deg: &HashMap<VertexId, usize>,
+    s: usize,
+    rng: &mut StdRng,
+) -> (Vec<GrowDraw>, Vec<Query>) {
+    let mut draws = Vec::with_capacity(s);
+    let mut queries = Vec::with_capacity(s);
+    if r_t.is_empty() || s == 0 {
+        return (draws, queries);
+    }
+    // Cumulative weights for proportional sampling.
+    let mut cum: Vec<u64> = Vec::with_capacity(r_t.len());
+    let mut acc = 0u64;
+    for c in r_t {
+        acc += clique_weight(c, deg).0 as u64;
+        cum.push(acc);
+    }
+    if acc == 0 {
+        return (draws, queries);
+    }
+    for _ in 0..s {
+        let x = rng.gen_range(0..acc);
+        let idx = cum.partition_point(|&c| c <= x);
+        let base = r_t[idx].clone();
+        let (du, u) = clique_weight(&base, deg);
+        debug_assert!(du > 0);
+        let i = rng.gen_range(1..=du as u64);
+        queries.push(Query::IthNeighbor(u, i));
+        draws.push(GrowDraw { base, u });
+    }
+    (draws, queries)
+}
+
+/// A candidate extension awaiting verification.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The base clique.
+    pub base: OrderedClique,
+    /// The proposed new vertex.
+    pub w: VertexId,
+    /// Number of adjacency queries issued (base minus the extension
+    /// point, which is adjacent by construction).
+    pub adj_queries: usize,
+}
+
+/// Absorb round-A answers and emit round-B verification queries.
+pub fn verify_queries(draws: &[GrowDraw], answers: &[Answer]) -> (Vec<Candidate>, Vec<Query>) {
+    debug_assert_eq!(draws.len(), answers.len());
+    let mut cands = Vec::new();
+    let mut queries = Vec::new();
+    for (d, a) in draws.iter().zip(answers) {
+        let Some(w) = a.expect_neighbor() else {
+            continue;
+        };
+        if d.base.contains(&w) {
+            continue;
+        }
+        let others: Vec<VertexId> = d.base.iter().copied().filter(|&x| x != d.u).collect();
+        for &x in &others {
+            queries.push(Query::Adjacent(w, x));
+        }
+        queries.push(Query::Degree(w));
+        cands.push(Candidate {
+            base: d.base.clone(),
+            w,
+            adj_queries: others.len(),
+        });
+    }
+    (cands, queries)
+}
+
+/// Absorb round-B answers: candidates whose adjacency checks all pass
+/// become ordered `(t+1)`-cliques; their degrees extend the dictionary.
+pub fn absorb_verify(
+    cands: &[Candidate],
+    answers: &[Answer],
+    deg: &mut HashMap<VertexId, usize>,
+) -> Vec<OrderedClique> {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for c in cands {
+        let ok = (0..c.adj_queries).all(|k| answers[cursor + k].expect_adjacent());
+        let d_w = answers[cursor + c.adj_queries].expect_degree();
+        cursor += c.adj_queries + 1;
+        if ok {
+            deg.insert(c.w, d_w);
+            let mut cq = c.base.clone();
+            cq.push(c.w);
+            out.push(cq);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    fn degmap(pairs: &[(u32, usize)]) -> HashMap<VertexId, usize> {
+        pairs.iter().map(|&(a, d)| (v(a), d)).collect()
+    }
+
+    #[test]
+    fn weight_is_min_degree() {
+        let deg = degmap(&[(0, 5), (1, 2), (2, 7)]);
+        let (w, u) = clique_weight(&vec![v(0), v(1), v(2)], &deg);
+        assert_eq!(w, 2);
+        assert_eq!(u, v(1));
+    }
+
+    #[test]
+    fn weight_ties_broken_by_id() {
+        let deg = degmap(&[(3, 4), (1, 4)]);
+        let (_, u) = clique_weight(&vec![v(3), v(1)], &deg);
+        assert_eq!(u, v(1));
+    }
+
+    #[test]
+    fn set_weight_sums() {
+        let deg = degmap(&[(0, 5), (1, 2), (2, 7), (3, 1)]);
+        let r = vec![vec![v(0), v(1)], vec![v(2), v(3)]];
+        assert_eq!(set_weight(&r, &deg), 2 + 1);
+    }
+
+    #[test]
+    fn draws_are_weight_proportional() {
+        let deg = degmap(&[(0, 90), (1, 90), (2, 10), (3, 10)]);
+        let r = vec![vec![v(0), v(1)], vec![v(2), v(3)]];
+        let mut rng = StdRng::seed_from_u64(5);
+        let (draws, queries) = draw_queries(&r, &deg, 5000, &mut rng);
+        assert_eq!(draws.len(), 5000);
+        assert_eq!(queries.len(), 5000);
+        let heavy = draws.iter().filter(|d| d.base[0] == v(0)).count();
+        let frac = heavy as f64 / 5000.0;
+        assert!((frac - 0.9).abs() < 0.03, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn verify_skips_failures_and_members() {
+        let draws = vec![
+            GrowDraw {
+                base: vec![v(0), v(1)],
+                u: v(1),
+            },
+            GrowDraw {
+                base: vec![v(0), v(1)],
+                u: v(1),
+            },
+            GrowDraw {
+                base: vec![v(0), v(1)],
+                u: v(1),
+            },
+        ];
+        let answers = vec![
+            Answer::Neighbor(Some(v(2))), // fine
+            Answer::Neighbor(None),       // failed query
+            Answer::Neighbor(Some(v(0))), // already a member
+        ];
+        let (cands, queries) = verify_queries(&draws, &answers);
+        assert_eq!(cands.len(), 1);
+        // 1 adjacency (w vs v0) + 1 degree
+        assert_eq!(queries.len(), 2);
+    }
+
+    #[test]
+    fn absorb_accepts_only_full_cliques() {
+        let cands = vec![
+            Candidate {
+                base: vec![v(0), v(1)],
+                w: v(2),
+                adj_queries: 1,
+            },
+            Candidate {
+                base: vec![v(0), v(1)],
+                w: v(3),
+                adj_queries: 1,
+            },
+        ];
+        let answers = vec![
+            Answer::Adjacent(true),
+            Answer::Degree(4),
+            Answer::Adjacent(false),
+            Answer::Degree(2),
+        ];
+        let mut deg = degmap(&[(0, 3), (1, 2)]);
+        let r_next = absorb_verify(&cands, &answers, &mut deg);
+        assert_eq!(r_next, vec![vec![v(0), v(1), v(2)]]);
+        assert_eq!(deg[&v(2)], 4);
+        // Rejected candidate's degree still recorded? No: only accepted.
+        assert!(deg.contains_key(&v(2)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let deg = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (d, q) = draw_queries(&[], &deg, 10, &mut rng);
+        assert!(d.is_empty() && q.is_empty());
+    }
+}

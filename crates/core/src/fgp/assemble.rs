@@ -1,0 +1,403 @@
+//! Assembling sampled pieces into copies of `H`.
+//!
+//! After the FGP sampler has drawn canonical pieces (cycles/stars on
+//! concrete vertices of `G`) and collected the induced subgraph on the
+//! sampled vertex set, the final step of Algorithm 9 decides whether the
+//! pieces "form a copy of H" and, if so, returns the copy with probability
+//! `1/f_T(H)` so that every copy of `H` in `G` is output with probability
+//! exactly `1/(2m)^ρ(H)` (Lemma 15).
+//!
+//! Concretely, a sampled piece tuple `S` is *compatible* with a copy `H₀`
+//! iff some isomorphism `H → H₀` maps the plan's `i`-th decomposition
+//! piece onto the `i`-th sampled piece (as subgraphs — the two
+//! orientations of a single-edge star are interchangeable). This module
+//! enumerates all compatible copies by composing piece-level alignments
+//! (dihedral maps for cycles, petal permutations for stars) and checking
+//! the remaining pattern edges against the collected adjacency
+//! information. The caller then accepts with probability `|C(S)|/f_T(H)`
+//! and picks a compatible copy uniformly — each copy is thus selected with
+//! probability exactly `1/f_T(H)` per compatible tuple.
+
+use sgs_graph::decompose::Piece;
+use sgs_graph::{Edge, Pattern, VertexId};
+use std::collections::HashSet;
+
+/// A sampled piece on concrete vertices of `G`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConcretePiece {
+    /// Cycle as its sampled cyclic vertex sequence.
+    Cycle(Vec<VertexId>),
+    /// Star with sampled center and petals.
+    Star {
+        /// The center vertex.
+        center: VertexId,
+        /// The petal vertices.
+        petals: Vec<VertexId>,
+    },
+}
+
+impl ConcretePiece {
+    /// All vertices of the piece.
+    pub fn vertices(&self) -> Vec<VertexId> {
+        match self {
+            ConcretePiece::Cycle(vs) => vs.clone(),
+            ConcretePiece::Star { center, petals } => {
+                let mut v = vec![*center];
+                v.extend_from_slice(petals);
+                v
+            }
+        }
+    }
+}
+
+/// A returned copy of `H` in `G`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoundCopy {
+    /// The copy's vertices, sorted.
+    pub vertices: Vec<VertexId>,
+    /// The copy's edges, sorted (the image of `E(H)`).
+    pub edges: Vec<Edge>,
+}
+
+/// Enumerate the distinct copies of `H` compatible with the sampled
+/// pieces, given adjacency over the sampled vertex set.
+pub fn compatible_copies(
+    pattern: &Pattern,
+    plan_pieces: &[Piece],
+    concrete: &[ConcretePiece],
+    has_edge: &dyn Fn(VertexId, VertexId) -> bool,
+) -> Vec<FoundCopy> {
+    debug_assert_eq!(plan_pieces.len(), concrete.len());
+    let n = pattern.num_vertices();
+    // Vertex-disjointness across pieces is a precondition for any
+    // compatible copy (pieces partition V(H)).
+    let mut all: Vec<VertexId> = Vec::with_capacity(n);
+    for c in concrete {
+        all.extend(c.vertices());
+    }
+    if all.len() != n {
+        return Vec::new();
+    }
+    {
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != n {
+            return Vec::new();
+        }
+    }
+
+    // Per-piece alignment candidates: maps pattern-vertex -> G-vertex.
+    let per_piece: Vec<Vec<Vec<(u8, VertexId)>>> = plan_pieces
+        .iter()
+        .zip(concrete)
+        .map(|(pp, cp)| piece_alignments(pp, cp))
+        .collect();
+    if per_piece.iter().any(|a| a.is_empty()) {
+        return Vec::new();
+    }
+
+    let mut copies: HashSet<Vec<Edge>> = HashSet::new();
+    let mut phi: Vec<Option<VertexId>> = vec![None; n];
+    compose(
+        pattern,
+        &per_piece,
+        0,
+        &mut phi,
+        has_edge,
+        &mut copies,
+    );
+
+    let mut out: Vec<FoundCopy> = copies
+        .into_iter()
+        .map(|edges| {
+            let mut vertices: Vec<VertexId> = edges
+                .iter()
+                .flat_map(|e| [e.u(), e.v()])
+                .collect();
+            vertices.sort_unstable();
+            vertices.dedup();
+            FoundCopy { vertices, edges }
+        })
+        .collect();
+    out.sort_by(|a, b| a.edges.cmp(&b.edges));
+    out
+}
+
+/// All ways to map one pattern piece onto one concrete piece.
+fn piece_alignments(pp: &Piece, cp: &ConcretePiece) -> Vec<Vec<(u8, VertexId)>> {
+    let mut out = Vec::new();
+    match (pp, cp) {
+        (Piece::OddCycle(pv), ConcretePiece::Cycle(cv)) => {
+            if pv.len() != cv.len() {
+                return out;
+            }
+            let c = pv.len();
+            for shift in 0..c {
+                for dir in [1isize, -1] {
+                    let mapping: Vec<(u8, VertexId)> = (0..c)
+                        .map(|i| {
+                            let j = (shift as isize + dir * i as isize).rem_euclid(c as isize);
+                            (pv[i], cv[j as usize])
+                        })
+                        .collect();
+                    out.push(mapping);
+                }
+            }
+        }
+        (
+            Piece::Star {
+                center: pc,
+                petals: pp,
+            },
+            ConcretePiece::Star {
+                center: cc,
+                petals: cp,
+            },
+        ) => {
+            if pp.len() != cp.len() {
+                return out;
+            }
+            if pp.len() == 1 {
+                // S_1: center ambiguous — both orientations compatible.
+                out.push(vec![(*pc, *cc), (pp[0], cp[0])]);
+                out.push(vec![(*pc, cp[0]), (pp[0], *cc)]);
+            } else {
+                // Center forced; petals permute.
+                for perm in permutations(cp.len()) {
+                    let mut mapping = vec![(*pc, *cc)];
+                    for (i, &j) in perm.iter().enumerate() {
+                        mapping.push((pp[i], cp[j]));
+                    }
+                    out.push(mapping);
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = Vec::with_capacity(k);
+    let mut used = vec![false; k];
+    fn rec(k: usize, cur: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for j in 0..k {
+            if !used[j] {
+                used[j] = true;
+                cur.push(j);
+                rec(k, cur, used, out);
+                cur.pop();
+                used[j] = false;
+            }
+        }
+    }
+    rec(k, &mut cur, &mut used, &mut out);
+    out
+}
+
+fn compose(
+    pattern: &Pattern,
+    per_piece: &[Vec<Vec<(u8, VertexId)>>],
+    idx: usize,
+    phi: &mut Vec<Option<VertexId>>,
+    has_edge: &dyn Fn(VertexId, VertexId) -> bool,
+    copies: &mut HashSet<Vec<Edge>>,
+) {
+    if idx == per_piece.len() {
+        // phi is total; verify every pattern edge.
+        let mut edges: Vec<Edge> = Vec::with_capacity(pattern.num_edges());
+        for &(a, b) in pattern.edges() {
+            let (ga, gb) = (phi[a as usize].unwrap(), phi[b as usize].unwrap());
+            if !has_edge(ga, gb) {
+                return;
+            }
+            edges.push(Edge::new(ga, gb));
+        }
+        edges.sort_unstable();
+        copies.insert(edges);
+        return;
+    }
+    for alignment in &per_piece[idx] {
+        for &(pv, gv) in alignment {
+            phi[pv as usize] = Some(gv);
+        }
+        compose(pattern, per_piece, idx + 1, phi, has_edge, copies);
+        for &(pv, _) in alignment {
+            phi[pv as usize] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::decompose::decompose;
+    use sgs_graph::{gen, AdjListGraph, StaticGraph};
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn triangle_assembly() {
+        let p = Pattern::triangle();
+        let d = decompose(&p).unwrap();
+        let g = gen::complete_graph(3);
+        let concrete = vec![ConcretePiece::Cycle(vec![v(0), v(1), v(2)])];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].vertices, vec![v(0), v(1), v(2)]);
+        assert_eq!(copies[0].edges.len(), 3);
+    }
+
+    #[test]
+    fn k4_from_two_disjoint_edges() {
+        let p = Pattern::clique(4);
+        let d = decompose(&p).unwrap();
+        let g = gen::complete_graph(4);
+        let concrete = vec![
+            ConcretePiece::Star {
+                center: v(0),
+                petals: vec![v(1)],
+            },
+            ConcretePiece::Star {
+                center: v(2),
+                petals: vec![v(3)],
+            },
+        ];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        // Only one K4 on these four vertices.
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].edges.len(), 6);
+    }
+
+    #[test]
+    fn c4_can_match_multiple_copies() {
+        // In K4, two disjoint edges sit inside two different C4 copies.
+        let p = Pattern::cycle(4);
+        let d = decompose(&p).unwrap();
+        assert_eq!(d.pieces.len(), 2); // two S_1
+        let g = gen::complete_graph(4);
+        let concrete = vec![
+            ConcretePiece::Star {
+                center: v(0),
+                petals: vec![v(1)],
+            },
+            ConcretePiece::Star {
+                center: v(2),
+                petals: vec![v(3)],
+            },
+        ];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        assert_eq!(copies.len(), 2);
+        // |C(S)| must never exceed f_T (acceptance probability <= 1).
+        assert!(copies.len() as u64 <= d.tuple_multiplicity);
+    }
+
+    #[test]
+    fn missing_edge_blocks_assembly() {
+        let p = Pattern::clique(4);
+        let d = decompose(&p).unwrap();
+        // K4 minus one edge.
+        let g = AdjListGraph::from_pairs(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
+        let concrete = vec![
+            ConcretePiece::Star {
+                center: v(0),
+                petals: vec![v(1)],
+            },
+            ConcretePiece::Star {
+                center: v(2),
+                petals: vec![v(3)],
+            },
+        ];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        assert!(copies.is_empty());
+    }
+
+    #[test]
+    fn overlapping_pieces_rejected() {
+        let p = Pattern::clique(4);
+        let d = decompose(&p).unwrap();
+        let g = gen::complete_graph(4);
+        let concrete = vec![
+            ConcretePiece::Star {
+                center: v(0),
+                petals: vec![v(1)],
+            },
+            ConcretePiece::Star {
+                center: v(1),
+                petals: vec![v(2)],
+            },
+        ];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        assert!(copies.is_empty());
+    }
+
+    #[test]
+    fn star_assembly_respects_center() {
+        let p = Pattern::star(2);
+        let d = decompose(&p).unwrap();
+        let g: AdjListGraph = "0 1\n0 2".parse().unwrap();
+        let concrete = vec![ConcretePiece::Star {
+            center: v(0),
+            petals: vec![v(1), v(2)],
+        }];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        assert_eq!(copies.len(), 1);
+        // Swapped center would need edge (1,2), absent.
+        let wrong = vec![ConcretePiece::Star {
+            center: v(1),
+            petals: vec![v(0), v(2)],
+        }];
+        let copies = compatible_copies(&p, &d.pieces, &wrong, &|a, b| g.has_edge(a, b));
+        assert!(copies.is_empty());
+    }
+
+    #[test]
+    fn cycle_size_mismatch_rejected() {
+        let p = Pattern::cycle(5);
+        let d = decompose(&p).unwrap();
+        let g = gen::complete_graph(5);
+        let concrete = vec![ConcretePiece::Cycle(vec![v(0), v(1), v(2)])];
+        let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+        assert!(copies.is_empty());
+    }
+
+    #[test]
+    fn compatible_count_bounded_by_multiplicity_random() {
+        // Invariant check on random graphs: |C(S)| <= f_T(H) for every
+        // sampled-piece configuration we can build from actual copies.
+        let g = gen::gnm(12, 40, 3);
+        for p in [Pattern::clique(4), Pattern::cycle(4), Pattern::path(3)] {
+            let d = decompose(&p).unwrap();
+            // Construct concrete pieces by embedding the pattern randomly:
+            // use vertices 0..n(H) if they form the needed edges; else skip.
+            let concrete: Vec<ConcretePiece> = d
+                .pieces
+                .iter()
+                .map(|pc| match pc {
+                    Piece::OddCycle(vs) => {
+                        ConcretePiece::Cycle(vs.iter().map(|&x| v(x as u32)).collect())
+                    }
+                    Piece::Star { center, petals } => ConcretePiece::Star {
+                        center: v(*center as u32),
+                        petals: petals.iter().map(|&x| v(x as u32)).collect(),
+                    },
+                })
+                .collect();
+            let copies = compatible_copies(&p, &d.pieces, &concrete, &|a, b| g.has_edge(a, b));
+            assert!(
+                copies.len() as u64 <= d.tuple_multiplicity,
+                "{p:?}: {} > {}",
+                copies.len(),
+                d.tuple_multiplicity
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The FGP subgraph sampler and counter (§4 of the paper).
+//!
+//! * [`plan`] — per-pattern precomputation (decomposition, `ρ`, `f_T`),
+//! * [`sampler`] — the 3-round-adaptive `SampleSubgraph` (Algorithms 1, 5,
+//!   and 9),
+//! * [`assemble`] — the piece-to-copy assembly and acceptance machinery,
+//! * [`counter`] — the parallel-trials estimator (Theorems 1 and 17).
+
+pub mod assemble;
+pub mod counter;
+pub mod parallel_exec;
+pub mod plan;
+pub mod sampler;
+pub mod search;
+pub mod uniform;
+
+pub use assemble::FoundCopy;
+pub use counter::{
+    estimate_insertion, estimate_oracle, estimate_turnstile, practical_trials, theory_trials,
+    CountEstimate,
+};
+pub use parallel_exec::estimate_insertion_threaded;
+pub use plan::SamplerPlan;
+pub use sampler::{SamplerMode, SamplerOutcome, SubgraphSampler};
+pub use search::{distinguish_insertion, search_count_insertion, GapDecision, SearchResult};
+pub use uniform::{sample_uniform_insertion, sample_uniform_turnstile, uniform_trials};

@@ -1,0 +1,126 @@
+//! Multi-threaded estimator driver.
+//!
+//! The `k` sampler trials of Theorem 17 are mutually independent, so they
+//! shard perfectly across OS threads: each thread drives its own
+//! `Parallel` bank of samplers over the same replayable stream and the
+//! hit counts add up. The *logical* pass count is unchanged (every thread
+//! reads the same 3 passes; a deployment would fan the feed out to
+//! shards), and the estimate distribution is identical to the
+//! single-threaded run with the same total trial count — only wall-clock
+//! time changes.
+
+use crate::fgp::counter::CountEstimate;
+use crate::fgp::plan::SamplerPlan;
+use crate::fgp::sampler::{SamplerMode, SubgraphSampler};
+use sgs_graph::Pattern;
+use sgs_query::exec::run_insertion;
+use sgs_query::{ExecReport, Parallel};
+use sgs_stream::hash::split_seed;
+use sgs_stream::EdgeStream;
+
+/// Estimate `#H` from an insertion-only stream using `threads` worker
+/// threads sharing `trials` total sampler copies.
+pub fn estimate_insertion_threaded<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Option<CountEstimate> {
+    assert!(threads >= 1);
+    let plan = SamplerPlan::new(pattern)?;
+    let chunk = trials.div_ceil(threads);
+    let results: Vec<(u64, usize, usize, ExecReport)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let plan = plan.clone();
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(trials);
+            if lo >= hi {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                let par = Parallel::new(
+                    (lo..hi)
+                        .map(|i| {
+                            SubgraphSampler::new(
+                                plan.clone(),
+                                SamplerMode::Indexed,
+                                split_seed(seed, i as u64),
+                            )
+                        })
+                        .collect(),
+                );
+                let (outcomes, report) =
+                    run_insertion(par, stream, split_seed(seed ^ 0xabcd, tid as u64));
+                let hits = outcomes.iter().filter(|o| o.copy.is_some()).count() as u64;
+                let m = outcomes.iter().map(|o| o.m).max().unwrap_or(0);
+                (hits, hi - lo, m, report)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let hits: u64 = results.iter().map(|r| r.0).sum();
+    let total: usize = results.iter().map(|r| r.1).sum();
+    let m = results.iter().map(|r| r.2).max().unwrap_or(0);
+    // Passes are logical (every shard reads the same 3 passes); space and
+    // queries add across shards.
+    let report = results
+        .iter()
+        .map(|r| r.3)
+        .fold(ExecReport::default(), |acc, r| acc.merged_with(&r));
+    let estimate = if total == 0 {
+        0.0
+    } else {
+        plan.rho().pow(2.0 * m as f64) * hits as f64 / total as f64
+    };
+    Some(CountEstimate {
+        estimate,
+        hits,
+        trials: total,
+        m,
+        rho: plan.rho(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgp::counter::estimate_insertion;
+    use sgs_graph::{exact, gen};
+    use sgs_stream::InsertionStream;
+
+    #[test]
+    fn threaded_matches_single_threaded_statistically() {
+        let g = gen::gnm(40, 220, 1);
+        let exact_t = exact::triangles::count_triangles(&g);
+        let stream = InsertionStream::from_graph(&g, 2);
+        let single = estimate_insertion(&Pattern::triangle(), &stream, 24_000, 3).unwrap();
+        let multi =
+            estimate_insertion_threaded(&Pattern::triangle(), &stream, 24_000, 4, 4).unwrap();
+        assert_eq!(multi.trials, 24_000);
+        assert_eq!(multi.report.passes, 3);
+        let a = single.relative_error(exact_t);
+        let b = multi.relative_error(exact_t);
+        assert!(a < 0.25 && b < 0.25, "errors {a:.3} / {b:.3}");
+    }
+
+    #[test]
+    fn one_thread_is_fine() {
+        let g = gen::gnm(20, 80, 4);
+        let stream = InsertionStream::from_graph(&g, 5);
+        let est =
+            estimate_insertion_threaded(&Pattern::triangle(), &stream, 2_000, 1, 6).unwrap();
+        assert_eq!(est.trials, 2_000);
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let g = gen::gnm(20, 80, 7);
+        let stream = InsertionStream::from_graph(&g, 8);
+        let est = estimate_insertion_threaded(&Pattern::triangle(), &stream, 3, 8, 9).unwrap();
+        assert_eq!(est.trials, 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Canonical cycles and stars (Definitions 13 and 14).
+//!
+//! The FGP sampler counts each cycle/star subgraph exactly once by fixing a
+//! *canonical* sequence representation relative to the vertex order `≺_G`:
+//!
+//! * a sequence `(u_1, …, u_k)` is a **canonical k-cycle** in `(E', ≺)` if
+//!   all consecutive pairs (cyclically) are edges of `E'`, `u_1 ≺ u_i` for
+//!   all `i ≥ 2`, and `u_k ≺ u_2` (the start is the `≺`-minimum and the
+//!   direction is fixed);
+//! * a sequence `(u_0, u_1, …, u_k)` is a **canonical k-star** if
+//!   `(u_0, u_i) ∈ E'` for all `i ≥ 1` and `u_1 ≺ u_2 ≺ … ≺ u_k`.
+//!
+//! Every cycle subgraph has exactly one canonical sequence; every star
+//! subgraph with `k ≥ 2` petals has exactly one; an `S_1` (single edge) has
+//! two (either endpoint may serve as the center). The predicates here are
+//! generic over an edge test and an order test so that streaming
+//! postprocessing can evaluate them from collected dictionaries
+//! (`E'`, `d[V']`) rather than a full graph.
+
+use crate::ids::VertexId;
+
+/// Check Definition 13 against arbitrary edge/order predicates.
+///
+/// `has_edge(a, b)` must be symmetric; `precedes(a, b)` must be a total
+/// order on the sequence's vertices.
+pub fn is_canonical_cycle(
+    seq: &[VertexId],
+    has_edge: impl Fn(VertexId, VertexId) -> bool,
+    precedes: impl Fn(VertexId, VertexId) -> bool,
+) -> bool {
+    let k = seq.len();
+    if k < 3 {
+        return false;
+    }
+    // Distinctness (a cycle visits each vertex once).
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if seq[i] == seq[j] {
+                return false;
+            }
+        }
+    }
+    // Consecutive edges, cyclically.
+    for i in 0..k {
+        if !has_edge(seq[i], seq[(i + 1) % k]) {
+            return false;
+        }
+    }
+    // u_1 is the ≺-minimum.
+    for &u in &seq[1..] {
+        if !precedes(seq[0], u) {
+            return false;
+        }
+    }
+    // Direction: u_k ≺ u_2.
+    precedes(seq[k - 1], seq[1])
+}
+
+/// Check Definition 14 against arbitrary edge/order predicates. The first
+/// element of `seq` is the center `u_0`.
+pub fn is_canonical_star(
+    seq: &[VertexId],
+    has_edge: impl Fn(VertexId, VertexId) -> bool,
+    precedes: impl Fn(VertexId, VertexId) -> bool,
+) -> bool {
+    if seq.len() < 2 {
+        return false;
+    }
+    let center = seq[0];
+    let petals = &seq[1..];
+    for &p in petals {
+        if p == center || !has_edge(center, p) {
+            return false;
+        }
+    }
+    // Petals strictly ascending in ≺ (also enforces distinctness).
+    petals.windows(2).all(|w| precedes(w[0], w[1]))
+}
+
+/// The canonical sequence of the cycle given as an arbitrary cyclic vertex
+/// sequence, under `precedes`; `None` if the input repeats vertices.
+///
+/// Rotates so the `≺`-minimum leads and flips the direction so the last
+/// vertex precedes the second.
+pub fn canonicalize_cycle(
+    cycle: &[VertexId],
+    precedes: impl Fn(VertexId, VertexId) -> bool,
+) -> Option<Vec<VertexId>> {
+    let k = cycle.len();
+    if k < 3 {
+        return None;
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if cycle[i] == cycle[j] {
+                return None;
+            }
+        }
+    }
+    // Find ≺-min position.
+    let mut min_i = 0;
+    for i in 1..k {
+        if precedes(cycle[i], cycle[min_i]) {
+            min_i = i;
+        }
+    }
+    let mut rot: Vec<VertexId> = (0..k).map(|i| cycle[(min_i + i) % k]).collect();
+    // Fix direction: need rot[k-1] ≺ rot[1].
+    if !precedes(rot[k - 1], rot[1]) {
+        rot[1..].reverse();
+    }
+    Some(rot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::precedes as g_precedes;
+    use crate::{AdjListGraph, StaticGraph};
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    /// 5-cycle 0-1-2-3-4 plus chords to vary degrees.
+    fn pentagon() -> AdjListGraph {
+        AdjListGraph::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    }
+
+    #[test]
+    fn exactly_one_canonical_rotation_per_cycle() {
+        let g = pentagon();
+        let has = |a, b| g.has_edge(a, b);
+        let ord = |a, b| g_precedes(&g, a, b);
+        let base = [v(0), v(1), v(2), v(3), v(4)];
+        let mut canonical_count = 0;
+        // All 10 directed rotations of the pentagon.
+        for start in 0..5 {
+            for dir in [1i32, -1] {
+                let seq: Vec<VertexId> = (0..5)
+                    .map(|i| base[((start + dir * i)).rem_euclid(5) as usize])
+                    .collect();
+                if is_canonical_cycle(&seq, has, ord) {
+                    canonical_count += 1;
+                }
+            }
+        }
+        assert_eq!(canonical_count, 1);
+    }
+
+    #[test]
+    fn canonicalize_agrees_with_predicate() {
+        let g = pentagon();
+        let ord = |a, b| g_precedes(&g, a, b);
+        let has = |a, b| g.has_edge(a, b);
+        let seq = canonicalize_cycle(&[v(3), v(2), v(1), v(0), v(4)], ord).unwrap();
+        assert!(is_canonical_cycle(&seq, has, ord));
+        // Degrees all equal (2), so ≺ is id order: canonical starts at 0.
+        assert_eq!(seq[0], v(0));
+        assert_eq!(seq, vec![v(0), v(4), v(3), v(2), v(1)]);
+        // check u_k ≺ u_2: 1 < 4 means seq (0,4,...,1): last=1 ≺ second=4 ✓
+    }
+
+    #[test]
+    fn non_cycle_rejected() {
+        let g = pentagon();
+        let has = |a, b| g.has_edge(a, b);
+        let ord = |a, b| g_precedes(&g, a, b);
+        // 0-1-3 is not a triangle in the pentagon.
+        assert!(!is_canonical_cycle(&[v(0), v(1), v(3)], has, ord));
+        // repeated vertex
+        assert!(!is_canonical_cycle(&[v(0), v(1), v(0), v(4), v(1)], has, ord));
+        // too short
+        assert!(!is_canonical_cycle(&[v(0), v(1)], has, ord));
+    }
+
+    #[test]
+    fn canonical_star_requires_sorted_petals() {
+        let g = AdjListGraph::from_pairs(4, [(0, 1), (0, 2), (0, 3)]);
+        let has = |a, b| g.has_edge(a, b);
+        let ord = |a, b| g_precedes(&g, a, b);
+        // all petals have degree 1; ≺ is id order among them
+        assert!(is_canonical_star(&[v(0), v(1), v(2), v(3)], has, ord));
+        assert!(!is_canonical_star(&[v(0), v(2), v(1), v(3)], has, ord));
+        assert!(!is_canonical_star(&[v(0), v(1), v(1)], has, ord));
+        // center not adjacent to some petal
+        assert!(!is_canonical_star(&[v(1), v(2)], has, ord));
+    }
+
+    #[test]
+    fn single_edge_star_has_two_canonical_orientations() {
+        let g = AdjListGraph::from_pairs(2, [(0, 1)]);
+        let has = |a, b| g.has_edge(a, b);
+        let ord = |a, b| g_precedes(&g, a, b);
+        assert!(is_canonical_star(&[v(0), v(1)], has, ord));
+        assert!(is_canonical_star(&[v(1), v(0)], has, ord));
+    }
+
+    #[test]
+    fn canonical_cycle_respects_degree_order() {
+        // Triangle 0-1-2 with an extra pendant on 0, making deg(0)=3.
+        let g = AdjListGraph::from_pairs(4, [(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let has = |a, b| g.has_edge(a, b);
+        let ord = |a, b| g_precedes(&g, a, b);
+        // ≺-min of {0,1,2} is 1 (deg 2, lower id than 2).
+        let c = canonicalize_cycle(&[v(0), v(1), v(2)], ord).unwrap();
+        assert_eq!(c[0], v(1));
+        assert!(is_canonical_cycle(&c, has, ord));
+    }
+}

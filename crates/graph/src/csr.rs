@@ -1,0 +1,165 @@
+//! Immutable compressed-sparse-row graph for cache-friendly exact counting.
+
+use crate::ids::{Edge, VertexId};
+use crate::StaticGraph;
+
+/// A frozen undirected graph in CSR (compressed sparse row) layout with
+/// sorted neighbor lists, enabling binary-search adjacency tests and
+/// merge-style neighborhood intersections.
+///
+/// Exact counters (`crate::exact`) prefer this layout: one contiguous
+/// allocation, sorted ranges, no hashing on the hot path.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    m: usize,
+}
+
+impl CsrGraph {
+    /// Build from any [`StaticGraph`].
+    pub fn from_graph(g: &impl StaticGraph) -> Self {
+        Self::from_edges(g.num_vertices(), g.edges())
+    }
+
+    /// Build from an edge list (each undirected edge listed once).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let edges: Vec<Edge> = edges.into_iter().collect();
+        let mut deg = vec![0u32; n];
+        for e in &edges {
+            deg[e.u().index()] += 1;
+            deg[e.v().index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![VertexId(0); acc as usize];
+        for e in &edges {
+            let (u, v) = e.endpoints();
+            targets[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            m: edges.len(),
+        }
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn sorted_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Size of the intersection of the sorted neighbor lists of `u` and `v`.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> usize {
+        let (mut a, mut b) = (self.sorted_neighbors(u), self.sorted_neighbors(v));
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // Merge scan; switch to binary probing when sizes are lopsided.
+        if a.len() * 16 < b.len() {
+            a.iter().filter(|x| b.binary_search(x).is_ok()).count()
+        } else {
+            let mut i = 0;
+            let mut j = 0;
+            let mut c = 0;
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        c += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            c
+        }
+    }
+}
+
+impl StaticGraph for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.sorted_neighbors(v)
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.sorted_neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdjListGraph;
+
+    fn sample() -> CsrGraph {
+        let g = AdjListGraph::from_pairs(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        CsrGraph::from_graph(&g)
+    }
+
+    #[test]
+    fn csr_matches_source() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert!(g.has_edge(VertexId(3), VertexId(4)));
+        assert!(!g.has_edge(VertexId(0), VertexId(4)));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = sample();
+        let ns = g.sorted_neighbors(VertexId(2));
+        assert_eq!(ns, &[VertexId(0), VertexId(1), VertexId(3)]);
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let g = sample();
+        // 0 and 1 share neighbor 2
+        assert_eq!(g.common_neighbors(VertexId(0), VertexId(1)), 1);
+        // 0's neighbors {1,2}, 4's neighbors {3}: disjoint
+        assert_eq!(g.common_neighbors(VertexId(0), VertexId(4)), 0);
+    }
+
+    #[test]
+    fn common_neighbors_disjoint() {
+        let g = sample();
+        assert_eq!(g.common_neighbors(VertexId(1), VertexId(4)), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(3, []);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(VertexId(1)), 0);
+        assert!(g.neighbors(VertexId(0)).is_empty());
+    }
+}

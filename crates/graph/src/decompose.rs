@@ -1,0 +1,636 @@
+//! Lemma 4 decompositions and the fractional edge-cover number `ρ(H)`.
+//!
+//! Definition 3 defines `ρ(H)` as the optimum of a linear program. Lemma 4
+//! (Ngo et al. / Assadi–Kapralov–Khanna; see also Schrijver Thm 30.10)
+//! states that every `H` admits a decomposition into **vertex-disjoint odd
+//! cycles and stars** whose pieces' `ρ` values sum to exactly `ρ(H)`, with
+//! `ρ(C_{2k+1}) = k + 1/2` and `ρ(S_k) = k`. Because target patterns have
+//! constant size, we compute an optimal decomposition by memoized exhaustive
+//! search over vertex subsets instead of solving the LP — this also yields
+//! the concrete pieces the FGP sampler must sample.
+//!
+//! The module additionally computes the *tuple multiplicity* `f_T(H)` used
+//! by Algorithm 9 (`SampleSubgraph`) line 15: the number of distinct ordered
+//! piece-tuples that are images of the chosen decomposition `T` under
+//! isomorphisms of `H` onto a fixed copy (times an orientation factor of 2
+//! for every single-edge star, whose canonical sequence is ambiguous).
+//! Dividing the acceptance probability by `f_T(H)` is what makes each copy
+//! of `H` returned with probability exactly `1/(2m)^ρ(H)` (Lemma 15).
+
+use crate::pattern::Pattern;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A half-integer rational, the value domain of `ρ` for cycle/star
+/// decompositions (`ρ(C_{2k+1}) = k + 1/2`, `ρ(S_k) = k`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Rho {
+    halves: u32,
+}
+
+impl Rho {
+    /// From a count of halves: `Rho::from_halves(3)` is `3/2`.
+    pub const fn from_halves(halves: u32) -> Self {
+        Rho { halves }
+    }
+
+    /// From an integer.
+    pub const fn from_int(v: u32) -> Self {
+        Rho { halves: 2 * v }
+    }
+
+    /// Numerator over 2.
+    pub const fn halves(self) -> u32 {
+        self.halves
+    }
+
+    /// As a float, e.g. for `(2m)^ρ`.
+    pub fn as_f64(self) -> f64 {
+        self.halves as f64 / 2.0
+    }
+
+    /// `x^ρ` for a float base.
+    pub fn pow(self, base: f64) -> f64 {
+        base.powf(self.as_f64())
+    }
+
+    /// Sum of two values.
+    pub fn add(self, other: Rho) -> Rho {
+        Rho {
+            halves: self.halves + other.halves,
+        }
+    }
+}
+
+impl fmt::Display for Rho {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.halves.is_multiple_of(2) {
+            write!(f, "{}", self.halves / 2)
+        } else {
+            write!(f, "{}/2", self.halves)
+        }
+    }
+}
+
+/// One piece of a Lemma 4 decomposition, with vertices referring to the
+/// pattern `H` it decomposes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Piece {
+    /// An odd cycle given as its cyclic vertex sequence (length odd, >= 3).
+    OddCycle(Vec<u8>),
+    /// A star with `petals.len()` petals.
+    Star { center: u8, petals: Vec<u8> },
+}
+
+impl Piece {
+    /// `ρ` of this piece: `k + 1/2` for a `(2k+1)`-cycle, `k` for `S_k`.
+    pub fn rho(&self) -> Rho {
+        match self {
+            // cycle of length 2k+1 has rho = (2k+1)/2 halves-wise: k+1/2
+            Piece::OddCycle(vs) => Rho::from_halves(vs.len() as u32),
+            Piece::Star { petals, .. } => Rho::from_int(petals.len() as u32),
+        }
+    }
+
+    /// Number of pattern vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            Piece::OddCycle(vs) => vs.len(),
+            Piece::Star { petals, .. } => petals.len() + 1,
+        }
+    }
+
+    /// All pattern vertices of the piece.
+    pub fn vertices(&self) -> Vec<u8> {
+        match self {
+            Piece::OddCycle(vs) => vs.clone(),
+            Piece::Star { center, petals } => {
+                let mut v = vec![*center];
+                v.extend_from_slice(petals);
+                v
+            }
+        }
+    }
+
+    /// Whether the piece is a single-edge star `S_1` (whose canonical
+    /// sequence has two orientations).
+    pub fn is_single_edge_star(&self) -> bool {
+        matches!(self, Piece::Star { petals, .. } if petals.len() == 1)
+    }
+}
+
+/// A normalized, subgraph-level key for a piece image, used to deduplicate
+/// tuples when computing `f_T(H)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum PieceKey {
+    /// Sorted edge set of a cycle.
+    Cycle(Vec<(u8, u8)>),
+    /// `(center, sorted petals)` for stars with >= 2 petals.
+    Star(u8, Vec<u8>),
+    /// Sorted endpoints for `S_1` (center ambiguous).
+    SingleEdge(u8, u8),
+}
+
+impl PieceKey {
+    fn of(piece: &Piece, map: &[u8]) -> PieceKey {
+        match piece {
+            Piece::OddCycle(vs) => {
+                let mut edges: Vec<(u8, u8)> = (0..vs.len())
+                    .map(|i| {
+                        let a = map[vs[i] as usize];
+                        let b = map[vs[(i + 1) % vs.len()] as usize];
+                        if a < b {
+                            (a, b)
+                        } else {
+                            (b, a)
+                        }
+                    })
+                    .collect();
+                edges.sort_unstable();
+                PieceKey::Cycle(edges)
+            }
+            Piece::Star { center, petals } if petals.len() == 1 => {
+                let a = map[*center as usize];
+                let b = map[petals[0] as usize];
+                if a < b {
+                    PieceKey::SingleEdge(a, b)
+                } else {
+                    PieceKey::SingleEdge(b, a)
+                }
+            }
+            Piece::Star { center, petals } => {
+                let c = map[*center as usize];
+                let mut ps: Vec<u8> = petals.iter().map(|&p| map[p as usize]).collect();
+                ps.sort_unstable();
+                PieceKey::Star(c, ps)
+            }
+        }
+    }
+}
+
+/// An optimal Lemma 4 decomposition of a pattern.
+#[derive(Clone, Debug)]
+pub struct CycleStarDecomposition {
+    /// The pieces; their vertex sets partition `V(H)`.
+    pub pieces: Vec<Piece>,
+    /// `ρ(H) = Σ ρ(piece)`.
+    pub rho: Rho,
+    /// The tuple multiplicity `f_T(H)` (see module docs).
+    pub tuple_multiplicity: u64,
+}
+
+impl CycleStarDecomposition {
+    /// Cycle pieces, in tuple order.
+    pub fn cycles(&self) -> impl Iterator<Item = &Piece> {
+        self.pieces
+            .iter()
+            .filter(|p| matches!(p, Piece::OddCycle(_)))
+    }
+
+    /// Star pieces, in tuple order.
+    pub fn stars(&self) -> impl Iterator<Item = &Piece> {
+        self.pieces
+            .iter()
+            .filter(|p| matches!(p, Piece::Star { .. }))
+    }
+}
+
+/// Compute an optimal decomposition of `p` into vertex-disjoint odd cycles
+/// and stars (Lemma 4), returning `None` when impossible — exactly when `p`
+/// has an isolated vertex (then no edge cover exists and `ρ(H) = ∞`).
+pub fn decompose(p: &Pattern) -> Option<CycleStarDecomposition> {
+    let n = p.num_vertices();
+    assert!((1..=32).contains(&n));
+    if (0..n).any(|v| p.degree(v) == 0) {
+        return None;
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut memo: HashMap<u32, Option<(u32, Vec<Piece>)>> = HashMap::new();
+    let best = search(p, 0, full, &mut memo)?;
+    let rho = Rho::from_halves(best.0);
+    let pieces = best.1;
+    let tuple_multiplicity = tuple_multiplicity(p, &pieces);
+    Some(CycleStarDecomposition {
+        pieces,
+        rho,
+        tuple_multiplicity,
+    })
+}
+
+/// Just `ρ(H)`, or `None` for patterns with isolated vertices.
+pub fn rho(p: &Pattern) -> Option<Rho> {
+    decompose(p).map(|d| d.rho)
+}
+
+/// Memoized search: minimum total `ρ` (in halves) to cover exactly the
+/// vertices *not* in `covered`, with the chosen pieces.
+fn search(
+    p: &Pattern,
+    covered: u32,
+    full: u32,
+    memo: &mut HashMap<u32, Option<(u32, Vec<Piece>)>>,
+) -> Option<(u32, Vec<Piece>)> {
+    if covered == full {
+        return Some((0, Vec::new()));
+    }
+    if let Some(hit) = memo.get(&covered) {
+        return hit.clone();
+    }
+    let v = (!covered & full).trailing_zeros() as usize;
+    let avail = !covered & full;
+    let mut best: Option<(u32, Vec<Piece>)> = None;
+
+    let mut consider = |cost: u32, piece: Piece, rest: Option<(u32, Vec<Piece>)>| {
+        if let Some((rc, mut rp)) = rest {
+            let total = cost + rc;
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                rp.insert(0, piece);
+                best = Some((total, rp));
+            }
+        }
+    };
+
+    // Option A: v is the center of a star; petals = any nonempty subset of
+    // available neighbors.
+    let nbrs_v = p.adj_mask(v) & avail;
+    for_each_subset(nbrs_v, |petal_mask| {
+        if petal_mask == 0 {
+            return;
+        }
+        let petals = mask_to_vec(petal_mask);
+        let piece = Piece::Star {
+            center: v as u8,
+            petals,
+        };
+        let cost = 2 * petal_mask.count_ones(); // rho(S_k) = k -> 2k halves
+        let rest = search(p, covered | petal_mask | (1 << v), full, memo);
+        consider(cost, piece, rest);
+    });
+
+    // Option B: v is a petal of a star centered at an available neighbor u.
+    let mut centers = p.adj_mask(v) & avail;
+    while centers != 0 {
+        let u = centers.trailing_zeros() as usize;
+        centers &= centers - 1;
+        let candidate_petals = p.adj_mask(u) & avail & !(1 << u);
+        // Subsets of candidate petals that contain v.
+        let others = candidate_petals & !(1 << v);
+        for_each_subset(others, |sub| {
+            let petal_mask = sub | (1 << v);
+            let petals = mask_to_vec(petal_mask);
+            let piece = Piece::Star {
+                center: u as u8,
+                petals,
+            };
+            let cost = 2 * petal_mask.count_ones();
+            let rest = search(p, covered | petal_mask | (1 << u), full, memo);
+            consider(cost, piece, rest);
+        });
+    }
+
+    // Option C: v lies on an odd cycle among available vertices.
+    for cyc in odd_cycles_through(p, v, avail) {
+        let mut mask = 0u32;
+        for &w in &cyc {
+            mask |= 1 << w;
+        }
+        let cost = cyc.len() as u32; // rho(C_{2k+1}) = (2k+1)/2 halves-wise
+        let piece = Piece::OddCycle(cyc);
+        let rest = search(p, covered | mask, full, memo);
+        consider(cost, piece, rest);
+    }
+
+    memo.insert(covered, best.clone());
+    best
+}
+
+/// Enumerate all simple odd cycles (length >= 3) through `v` using only
+/// vertices in `avail`, each cycle reported once (direction fixed by
+/// requiring the second vertex id to be smaller than the last).
+fn odd_cycles_through(p: &Pattern, v: usize, avail: u32) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut path = vec![v as u8];
+    let mut seen = 1u32 << v;
+    dfs_cycles(p, v, v, avail, &mut path, &mut seen, &mut out);
+    out
+}
+
+fn dfs_cycles(
+    p: &Pattern,
+    start: usize,
+    cur: usize,
+    avail: u32,
+    path: &mut Vec<u8>,
+    seen: &mut u32,
+    out: &mut Vec<Vec<u8>>,
+) {
+    let mut next = p.adj_mask(cur) & avail & !*seen;
+    // Close the cycle?
+    if path.len() >= 3 && path.len() % 2 == 1 && p.has_edge(cur, start) {
+        // direction dedup: path[1] < path[len-1]
+        if path[1] < path[path.len() - 1] {
+            out.push(path.clone());
+        }
+    }
+    if path.len() >= p.num_vertices() {
+        return;
+    }
+    while next != 0 {
+        let w = next.trailing_zeros() as usize;
+        next &= next - 1;
+        path.push(w as u8);
+        *seen |= 1 << w;
+        dfs_cycles(p, start, w, avail, path, seen, out);
+        *seen &= !(1 << w);
+        path.pop();
+    }
+}
+
+fn mask_to_vec(mut m: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(m.count_ones() as usize);
+    while m != 0 {
+        out.push(m.trailing_zeros() as u8);
+        m &= m - 1;
+    }
+    out
+}
+
+/// Call `f` on every subset of `mask` (including 0 and `mask`).
+fn for_each_subset(mask: u32, mut f: impl FnMut(u32)) {
+    let mut sub = mask;
+    loop {
+        f(sub);
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & mask;
+    }
+}
+
+/// Compute the tuple multiplicity `f_T(H)`: the number of distinct ordered
+/// subgraph-level piece tuples obtainable as images of `pieces` under
+/// automorphisms of `p`, times `2^(#single-edge stars)` to account for the
+/// two canonical orientations of an `S_1`.
+pub fn tuple_multiplicity(p: &Pattern, pieces: &[Piece]) -> u64 {
+    let autos = automorphisms(p);
+    let mut distinct: HashSet<Vec<PieceKey>> = HashSet::new();
+    for phi in &autos {
+        let tuple: Vec<PieceKey> = pieces.iter().map(|pc| PieceKey::of(pc, phi)).collect();
+        distinct.insert(tuple);
+    }
+    let single_edges = pieces.iter().filter(|pc| pc.is_single_edge_star()).count();
+    distinct.len() as u64 * (1u64 << single_edges)
+}
+
+/// All automorphisms of `p` as permutation vectors (`phi[v] = image of v`).
+pub fn automorphisms(p: &Pattern) -> Vec<Vec<u8>> {
+    let n = p.num_vertices();
+    assert!(n <= 12, "automorphism enumeration limited to n <= 12");
+    let degs: Vec<usize> = (0..n).map(|v| p.degree(v)).collect();
+    let mut out = Vec::new();
+    let mut perm = vec![u8::MAX; n];
+    let mut used = 0u32;
+    enumerate_autos(p, 0, &mut perm, &mut used, &degs, &mut out);
+    out
+}
+
+fn enumerate_autos(
+    p: &Pattern,
+    v: usize,
+    perm: &mut Vec<u8>,
+    used: &mut u32,
+    degs: &[usize],
+    out: &mut Vec<Vec<u8>>,
+) {
+    let n = p.num_vertices();
+    if v == n {
+        out.push(perm.clone());
+        return;
+    }
+    for img in 0..n {
+        if *used & (1 << img) != 0 || degs[img] != degs[v] {
+            continue;
+        }
+        let ok = (0..v).all(|w| p.has_edge(v, w) == p.has_edge(img, perm[w] as usize));
+        if !ok {
+            continue;
+        }
+        perm[v] = img as u8;
+        *used |= 1 << img;
+        enumerate_autos(p, v + 1, perm, used, degs, out);
+        *used &= !(1 << img);
+        perm[v] = u8::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rho_of(p: &Pattern) -> Rho {
+        rho(p).expect("pattern should decompose")
+    }
+
+    #[test]
+    fn rho_closed_forms_cliques() {
+        // rho(K_r) = r/2
+        for r in 2..=8 {
+            assert_eq!(
+                rho_of(&Pattern::clique(r)),
+                Rho::from_halves(r as u32),
+                "K{r}"
+            );
+        }
+    }
+
+    #[test]
+    fn rho_closed_forms_cycles() {
+        // rho(C_{2k+1}) = k + 1/2, rho(C_{2k}) = k
+        for k in 3..=9 {
+            let expect = if k % 2 == 1 {
+                Rho::from_halves(k as u32)
+            } else {
+                Rho::from_int(k as u32 / 2)
+            };
+            assert_eq!(rho_of(&Pattern::cycle(k)), expect, "C{k}");
+        }
+    }
+
+    #[test]
+    fn rho_closed_forms_stars() {
+        // rho(S_k) = k
+        for k in 1..=8 {
+            assert_eq!(rho_of(&Pattern::star(k)), Rho::from_int(k as u32), "S{k}");
+        }
+    }
+
+    #[test]
+    fn rho_paths() {
+        // rho(P_k) (k edges, k+1 vertices) = ceil((k+1)/2)
+        for k in 1..=7 {
+            let expect = Rho::from_int(((k + 1) as u32).div_ceil(2));
+            assert_eq!(rho_of(&Pattern::path(k)), expect, "P{k}");
+        }
+    }
+
+    #[test]
+    fn triangle_decomposes_to_single_cycle() {
+        let d = decompose(&Pattern::triangle()).unwrap();
+        assert_eq!(d.pieces.len(), 1);
+        assert!(matches!(&d.pieces[0], Piece::OddCycle(c) if c.len() == 3));
+        assert_eq!(d.rho, Rho::from_halves(3));
+    }
+
+    #[test]
+    fn k4_decomposes_to_two_edges() {
+        let d = decompose(&Pattern::clique(4)).unwrap();
+        assert_eq!(d.rho, Rho::from_int(2));
+        assert_eq!(d.pieces.len(), 2);
+        assert!(d.pieces.iter().all(|p| p.is_single_edge_star()));
+    }
+
+    #[test]
+    fn k5_decomposition_uses_cycle_and_edge() {
+        let d = decompose(&Pattern::clique(5)).unwrap();
+        assert_eq!(d.rho, Rho::from_halves(5));
+        let cycles = d.cycles().count();
+        let stars = d.stars().count();
+        assert_eq!((cycles, stars), (1, 1));
+    }
+
+    #[test]
+    fn pieces_partition_vertices() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::clique(6),
+            Pattern::cycle(5),
+            Pattern::cycle(6),
+            Pattern::star(4),
+            Pattern::path(4),
+        ] {
+            let d = decompose(&p).unwrap();
+            let mut seen = vec![false; p.num_vertices()];
+            for piece in &d.pieces {
+                for v in piece.vertices() {
+                    assert!(!seen[v as usize], "{p:?}: vertex {v} covered twice");
+                    seen[v as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{p:?}: not all vertices covered");
+        }
+    }
+
+    #[test]
+    fn pieces_are_subgraphs_of_pattern() {
+        for p in [Pattern::clique(5), Pattern::cycle(7), Pattern::path(5)] {
+            let d = decompose(&p).unwrap();
+            for piece in &d.pieces {
+                match piece {
+                    Piece::OddCycle(vs) => {
+                        assert!(vs.len() % 2 == 1 && vs.len() >= 3);
+                        for i in 0..vs.len() {
+                            let a = vs[i] as usize;
+                            let b = vs[(i + 1) % vs.len()] as usize;
+                            assert!(p.has_edge(a, b), "{p:?}: cycle edge ({a},{b}) missing");
+                        }
+                    }
+                    Piece::Star { center, petals } => {
+                        for &q in petals {
+                            assert!(p.has_edge(*center as usize, q as usize));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_cover() {
+        let p = Pattern::from_edges(3, [(0, 1)]);
+        assert!(decompose(&p).is_none());
+        assert!(rho(&p).is_none());
+    }
+
+    #[test]
+    fn rho_lower_bound_half_vertices() {
+        // Every vertex needs >= 1/2 from a fractional cover, so rho >= n/2.
+        for p in [
+            Pattern::clique(4),
+            Pattern::cycle(5),
+            Pattern::star(3),
+            Pattern::path(3),
+        ] {
+            let r = rho_of(&p);
+            assert!(r.halves() >= p.num_vertices() as u32);
+        }
+    }
+
+    #[test]
+    fn rho_upper_bound_edges() {
+        // rho <= |E| (put weight 1 everywhere).
+        for p in [Pattern::clique(5), Pattern::cycle(6), Pattern::star(4)] {
+            let r = rho_of(&p);
+            assert!(r.as_f64() <= p.num_edges() as f64);
+        }
+    }
+
+    #[test]
+    fn automorphism_enumeration_matches_count() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::cycle(5),
+            Pattern::star(3),
+            Pattern::path(3),
+        ] {
+            assert_eq!(automorphisms(&p).len() as u64, p.automorphism_count());
+        }
+    }
+
+    #[test]
+    fn tuple_multiplicity_triangle() {
+        // One 3-cycle piece; all 6 automorphisms yield the same edge set.
+        let d = decompose(&Pattern::triangle()).unwrap();
+        assert_eq!(d.tuple_multiplicity, 1);
+    }
+
+    #[test]
+    fn tuple_multiplicity_k4() {
+        // Two S_1 pieces: 3 matchings x 2 tuple orders = 6 subgraph tuples,
+        // wait: automorphism orbit of one ordered matching: images of the
+        // fixed ordered pair of disjoint edges under the 24 automorphisms:
+        // 3 matchings x 2 orders = 6 ordered tuples; x 2^2 orientations = 24.
+        let d = decompose(&Pattern::clique(4)).unwrap();
+        assert_eq!(d.tuple_multiplicity, 24);
+    }
+
+    #[test]
+    fn tuple_multiplicity_star() {
+        // S_k decomposes as itself: single star piece, orbit size 1, no S_1.
+        let d = decompose(&Pattern::star(3)).unwrap();
+        assert_eq!(d.tuple_multiplicity, 1);
+    }
+
+    #[test]
+    fn tuple_multiplicity_c5() {
+        // Single 5-cycle piece: all automorphisms map the cycle to itself.
+        let d = decompose(&Pattern::cycle(5)).unwrap();
+        assert_eq!(d.tuple_multiplicity, 1);
+    }
+
+    #[test]
+    fn tuple_multiplicity_single_edge() {
+        // H = K2 = S_1: one S_1 piece, orbit 1, times 2 orientations.
+        let d = decompose(&Pattern::single_edge()).unwrap();
+        assert_eq!(d.tuple_multiplicity, 2);
+    }
+
+    #[test]
+    fn even_cycle_decomposes_to_matching() {
+        let d = decompose(&Pattern::cycle(6)).unwrap();
+        assert_eq!(d.rho, Rho::from_int(3));
+        assert_eq!(d.pieces.len(), 3);
+        assert!(d.pieces.iter().all(|p| p.is_single_edge_star()));
+    }
+}

@@ -1,0 +1,202 @@
+//! Degeneracy and core decomposition (Definition 5).
+//!
+//! The degeneracy `λ` of a graph is the smallest `κ` such that every
+//! subgraph has a vertex of degree at most `κ`. It is computed exactly by
+//! the classic bucket-queue peeling algorithm in `O(n + m)`: repeatedly
+//! remove a minimum-degree vertex; `λ` is the maximum degree seen at
+//! removal time. The removal sequence is a *degeneracy ordering*: every
+//! vertex has at most `λ` neighbors later in the order, which is what the
+//! exact clique counters and the ERS analysis exploit.
+
+use crate::ids::VertexId;
+use crate::StaticGraph;
+
+/// Result of the core decomposition.
+#[derive(Clone, Debug)]
+pub struct CoreDecomposition {
+    /// The degeneracy `λ` of the graph.
+    pub degeneracy: usize,
+    /// Peeling order: `order[i]` is the i-th removed vertex. Every vertex
+    /// has at most `degeneracy` neighbors at positions after its own.
+    pub order: Vec<VertexId>,
+    /// `position[v] = i` iff `order[i] == v`.
+    pub position: Vec<u32>,
+    /// Core number of each vertex (max k such that v is in the k-core).
+    pub core: Vec<u32>,
+}
+
+impl CoreDecomposition {
+    /// Compute the decomposition of `g`.
+    pub fn compute(g: &impl StaticGraph) -> Self {
+        let n = g.num_vertices();
+        let mut deg: Vec<u32> = (0..n).map(|v| g.degree(VertexId(v as u32)) as u32).collect();
+        let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+
+        // Bucket sort vertices by degree.
+        let mut bin = vec![0u32; max_deg + 2];
+        for &d in &deg {
+            bin[d as usize + 1] += 1;
+        }
+        for i in 1..bin.len() {
+            bin[i] += bin[i - 1];
+        }
+        let mut pos = vec![0u32; n]; // position of v in vert
+        let mut vert = vec![VertexId(0); n]; // vertices sorted by degree
+        {
+            let mut cursor = bin.clone();
+            for v in 0..n {
+                let d = deg[v] as usize;
+                pos[v] = cursor[d];
+                vert[cursor[d] as usize] = VertexId(v as u32);
+                cursor[d] += 1;
+            }
+        }
+
+        let mut core = vec![0u32; n];
+        let mut degeneracy = 0usize;
+        let mut removed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let v = vert[i];
+            degeneracy = degeneracy.max(deg[v.index()] as usize);
+            core[v.index()] = deg[v.index()];
+            removed[v.index()] = true;
+            order.push(v);
+
+            for &u in g.neighbors(v) {
+                if removed[u.index()] || deg[u.index()] <= deg[v.index()] {
+                    continue;
+                }
+                // Move u one bucket down: swap with the first vertex of its
+                // current bucket, then decrement its degree.
+                let du = deg[u.index()] as usize;
+                let pu = pos[u.index()] as usize;
+                let pw = bin[du] as usize;
+                let w = vert[pw];
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u.index()] = pw as u32;
+                    pos[w.index()] = pu as u32;
+                }
+                bin[du] += 1;
+                deg[u.index()] -= 1;
+            }
+        }
+
+        // Core numbers must be monotone-corrected: standard peeling yields
+        // them directly because degrees only decrease.
+        let mut position = vec![0u32; n];
+        for (i, v) in order.iter().enumerate() {
+            position[v.index()] = i as u32;
+        }
+
+        CoreDecomposition {
+            degeneracy,
+            order,
+            position,
+            core,
+        }
+    }
+
+    /// Out-neighbors of `v` in the degeneracy-ordered DAG: neighbors that
+    /// appear *after* `v` in the peeling order. There are at most `λ` of
+    /// them for every vertex.
+    pub fn later_neighbors(&self, g: &impl StaticGraph, v: VertexId) -> Vec<VertexId> {
+        let pv = self.position[v.index()];
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|u| self.position[u.index()] > pv)
+            .collect()
+    }
+}
+
+/// Just the degeneracy number.
+pub fn degeneracy(g: &impl StaticGraph) -> usize {
+    CoreDecomposition::compute(g).degeneracy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::AdjListGraph;
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        // path 0-1-2-3-4
+        let g = AdjListGraph::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(degeneracy(&g), 1);
+    }
+
+    #[test]
+    fn cycle_has_degeneracy_two() {
+        let g = gen::cycle_graph(7);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        let g = gen::complete_graph(6);
+        assert_eq!(degeneracy(&g), 5);
+    }
+
+    #[test]
+    fn star_has_degeneracy_one() {
+        let g = gen::star_graph(9);
+        assert_eq!(degeneracy(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjListGraph::new(4);
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn ordering_respects_degeneracy_bound() {
+        let g = gen::gnm(60, 240, 0xfeed);
+        let cd = CoreDecomposition::compute(&g);
+        for v in g.vertices() {
+            let later = cd.later_neighbors(&g, v).len();
+            assert!(
+                later <= cd.degeneracy,
+                "vertex {v:?} has {later} later neighbors > λ={}",
+                cd.degeneracy
+            );
+        }
+    }
+
+    #[test]
+    fn degeneracy_at_most_max_degree() {
+        for seed in 0..5u64 {
+            let g = gen::gnm(40, 120, seed);
+            use crate::StaticGraph;
+            assert!(degeneracy(&g) <= g.max_degree());
+        }
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degeneracy() {
+        let g = gen::gnm(50, 200, 42);
+        let cd = CoreDecomposition::compute(&g);
+        assert_eq!(
+            cd.core.iter().copied().max().unwrap() as usize,
+            cd.degeneracy
+        );
+    }
+
+    #[test]
+    fn clique_plus_tail() {
+        // K4 on {0,1,2,3} plus tail 3-4-5
+        let g = AdjListGraph::from_pairs(
+            6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        let cd = CoreDecomposition::compute(&g);
+        assert_eq!(cd.degeneracy, 3);
+        assert_eq!(cd.core[5], 1);
+        assert_eq!(cd.core[0], 3);
+    }
+}

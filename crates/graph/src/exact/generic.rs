@@ -1,0 +1,183 @@
+//! Generic exact pattern counting by embedding backtracking.
+
+use crate::ids::VertexId;
+use crate::pattern::Pattern;
+use crate::{CsrGraph, StaticGraph};
+
+/// Count copies of an arbitrary pattern `H` in `g`.
+///
+/// Counts injective homomorphisms (embeddings) `V(H) → V(G)` that map every
+/// pattern edge onto a graph edge, then divides by `|Aut(H)|` so each copy
+/// (subgraph of `G` isomorphic to `H`) is counted once. This is the
+/// definition of `#H` used throughout the paper.
+///
+/// The search order visits pattern vertices so that each new vertex is
+/// adjacent to an already-embedded one when `H` is connected, which prunes
+/// heavily: candidates come from the neighborhood of an embedded image.
+pub fn count_pattern(g: &impl StaticGraph, p: &Pattern) -> u64 {
+    let csr = CsrGraph::from_graph(g);
+    let embeddings = count_embeddings(&csr, p);
+    let autos = p.automorphism_count();
+    debug_assert_eq!(embeddings % autos, 0, "embeddings must divide evenly");
+    embeddings / autos
+}
+
+/// Count injective edge-preserving maps `V(H) -> V(G)`.
+pub fn count_embeddings(g: &CsrGraph, p: &Pattern) -> u64 {
+    let k = p.num_vertices();
+    if k == 0 {
+        return 1;
+    }
+    let order = search_order(p);
+    let mut assigned: Vec<VertexId> = vec![VertexId(u32::MAX); k];
+    let mut used = std::collections::HashSet::new();
+    backtrack(g, p, &order, 0, &mut assigned, &mut used)
+}
+
+/// Pattern-vertex visit order: start at a max-degree vertex; each later
+/// vertex is adjacent to an earlier one if possible (BFS-flavored greedy).
+fn search_order(p: &Pattern) -> Vec<usize> {
+    let k = p.num_vertices();
+    let mut order = Vec::with_capacity(k);
+    let mut placed = vec![false; k];
+    let first = (0..k).max_by_key(|&v| p.degree(v)).unwrap_or(0);
+    order.push(first);
+    placed[first] = true;
+    while order.len() < k {
+        // Prefer the unplaced vertex with the most placed neighbors, then
+        // highest degree (classic candidate-pruning heuristic).
+        let next = (0..k)
+            .filter(|&v| !placed[v])
+            .max_by_key(|&v| {
+                let anchored = p.neighbors(v).iter().filter(|&&u| placed[u]).count();
+                (anchored, p.degree(v))
+            })
+            .unwrap();
+        order.push(next);
+        placed[next] = true;
+    }
+    order
+}
+
+fn backtrack(
+    g: &CsrGraph,
+    p: &Pattern,
+    order: &[usize],
+    depth: usize,
+    assigned: &mut Vec<VertexId>,
+    used: &mut std::collections::HashSet<VertexId>,
+) -> u64 {
+    if depth == order.len() {
+        return 1;
+    }
+    let hv = order[depth];
+    // Pattern neighbors of hv that are already embedded.
+    let anchors: Vec<usize> = p
+        .neighbors(hv)
+        .into_iter()
+        .filter(|&u| assigned[u].0 != u32::MAX)
+        .collect();
+
+    let mut total = 0u64;
+    let try_candidate = |cand: VertexId,
+                         assigned: &mut Vec<VertexId>,
+                         used: &mut std::collections::HashSet<VertexId>|
+     -> u64 {
+        if used.contains(&cand) {
+            return 0;
+        }
+        if g.degree(cand) < p.degree(hv) {
+            return 0;
+        }
+        for &a in &anchors {
+            if !g.has_edge(cand, assigned[a]) {
+                return 0;
+            }
+        }
+        assigned[hv] = cand;
+        used.insert(cand);
+        let c = backtrack(g, p, order, depth + 1, assigned, used);
+        used.remove(&cand);
+        assigned[hv] = VertexId(u32::MAX);
+        c
+    };
+
+    if let Some(&a0) = anchors.first() {
+        // Candidates restricted to the neighborhood of one anchor image.
+        let base = assigned[a0];
+        for &cand in g.sorted_neighbors(base) {
+            total += try_candidate(cand, assigned, used);
+        }
+    } else {
+        // No anchor (first vertex, or disconnected pattern component).
+        for v in 0..g.num_vertices() as u32 {
+            total += try_candidate(VertexId(v), assigned, used);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, AdjListGraph};
+
+    #[test]
+    fn triangle_in_triangle() {
+        let g = AdjListGraph::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_pattern(&g, &Pattern::triangle()), 1);
+    }
+
+    #[test]
+    fn edge_count_is_m() {
+        let g = gen::gnm(20, 41, 9);
+        assert_eq!(count_pattern(&g, &Pattern::single_edge()), 41);
+    }
+
+    #[test]
+    fn paths_in_path_graph() {
+        // P_k copies in a path with 6 edges: 6-k+1 for k <= 6.
+        let g = gen::path_graph(7);
+        for k in 1..=6 {
+            assert_eq!(count_pattern(&g, &Pattern::path(k)), (7 - k) as u64);
+        }
+    }
+
+    #[test]
+    fn k4_in_k6() {
+        let g = gen::complete_graph(6);
+        assert_eq!(count_pattern(&g, &Pattern::clique(4)), 15); // C(6,4)
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        // Two disjoint edges in a path 0-1-2-3: pairs of non-adjacent
+        // edges: (01,23) only -> 1 copy.
+        let p = Pattern::from_edges(4, [(0, 1), (2, 3)]);
+        let g = gen::path_graph(4);
+        assert_eq!(count_pattern(&g, &p), 1);
+    }
+
+    #[test]
+    fn paw_pattern() {
+        // Triangle with a pendant in a graph that has exactly one.
+        let paw = Pattern::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let g = AdjListGraph::from_pairs(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(count_pattern(&g, &paw), 1);
+    }
+
+    #[test]
+    fn embeddings_divisible_by_automorphisms() {
+        let g = gen::gnm(18, 60, 2);
+        let csr = CsrGraph::from_graph(&g);
+        for p in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::star(3),
+            Pattern::clique(4),
+        ] {
+            let e = count_embeddings(&csr, &p);
+            assert_eq!(e % p.automorphism_count(), 0, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Exact star counting.
+
+use crate::exact::cliques::binomial;
+use crate::ids::VertexId;
+use crate::StaticGraph;
+
+/// Count copies of the star `S_k` (center plus `k` petals) exactly:
+/// `#S_k = Σ_v C(deg(v), k)`.
+///
+/// Each copy is determined by its center and the unordered petal set
+/// (for `k >= 2` the center is structurally unique). For `k = 1`, `S_1`
+/// is a single edge and `Σ_v C(deg v, 1) = 2m` counts every edge twice,
+/// so the sum is halved.
+pub fn count_stars(g: &impl StaticGraph, k: usize) -> u64 {
+    assert!(k >= 1);
+    let total: u64 = (0..g.num_vertices())
+        .map(|v| binomial(g.degree(VertexId(v as u32)) as u64, k as u64))
+        .sum();
+    if k == 1 {
+        total / 2
+    } else {
+        total
+    }
+}
+
+/// Count wedges (paths of length 2, `S_2`) — a common special case.
+pub fn count_wedges(g: &impl StaticGraph) -> u64 {
+    count_stars(g, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::generic::count_pattern;
+    use crate::pattern::Pattern;
+    use crate::{gen, AdjListGraph};
+
+    #[test]
+    fn star_graph_counts_itself() {
+        let g = gen::star_graph(5); // center 0, petals 1..=5
+        assert_eq!(count_stars(&g, 5), 1);
+        assert_eq!(count_stars(&g, 4), 5); // choose 4 petals of 5
+        assert_eq!(count_stars(&g, 1), 5); // edges
+    }
+
+    #[test]
+    fn wedges_of_triangle() {
+        let g = AdjListGraph::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_wedges(&g), 3);
+    }
+
+    #[test]
+    fn agrees_with_generic() {
+        for seed in 0..3u64 {
+            let g = gen::gnm(25, 80, seed);
+            for k in 1..=4 {
+                assert_eq!(
+                    count_stars(&g, k),
+                    count_pattern(&g, &Pattern::star(k)),
+                    "seed {seed} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_count_is_m() {
+        let g = gen::gnm(20, 50, 3);
+        assert_eq!(count_stars(&g, 1), 50);
+    }
+}

@@ -1,0 +1,97 @@
+//! Exact triangle counting via degeneracy ordering.
+
+use crate::degeneracy::CoreDecomposition;
+use crate::ids::VertexId;
+use crate::{CsrGraph, StaticGraph};
+
+/// Count the triangles of `g` exactly in `O(m·λ)` time.
+///
+/// Standard technique: orient every edge from earlier to later in a
+/// degeneracy ordering; every triangle then has a unique "root" vertex with
+/// two out-edges, and out-degrees are bounded by `λ`.
+pub fn count_triangles(g: &impl StaticGraph) -> u64 {
+    let csr = CsrGraph::from_graph(g);
+    count_triangles_csr(&csr)
+}
+
+/// Same as [`count_triangles`] for an existing CSR graph.
+pub fn count_triangles_csr(csr: &CsrGraph) -> u64 {
+    let cd = CoreDecomposition::compute(csr);
+    let n = csr.num_vertices();
+    let mut out_nbrs: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        let v = VertexId(v);
+        let mut o = cd.later_neighbors(csr, v);
+        o.sort_unstable();
+        out_nbrs[v.index()] = o;
+    }
+    let mut count = 0u64;
+    for v in 0..n {
+        let outs = &out_nbrs[v];
+        for (i, &a) in outs.iter().enumerate() {
+            for &b in &outs[i + 1..] {
+                // Triangle iff a and b adjacent; check the smaller out-list.
+                let (x, y) = if out_nbrs[a.index()].len() <= out_nbrs[b.index()].len() {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                if out_nbrs[x.index()].binary_search(&y).is_ok()
+                    || out_nbrs[y.index()].binary_search(&x).is_ok()
+                {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::generic::count_pattern;
+    use crate::pattern::Pattern;
+    use crate::{gen, AdjListGraph};
+
+    #[test]
+    fn triangle_graph() {
+        let g = AdjListGraph::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_triangles(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        // K_n has C(n,3) triangles.
+        for n in 3..=9usize {
+            let g = gen::complete_graph(n);
+            let expect = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(count_triangles(&g), expect, "K{n}");
+        }
+    }
+
+    #[test]
+    fn bipartite_has_no_triangles() {
+        let g = gen::complete_bipartite(5, 7);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn agrees_with_generic_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = gen::gnm(40, 160, seed);
+            assert_eq!(
+                count_triangles(&g),
+                count_pattern(&g, &Pattern::triangle()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tree() {
+        assert_eq!(count_triangles(&AdjListGraph::new(5)), 0);
+        let path = AdjListGraph::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(count_triangles(&path), 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Seeded workload generators.
+//!
+//! The experiment harness exercises the streaming algorithms on three graph
+//! families the paper's introduction motivates:
+//!
+//! * uniform random graphs `G(n, m)` / `G(n, p)` — the generic worst case,
+//! * Barabási–Albert preferential attachment — the paper cites this family
+//!   explicitly as having constant degeneracy (§1, Bera–Seshadhri
+//!   discussion), making it the natural workload for Theorem 2,
+//! * planted-motif graphs — a base graph plus a controlled number of copies
+//!   of a target pattern, giving workloads with a tunable `#H`.
+
+use crate::ids::{Edge, VertexId};
+use crate::pattern::Pattern;
+use crate::{AdjListGraph, StaticGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Uniform random graph with exactly `m` distinct edges.
+///
+/// Panics if `m` exceeds `C(n, 2)`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> AdjListGraph {
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "requested {m} edges but K{n} has only {max}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjListGraph::new(n);
+    if m > max / 2 {
+        // Dense: sample which edges to *exclude*.
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(max);
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                all.push((a, b));
+            }
+        }
+        all.shuffle(&mut rng);
+        for &(a, b) in all.iter().take(m) {
+            g.add_edge(Edge::from((a, b)));
+        }
+    } else {
+        let mut seen = HashSet::with_capacity(m * 2);
+        while g.num_edges() < m {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a == b {
+                continue;
+            }
+            let e = Edge::from((a, b));
+            if seen.insert(e.key()) {
+                g.add_edge(e);
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> AdjListGraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjListGraph::new(n);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                g.add_edge(Edge::from((a, b)));
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `k + 1` vertices; each new vertex attaches to `k` distinct existing
+/// vertices chosen proportionally to degree. Degeneracy is at most `k`.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> AdjListGraph {
+    assert!(k >= 1 && n > k + 1, "need n > k + 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjListGraph::new(n);
+    // Endpoint multiset: vertex appears once per incident edge endpoint,
+    // so uniform sampling from it is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for a in 0..=k as u32 {
+        for b in (a + 1)..=k as u32 {
+            g.add_edge(Edge::from((a, b)));
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    for v in (k + 1) as u32..n as u32 {
+        let mut targets: HashSet<u32> = HashSet::with_capacity(k);
+        while targets.len() < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        for t in targets {
+            g.add_edge(Edge::from((v, t)));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Plant `copies` vertex-random copies of `pattern` into `base`, returning
+/// the new graph. Planted copies may overlap pre-existing edges, so the
+/// exact counters must still be used for ground truth.
+pub fn plant_pattern(
+    base: &AdjListGraph,
+    pattern: &Pattern,
+    copies: usize,
+    seed: u64,
+) -> AdjListGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = base.num_vertices();
+    assert!(n >= pattern.num_vertices());
+    let mut g = base.clone();
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..copies {
+        pool.shuffle(&mut rng);
+        let chosen = &pool[..pattern.num_vertices()];
+        for &(a, b) in pattern.edges() {
+            g.add_edge(Edge::new(
+                VertexId(chosen[a as usize]),
+                VertexId(chosen[b as usize]),
+            ));
+        }
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: usize) -> AdjListGraph {
+    let mut g = AdjListGraph::new(n);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            g.add_edge(Edge::from((a, b)));
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}` (sides `0..a` and `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> AdjListGraph {
+    let mut g = AdjListGraph::new(a + b);
+    for x in 0..a as u32 {
+        for y in 0..b as u32 {
+            g.add_edge(Edge::from((x, a as u32 + y)));
+        }
+    }
+    g
+}
+
+/// Star with `k` petals: center `0`, petals `1..=k`.
+pub fn star_graph(k: usize) -> AdjListGraph {
+    let mut g = AdjListGraph::new(k + 1);
+    for i in 1..=k as u32 {
+        g.add_edge(Edge::from((0, i)));
+    }
+    g
+}
+
+/// Cycle on `n` vertices.
+pub fn cycle_graph(n: usize) -> AdjListGraph {
+    assert!(n >= 3);
+    let mut g = AdjListGraph::new(n);
+    for i in 0..n as u32 {
+        g.add_edge(Edge::from((i, (i + 1) % n as u32)));
+    }
+    g
+}
+
+/// The Petersen graph: outer 5-cycle, inner pentagram, five spokes.
+/// A classic validation target: girth 5, vertex-transitive, 3-regular,
+/// with a well-known small-subgraph census (no triangles or 4-cycles,
+/// twelve 5-cycles, ten 6-cycles).
+pub fn petersen() -> AdjListGraph {
+    let mut g = AdjListGraph::new(10);
+    for i in 0..5u32 {
+        g.add_edge(Edge::from((i, (i + 1) % 5))); // outer cycle
+        g.add_edge(Edge::from((5 + i, 5 + (i + 2) % 5))); // pentagram
+        g.add_edge(Edge::from((i, 5 + i))); // spokes
+    }
+    g
+}
+
+/// Path on `n` vertices (`n - 1` edges).
+pub fn path_graph(n: usize) -> AdjListGraph {
+    let mut g = AdjListGraph::new(n);
+    for i in 0..(n - 1) as u32 {
+        g.add_edge(Edge::from((i, i + 1)));
+    }
+    g
+}
+
+/// Chung–Lu power-law-ish graph: vertex weights `w_v ∝ (v+1)^(-1/(γ-1))`
+/// scaled to an expected `m` edges; edge `{u,v}` appears independently with
+/// probability `min(1, w_u w_v / Σw)`.
+pub fn chung_lu(n: usize, target_m: usize, gamma: f64, seed: u64) -> AdjListGraph {
+    assert!(gamma > 2.0, "need gamma > 2 for bounded expected degrees");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exp = -1.0 / (gamma - 1.0);
+    let raw: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
+    let sum: f64 = raw.iter().sum();
+    // E[m] ≈ (Σw)² / (2Σw) = Σw / 2, so scale weights to Σw = 2·target_m.
+    let scale = 2.0 * target_m as f64 / sum;
+    let w: Vec<f64> = raw.iter().map(|x| x * scale).collect();
+    let total: f64 = w.iter().sum();
+    let mut g = AdjListGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = (w[a] * w[b] / total).min(1.0);
+            if rng.gen_bool(p) {
+                g.add_edge(Edge::from((a as u32, b as u32)));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degeneracy::degeneracy;
+    use crate::StaticGraph;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        for &(n, m) in &[(10, 0), (10, 20), (10, 45), (50, 300)] {
+            let g = gnm(n, m, 1);
+            assert_eq!(g.num_edges(), m);
+            assert_eq!(g.num_vertices(), n);
+        }
+    }
+
+    #[test]
+    fn gnm_deterministic_per_seed() {
+        let a = gnm(30, 100, 42).edge_vec();
+        let b = gnm(30, 100, 42).edge_vec();
+        let c = gnm(30, 100, 43).edge_vec();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn ba_graph_low_degeneracy() {
+        let g = barabasi_albert(300, 3, 7);
+        assert!(degeneracy(&g) <= 3, "BA(k=3) degeneracy is at most 3");
+        // m = C(4,2) + (n - 4) * 3
+        assert_eq!(g.num_edges(), 6 + (300 - 4) * 3);
+    }
+
+    #[test]
+    fn plant_pattern_raises_count() {
+        use crate::exact::triangles::count_triangles;
+        let base = gnm(60, 60, 5);
+        let before = count_triangles(&base);
+        let planted = plant_pattern(&base, &Pattern::triangle(), 20, 6);
+        let after = count_triangles(&planted);
+        assert!(after > before, "{after} !> {before}");
+    }
+
+    #[test]
+    fn fixed_families() {
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
+        assert_eq!(star_graph(6).num_edges(), 6);
+        assert_eq!(cycle_graph(8).num_edges(), 8);
+        assert_eq!(path_graph(9).num_edges(), 8);
+    }
+
+    #[test]
+    fn chung_lu_roughly_hits_target() {
+        let g = chung_lu(400, 1200, 2.5, 11);
+        let m = g.num_edges() as f64;
+        assert!(m > 600.0 && m < 2400.0, "m = {m}");
+    }
+
+    #[test]
+    fn dense_gnm_path() {
+        // Exercise the dense branch (m > max/2).
+        let g = gnm(12, 60, 3);
+        assert_eq!(g.num_edges(), 60);
+    }
+}

@@ -1,0 +1,162 @@
+//! Vertex and edge identifiers.
+
+use std::fmt;
+
+/// A vertex identifier. Vertices of an `n`-vertex graph are `0..n`,
+/// matching the paper's convention `V = [n]`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// An undirected edge, stored in normalized form with `u() <= v()`.
+///
+/// Self-loops are rejected by [`Edge::new`]: the paper's model is simple
+/// undirected graphs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    lo: VertexId,
+    hi: VertexId,
+}
+
+impl Edge {
+    /// Create a normalized undirected edge. Panics on self-loops.
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert_ne!(a, b, "self-loops are not allowed in simple graphs");
+        if a.0 <= b.0 {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// Endpoint with the smaller id.
+    #[inline]
+    pub fn u(self) -> VertexId {
+        self.lo
+    }
+
+    /// Endpoint with the larger id.
+    #[inline]
+    pub fn v(self) -> VertexId {
+        self.hi
+    }
+
+    /// Both endpoints as a tuple `(u, v)` with `u < v`.
+    #[inline]
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        (self.lo, self.hi)
+    }
+
+    /// The endpoint that is not `x`; panics if `x` is not an endpoint.
+    #[inline]
+    pub fn other(self, x: VertexId) -> VertexId {
+        if x == self.lo {
+            self.hi
+        } else if x == self.hi {
+            self.lo
+        } else {
+            panic!("{x:?} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `x` is one of the two endpoints.
+    #[inline]
+    pub fn contains(self, x: VertexId) -> bool {
+        x == self.lo || x == self.hi
+    }
+
+    /// Pack into a `u64` key (useful for hashing into dense maps).
+    #[inline]
+    pub fn key(self) -> u64 {
+        ((self.lo.0 as u64) << 32) | self.hi.0 as u64
+    }
+
+    /// Inverse of [`Edge::key`].
+    #[inline]
+    pub fn from_key(k: u64) -> Self {
+        Edge {
+            lo: VertexId((k >> 32) as u32),
+            hi: VertexId(k as u32),
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.lo.0, self.hi.0)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    #[inline]
+    fn from((a, b): (u32, u32)) -> Self {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes_order() {
+        let e = Edge::new(VertexId(7), VertexId(3));
+        assert_eq!(e.u(), VertexId(3));
+        assert_eq!(e.v(), VertexId(7));
+        assert_eq!(e, Edge::new(VertexId(3), VertexId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(VertexId(4), VertexId(4));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(VertexId(1), VertexId(9));
+        assert_eq!(e.other(VertexId(1)), VertexId(9));
+        assert_eq!(e.other(VertexId(9)), VertexId(1));
+    }
+
+    #[test]
+    fn edge_key_roundtrip() {
+        let e = Edge::new(VertexId(123), VertexId(77));
+        assert_eq!(Edge::from_key(e.key()), e);
+    }
+
+    #[test]
+    fn edge_contains() {
+        let e = Edge::new(VertexId(2), VertexId(5));
+        assert!(e.contains(VertexId(2)));
+        assert!(e.contains(VertexId(5)));
+        assert!(!e.contains(VertexId(3)));
+    }
+}

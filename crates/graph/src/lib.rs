@@ -1,0 +1,84 @@
+//! # sgs-graph — graph substrate for streaming subgraph counting
+//!
+//! This crate provides every *static* graph ingredient required by the
+//! reproduction of Fichtenberger & Peng, *Approximately Counting Subgraphs
+//! in Data Streams* (PODS 2022):
+//!
+//! * [`AdjListGraph`] / [`CsrGraph`] — concrete undirected graph
+//!   representations with degree, neighbor, and adjacency queries,
+//! * [`order`] — the degree-then-id total vertex order `≺_G` (Definition 12),
+//! * [`degeneracy`] — core decomposition and degeneracy orderings
+//!   (Definition 5),
+//! * [`Pattern`] — small target subgraphs `H` with automorphism machinery,
+//! * [`decompose`] — Lemma 4 decompositions of `H` into vertex-disjoint odd
+//!   cycles and stars, and the fractional edge-cover number `ρ(H)`
+//!   (Definition 3),
+//! * [`canonical`] — canonical cycle / canonical star predicates
+//!   (Definitions 13 and 14),
+//! * [`exact`] — exact (ground-truth) subgraph counters,
+//! * [`gen`] — seeded workload generators.
+//!
+//! All randomized components take explicit seeds so experiments are
+//! reproducible bit-for-bit.
+
+pub mod adjacency;
+pub mod canonical;
+pub mod csr;
+pub mod decompose;
+pub mod degeneracy;
+pub mod exact;
+pub mod gen;
+pub mod ids;
+pub mod io;
+pub mod order;
+pub mod pattern;
+pub mod zoo;
+
+pub use adjacency::AdjListGraph;
+pub use csr::CsrGraph;
+pub use decompose::{CycleStarDecomposition, Piece, Rho};
+pub use degeneracy::CoreDecomposition;
+pub use ids::{Edge, VertexId};
+pub use pattern::Pattern;
+
+/// Common trait for static (fully materialized) undirected graphs.
+///
+/// This is the interface the *exact* counters and the query-model oracles
+/// are written against. `u32` vertex ids keep hot structures compact (see
+/// the type-size guidance in the Rust perf book).
+pub trait StaticGraph {
+    /// Number of vertices `n`; vertex ids are `0..n`.
+    fn num_vertices(&self) -> usize;
+    /// Number of undirected edges `m`.
+    fn num_edges(&self) -> usize;
+    /// Degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+    /// Neighbors of `v` in a fixed (representation-defined) order.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+    /// Whether the undirected edge `{u, v}` is present.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool;
+    /// The `i`-th neighbor of `v` (0-based) in the representation order,
+    /// mirroring query type `f3` of Definition 6.
+    fn ith_neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        self.neighbors(v).get(i).copied()
+    }
+    /// Iterate over all undirected edges once each.
+    fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_vertices() as u32 {
+            for &w in self.neighbors(VertexId(u)) {
+                if u < w.0 {
+                    out.push(Edge::new(VertexId(u), w));
+                }
+            }
+        }
+        out
+    }
+    /// Maximum degree `Δ(G)`.
+    fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,138 @@
+//! The degree-then-id total vertex order `≺_G` (Definition 12).
+//!
+//! `u ≺_G v` iff `deg(u) < deg(v)`, or `deg(u) = deg(v)` and `id(u) < id(v)`.
+//! The FGP sampler's canonical cycles and stars are defined relative to this
+//! order, and the streaming version evaluates it *post hoc* using only the
+//! degrees collected for the sampled vertex set (the `d[V']` dictionary in
+//! Algorithm 1), which is why the comparison is exposed over an arbitrary
+//! degree lookup rather than a whole graph.
+
+use crate::ids::VertexId;
+use crate::StaticGraph;
+
+/// Compare two vertices under `≺_G` given their degrees.
+///
+/// Returns `true` iff `u ≺ v`.
+#[inline]
+pub fn precedes_with_degrees(u: VertexId, deg_u: usize, v: VertexId, deg_v: usize) -> bool {
+    deg_u < deg_v || (deg_u == deg_v && u.0 < v.0)
+}
+
+/// Compare two vertices under `≺_G` by querying a full graph.
+#[inline]
+pub fn precedes(g: &impl StaticGraph, u: VertexId, v: VertexId) -> bool {
+    precedes_with_degrees(u, g.degree(u), v, g.degree(v))
+}
+
+/// A reusable comparator over a degree-lookup function.
+///
+/// The lookup is expected to be total on the vertices that will be compared;
+/// the streaming algorithms construct it from the degree dictionary they
+/// collected in their final pass.
+pub struct DegreeOrder<F: Fn(VertexId) -> usize> {
+    deg: F,
+}
+
+impl<F: Fn(VertexId) -> usize> DegreeOrder<F> {
+    /// Wrap a degree lookup.
+    pub fn new(deg: F) -> Self {
+        DegreeOrder { deg }
+    }
+
+    /// `u ≺ v` under this order.
+    #[inline]
+    pub fn precedes(&self, u: VertexId, v: VertexId) -> bool {
+        precedes_with_degrees(u, (self.deg)(u), v, (self.deg)(v))
+    }
+
+    /// The ≺-minimum of a non-empty slice.
+    pub fn min_of(&self, vs: &[VertexId]) -> VertexId {
+        let mut best = vs[0];
+        for &v in &vs[1..] {
+            if self.precedes(v, best) {
+                best = v;
+            }
+        }
+        best
+    }
+}
+
+/// Sort vertices ascending under `≺_G`.
+pub fn sort_by_order(g: &impl StaticGraph, vs: &mut [VertexId]) {
+    vs.sort_by(|&a, &b| {
+        let (da, db) = (g.degree(a), g.degree(b));
+        da.cmp(&db).then(a.0.cmp(&b.0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdjListGraph;
+
+    fn g() -> AdjListGraph {
+        // degrees: 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 1
+        AdjListGraph::from_pairs(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let g = g();
+        let vs: Vec<VertexId> = (0..4).map(VertexId).collect();
+        for &a in &vs {
+            assert!(!precedes(&g, a, a));
+            for &b in &vs {
+                if a != b {
+                    assert_ne!(precedes(&g, a, b), precedes(&g, b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_dominates_id() {
+        let g = g();
+        // deg(3)=1 < deg(2)=3, so 3 ≺ 2 despite 3 > 2 as ids.
+        assert!(precedes(&g, VertexId(3), VertexId(2)));
+        assert!(!precedes(&g, VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn id_breaks_ties() {
+        let g = g();
+        // deg(0) == deg(1) == 2, id tiebreak
+        assert!(precedes(&g, VertexId(0), VertexId(1)));
+        assert!(!precedes(&g, VertexId(1), VertexId(0)));
+    }
+
+    #[test]
+    fn sort_matches_pairwise_order() {
+        let g = g();
+        let mut vs: Vec<VertexId> = (0..4).map(VertexId).collect();
+        sort_by_order(&g, &mut vs);
+        assert_eq!(vs, vec![VertexId(3), VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn degree_order_min() {
+        let g = g();
+        let ord = DegreeOrder::new(|v| g.degree(v));
+        let vs = vec![VertexId(2), VertexId(0), VertexId(3)];
+        assert_eq!(ord.min_of(&vs), VertexId(3));
+    }
+
+    #[test]
+    fn order_transitive_on_sample() {
+        let g = g();
+        let vs: Vec<VertexId> = (0..4).map(VertexId).collect();
+        for &a in &vs {
+            for &b in &vs {
+                for &c in &vs {
+                    if precedes(&g, a, b) && precedes(&g, b, c) {
+                        assert!(precedes(&g, a, c));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Target patterns `H`: small constant-size subgraphs.
+//!
+//! Patterns are the `H` of the paper: triangles, cliques `K_r`, cycles
+//! `C_k`, stars `S_k`, paths, and arbitrary user-provided small graphs.
+//! A pattern stores its adjacency as per-vertex bitmasks (`|V(H)| <= 32`),
+//! which makes the embedding checks in the exact counters and the FGP
+//! postprocessing cheap.
+
+use std::fmt;
+
+/// Maximum number of vertices a pattern may have. The paper assumes `H`
+/// has constant size; 32 is far beyond anything tractable anyway.
+pub const MAX_PATTERN_VERTICES: usize = 32;
+
+/// A small undirected pattern graph `H`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    n: usize,
+    /// Edge list with `a < b`, sorted.
+    edges: Vec<(u8, u8)>,
+    /// `adj[v]` has bit `u` set iff `{u, v}` is an edge.
+    adj: [u32; MAX_PATTERN_VERTICES],
+    name: String,
+}
+
+impl Pattern {
+    /// Build a pattern from an edge list on vertices `0..n`.
+    ///
+    /// Panics if `n > 32`, on self-loops, or out-of-range endpoints.
+    /// Duplicate edges are deduplicated.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        assert!(
+            n <= MAX_PATTERN_VERTICES,
+            "patterns support at most {MAX_PATTERN_VERTICES} vertices"
+        );
+        let mut adj = [0u32; MAX_PATTERN_VERTICES];
+        let mut es: Vec<(u8, u8)> = Vec::new();
+        for (a, b) in edges {
+            assert!(a < n && b < n, "pattern edge ({a},{b}) out of range n={n}");
+            assert_ne!(a, b, "pattern self-loop ({a},{a})");
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if adj[lo] & (1 << hi) == 0 {
+                adj[lo] |= 1 << hi;
+                adj[hi] |= 1 << lo;
+                es.push((lo as u8, hi as u8));
+            }
+        }
+        es.sort_unstable();
+        Pattern {
+            n,
+            edges: es,
+            adj,
+            name: String::new(),
+        }
+    }
+
+    /// Attach a human-readable name (used in experiment tables).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// A single edge (`K_2 = S_1`).
+    pub fn single_edge() -> Self {
+        Self::from_edges(2, [(0, 1)]).named("K2")
+    }
+
+    /// The triangle `K_3 = C_3`.
+    pub fn triangle() -> Self {
+        Self::clique(3).named("triangle")
+    }
+
+    /// The clique `K_r`, `r >= 2`.
+    pub fn clique(r: usize) -> Self {
+        assert!(r >= 2);
+        let mut es = Vec::new();
+        for a in 0..r {
+            for b in (a + 1)..r {
+                es.push((a, b));
+            }
+        }
+        Self::from_edges(r, es).named(format!("K{r}"))
+    }
+
+    /// The cycle `C_k`, `k >= 3`.
+    pub fn cycle(k: usize) -> Self {
+        assert!(k >= 3);
+        let es = (0..k).map(|i| (i, (i + 1) % k));
+        Self::from_edges(k, es).named(format!("C{k}"))
+    }
+
+    /// The star `S_k` with `k` petals: center 0, petals `1..=k`.
+    pub fn star(k: usize) -> Self {
+        assert!(k >= 1);
+        let es = (1..=k).map(|i| (0, i));
+        Self::from_edges(k + 1, es).named(format!("S{k}"))
+    }
+
+    /// The path `P_k` with `k` edges (`k + 1` vertices).
+    pub fn path(k: usize) -> Self {
+        assert!(k >= 1);
+        let es = (0..k).map(|i| (i, i + 1));
+        Self::from_edges(k + 1, es).named(format!("P{k}"))
+    }
+
+    /// Number of vertices `|V(H)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `|E(H)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The pattern's display name (empty if unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Edge list, each edge once with `a < b`, ascending.
+    pub fn edges(&self) -> &[(u8, u8)] {
+        &self.edges
+    }
+
+    /// Adjacency bitmask of vertex `v`.
+    #[inline]
+    pub fn adj_mask(&self, v: usize) -> u32 {
+        self.adj[v]
+    }
+
+    /// Whether `{a, b}` is an edge of the pattern.
+    #[inline]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a != b && self.adj[a] & (1 << b) != 0
+    }
+
+    /// Degree of pattern vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count_ones() as usize
+    }
+
+    /// Minimum degree over all pattern vertices.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Neighbors of pattern vertex `v`, ascending.
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        let mut m = self.adj[v];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            out.push(b);
+            m &= m - 1;
+        }
+        out
+    }
+
+    /// Whether the pattern is connected (vacuously true for n <= 1).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen: u32 = 1;
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            let mut fresh = self.adj[v] & !seen;
+            while fresh != 0 {
+                let u = fresh.trailing_zeros() as usize;
+                seen |= 1 << u;
+                stack.push(u);
+                fresh &= fresh - 1;
+            }
+        }
+        seen.count_ones() as usize == self.n
+    }
+
+    /// Number of automorphisms of the pattern, by brute force over all
+    /// degree-respecting permutations. Feasible for `n <= 10`.
+    ///
+    /// `#copies(H) = #embeddings(H) / |Aut(H)|`, which is how the exact
+    /// generic counter converts embeddings to copies.
+    pub fn automorphism_count(&self) -> u64 {
+        assert!(self.n <= 12, "automorphism brute force limited to n <= 12");
+        let degs: Vec<usize> = (0..self.n).map(|v| self.degree(v)).collect();
+        let mut perm: Vec<usize> = vec![usize::MAX; self.n];
+        let mut used: u32 = 0;
+        self.count_autos(0, &mut perm, &mut used, &degs)
+    }
+
+    fn count_autos(&self, v: usize, perm: &mut [usize], used: &mut u32, degs: &[usize]) -> u64 {
+        if v == self.n {
+            return 1;
+        }
+        let mut total = 0;
+        for img in 0..self.n {
+            if *used & (1 << img) != 0 || degs[img] != degs[v] {
+                continue;
+            }
+            // Check consistency with already-assigned vertices.
+            let ok = (0..v).all(|w| self.has_edge(v, w) == self.has_edge(img, perm[w]));
+            if !ok {
+                continue;
+            }
+            perm[v] = img;
+            *used |= 1 << img;
+            total += self.count_autos(v + 1, perm, used, degs);
+            *used &= !(1 << img);
+            perm[v] = usize::MAX;
+        }
+        total
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "Pattern(n={}, m={})", self.n, self.edges.len())
+        } else {
+            write!(f, "Pattern({})", self.name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_right_sizes() {
+        assert_eq!(Pattern::triangle().num_vertices(), 3);
+        assert_eq!(Pattern::triangle().num_edges(), 3);
+        assert_eq!(Pattern::clique(5).num_edges(), 10);
+        assert_eq!(Pattern::cycle(6).num_edges(), 6);
+        assert_eq!(Pattern::star(4).num_vertices(), 5);
+        assert_eq!(Pattern::star(4).num_edges(), 4);
+        assert_eq!(Pattern::path(3).num_vertices(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let p = Pattern::cycle(5);
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(p.has_edge(a, b), p.has_edge(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        let s = Pattern::star(3);
+        assert_eq!(s.degree(0), 3);
+        assert_eq!(s.degree(1), 1);
+        assert_eq!(s.min_degree(), 1);
+        assert_eq!(Pattern::cycle(7).min_degree(), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Pattern::clique(4).is_connected());
+        assert!(Pattern::path(5).is_connected());
+        let disconnected = Pattern::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn automorphisms_of_known_patterns() {
+        assert_eq!(Pattern::triangle().automorphism_count(), 6); // 3!
+        assert_eq!(Pattern::clique(4).automorphism_count(), 24); // 4!
+        assert_eq!(Pattern::cycle(5).automorphism_count(), 10); // dihedral
+        assert_eq!(Pattern::cycle(4).automorphism_count(), 8);
+        assert_eq!(Pattern::star(3).automorphism_count(), 6); // petals permute
+        assert_eq!(Pattern::path(2).automorphism_count(), 2); // flip
+        assert_eq!(Pattern::single_edge().automorphism_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_deduped() {
+        let p = Pattern::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(p.num_edges(), 2);
+    }
+
+    #[test]
+    fn neighbors_listing() {
+        let p = Pattern::star(3);
+        assert_eq!(p.neighbors(0), vec![1, 2, 3]);
+        assert_eq!(p.neighbors(2), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = Pattern::from_edges(2, [(1, 1)]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Execution reports: rounds, passes, queries, measured space.
+
+/// What an executor observed while driving a round-adaptive algorithm.
+///
+/// * For [`crate::exec::run_on_oracle`], `passes == 0` and `rounds` is the
+///   adaptivity actually used.
+/// * For the streaming executors, `passes == rounds` by construction
+///   (Theorems 9/11: one pass per round) and `max_pass_space_bytes` is the
+///   peak measured footprint of the per-pass emulation state — the
+///   concrete counterpart of the theorems' `O(q log n)` / `O(q log⁴ n)`
+///   terms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Rounds of adaptivity consumed (number of non-empty batches).
+    pub rounds: usize,
+    /// Streaming passes performed (0 for oracle execution).
+    pub passes: usize,
+    /// Total queries asked across all rounds.
+    pub queries: usize,
+    /// Peak bytes of per-pass emulation state (sketches + counters),
+    /// 0 for oracle execution.
+    pub max_pass_space_bytes: usize,
+    /// Bytes needed to retain all query answers (the `O(q log n)` term of
+    /// Theorem 9): 16 bytes per answer in this implementation.
+    pub answer_bytes: usize,
+}
+
+impl ExecReport {
+    /// Total measured space: per-pass sketches plus retained answers.
+    pub fn total_space_bytes(&self) -> usize {
+        self.max_pass_space_bytes + self.answer_bytes
+    }
+
+    /// Merge (sum queries/space, max rounds/passes) — used when several
+    /// independent executions jointly implement one logical algorithm.
+    pub fn merged_with(&self, other: &ExecReport) -> ExecReport {
+        ExecReport {
+            rounds: self.rounds.max(other.rounds),
+            passes: self.passes.max(other.passes),
+            queries: self.queries + other.queries,
+            max_pass_space_bytes: self.max_pass_space_bytes + other.max_pass_space_bytes,
+            answer_bytes: self.answer_bytes + other.answer_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_semantics() {
+        let a = ExecReport {
+            rounds: 3,
+            passes: 3,
+            queries: 10,
+            max_pass_space_bytes: 100,
+            answer_bytes: 160,
+        };
+        let b = ExecReport {
+            rounds: 5,
+            passes: 5,
+            queries: 7,
+            max_pass_space_bytes: 50,
+            answer_bytes: 112,
+        };
+        let m = a.merged_with(&b);
+        assert_eq!(m.rounds, 5);
+        assert_eq!(m.passes, 5);
+        assert_eq!(m.queries, 17);
+        assert_eq!(m.total_space_bytes(), 150 + 272);
+    }
+}

@@ -1,0 +1,675 @@
+//! The three executors: query-access, insertion-only streaming
+//! (Theorem 9), and turnstile streaming (Theorem 11).
+//!
+//! All three drive the *same* [`RoundAdaptive`] state machine; they differ
+//! only in how each round's query batch is answered:
+//!
+//! * [`run_on_oracle`] forwards queries to a [`GraphOracle`];
+//! * [`run_insertion`] answers each batch with **one pass**: uniform
+//!   position sampling for `f1` (distributionally identical to a size-1
+//!   reservoir over a fixed-length pass, but O(1) per update), per-vertex
+//!   incident-edge reservoirs for relaxed `f3` (exactly uniform in a
+//!   simple graph), arrival-order watchers for indexed `f3`, and
+//!   counters/flags for `f2`/`f4` — the proof of Theorem 9;
+//! * [`run_turnstile`] answers each batch with **one pass** using
+//!   ℓ₀-samplers for `f1` and relaxed `f3`, and deletion-aware counters
+//!   and flags for `f2`/`f4` — the proof of Theorem 11. Indexed `f3`
+//!   queries are a protocol error in this model (Definition 10
+//!   deliberately drops them) and panic.
+//!
+//! Executors never contribute algorithm randomness: the per-pass sketch
+//! seeds only decide *which* uniform sample each query receives, mirroring
+//! the oracle's own sampling coins.
+
+use crate::accounting::ExecReport;
+use crate::oracle::GraphOracle;
+use crate::query::{Answer, Query};
+use crate::round::RoundAdaptive;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgs_graph::{Edge, VertexId};
+use sgs_stream::counters::{AdjacencyFlags, DegreeCounters, EdgeCounter, NeighborWatchers};
+use sgs_stream::hash::split_seed;
+use sgs_stream::l0::L0Sampler;
+use sgs_stream::reservoir::ReservoirSampler;
+use sgs_stream::{EdgeStream, SpaceUsage};
+
+/// Bytes charged per retained answer (Theorem 9's `O(q log n)` term).
+const ANSWER_BYTES: usize = 16;
+
+/// Execute against a query oracle; returns the output and the adaptivity
+/// actually used.
+pub fn run_on_oracle<A: RoundAdaptive>(
+    mut alg: A,
+    oracle: &mut impl GraphOracle,
+) -> (A::Output, ExecReport) {
+    let mut report = ExecReport::default();
+    let mut answers: Vec<Answer> = Vec::new();
+    loop {
+        let batch = alg.next_round(&answers);
+        if batch.is_empty() {
+            break;
+        }
+        report.rounds += 1;
+        report.queries += batch.len();
+        report.answer_bytes += batch.len() * ANSWER_BYTES;
+        answers = batch.into_iter().map(|q| oracle.answer(q)).collect();
+    }
+    (alg.output(), report)
+}
+
+/// Per-pass emulation state for the insertion-only model.
+struct InsertionPass {
+    /// `f1`: (target stream position, query index), sorted by position.
+    /// Sampling a uniform position is exactly the distribution of a size-1
+    /// reservoir over a fixed-length pass.
+    edge_targets: Vec<(u64, usize)>,
+    edge_hits: Vec<(usize, Edge)>,
+    edge_cursor: usize,
+    update_idx: u64,
+    /// Relaxed `f3`: (query index, vertex, reservoir over incident edges).
+    nbr_samplers: Vec<(usize, VertexId, ReservoirSampler<Edge>)>,
+    degree_counters: DegreeCounters,
+    degree_queries: Vec<(usize, VertexId)>,
+    watchers: NeighborWatchers,
+    watcher_queries: Vec<usize>,
+    flags: AdjacencyFlags,
+    flag_queries: Vec<(usize, Edge)>,
+    edge_counter: EdgeCounter,
+    count_queries: Vec<usize>,
+}
+
+impl InsertionPass {
+    fn build(batch: &[Query], stream_len: u64, pass_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(pass_seed);
+        let mut edge_targets = Vec::new();
+        let mut nbr_samplers = Vec::new();
+        let mut degree_vertices = Vec::new();
+        let mut degree_queries = Vec::new();
+        let mut watch_list = Vec::new();
+        let mut watcher_queries = Vec::new();
+        let mut flag_edges = Vec::new();
+        let mut flag_queries = Vec::new();
+        let mut count_queries = Vec::new();
+        for (i, q) in batch.iter().enumerate() {
+            match *q {
+                Query::EdgeCount => count_queries.push(i),
+                Query::RandomEdge => {
+                    if stream_len > 0 {
+                        edge_targets.push((rng.gen_range(0..stream_len), i));
+                    }
+                }
+                Query::RandomNeighbor(v) => {
+                    nbr_samplers.push((
+                        i,
+                        v,
+                        ReservoirSampler::new(split_seed(pass_seed, i as u64)),
+                    ));
+                }
+                Query::Degree(v) => {
+                    degree_vertices.push(v);
+                    degree_queries.push((i, v));
+                }
+                Query::IthNeighbor(v, idx) => {
+                    watch_list.push((v, idx));
+                    watcher_queries.push(i);
+                }
+                Query::Adjacent(u, v) => {
+                    let e = Edge::new(u, v);
+                    flag_edges.push(e);
+                    flag_queries.push((i, e));
+                }
+            }
+        }
+        edge_targets.sort_unstable();
+        InsertionPass {
+            edge_targets,
+            edge_hits: Vec::new(),
+            edge_cursor: 0,
+            update_idx: 0,
+            nbr_samplers,
+            degree_counters: DegreeCounters::new(degree_vertices),
+            degree_queries,
+            watchers: NeighborWatchers::new(watch_list),
+            watcher_queries,
+            flags: AdjacencyFlags::new(flag_edges),
+            flag_queries,
+            edge_counter: EdgeCounter::new(),
+            count_queries,
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.edge_targets.len() * 16
+            + self.nbr_samplers.len() * 24
+            + self.degree_counters.space_bytes()
+            + self.watchers.space_bytes()
+            + self.flags.space_bytes()
+            + self.edge_counter.space_bytes()
+    }
+
+    fn answers(self, batch_len: usize) -> Vec<Answer> {
+        let mut answers = vec![Answer::Edge(None); batch_len];
+        for (i, e) in &self.edge_hits {
+            answers[*i] = Answer::Edge(Some(*e));
+        }
+        for (i, v, s) in &self.nbr_samplers {
+            answers[*i] = Answer::Neighbor(s.sample().map(|e| e.other(*v)));
+        }
+        for (i, v) in &self.degree_queries {
+            answers[*i] = Answer::Degree(self.degree_counters.degree(*v).unwrap_or(0));
+        }
+        for (k, i) in self.watcher_queries.iter().enumerate() {
+            answers[*i] = Answer::Neighbor(self.watchers.answer(k));
+        }
+        for (i, e) in &self.flag_queries {
+            answers[*i] = Answer::Adjacent(self.flags.present(*e).unwrap_or(false));
+        }
+        for i in &self.count_queries {
+            answers[*i] = Answer::EdgeCount(self.edge_counter.count());
+        }
+        answers
+    }
+}
+
+/// Execute as an insertion-only streaming algorithm: one pass per round
+/// (Theorem 9).
+pub fn run_insertion<A: RoundAdaptive>(
+    mut alg: A,
+    stream: &impl EdgeStream,
+    seed: u64,
+) -> (A::Output, ExecReport) {
+    let mut report = ExecReport::default();
+    let mut answers: Vec<Answer> = Vec::new();
+    loop {
+        let batch = alg.next_round(&answers);
+        if batch.is_empty() {
+            break;
+        }
+        report.rounds += 1;
+        report.passes += 1;
+        report.queries += batch.len();
+        report.answer_bytes += batch.len() * ANSWER_BYTES;
+
+        let mut pass = InsertionPass::build(
+            &batch,
+            stream.len() as u64,
+            split_seed(seed, report.passes as u64),
+        );
+        stream.replay(&mut |u| {
+            debug_assert!(u.is_insert(), "insertion executor fed a deletion");
+            // f1 position sampling.
+            while pass.edge_cursor < pass.edge_targets.len()
+                && pass.edge_targets[pass.edge_cursor].0 == pass.update_idx
+            {
+                let (_, qi) = pass.edge_targets[pass.edge_cursor];
+                pass.edge_hits.push((qi, u.edge));
+                pass.edge_cursor += 1;
+            }
+            pass.update_idx += 1;
+            for (_, v, s) in &mut pass.nbr_samplers {
+                if u.edge.contains(*v) {
+                    s.offer(u.edge);
+                }
+            }
+            pass.degree_counters.feed(u);
+            pass.watchers.feed(u);
+            pass.flags.feed(u);
+            pass.edge_counter.feed(u);
+        });
+        report.max_pass_space_bytes = report.max_pass_space_bytes.max(pass.space_bytes());
+        answers = pass.answers(batch.len());
+    }
+    (alg.output(), report)
+}
+
+/// Per-pass emulation state for the turnstile model.
+struct TurnstilePass {
+    edge_samplers: Vec<(usize, L0Sampler)>,
+    nbr_samplers: Vec<(usize, VertexId, L0Sampler)>,
+    degree_counters: DegreeCounters,
+    degree_queries: Vec<(usize, VertexId)>,
+    flags: AdjacencyFlags,
+    flag_queries: Vec<(usize, Edge)>,
+    edge_counter: EdgeCounter,
+    count_queries: Vec<usize>,
+    /// Neighbor samplers indexed by vertex for O(1) dispatch.
+    nbr_by_vertex: std::collections::HashMap<VertexId, Vec<usize>>,
+}
+
+impl TurnstilePass {
+    fn build(batch: &[Query], n: usize, pass_seed: u64) -> Self {
+        let mut edge_samplers = Vec::new();
+        let mut nbr_samplers: Vec<(usize, VertexId, L0Sampler)> = Vec::new();
+        let mut degree_vertices = Vec::new();
+        let mut degree_queries = Vec::new();
+        let mut flag_edges = Vec::new();
+        let mut flag_queries = Vec::new();
+        let mut count_queries = Vec::new();
+        let mut nbr_by_vertex: std::collections::HashMap<VertexId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, q) in batch.iter().enumerate() {
+            match *q {
+                Query::EdgeCount => count_queries.push(i),
+                Query::RandomEdge => {
+                    edge_samplers.push((
+                        i,
+                        L0Sampler::for_edge_domain(n, split_seed(pass_seed, i as u64)),
+                    ));
+                }
+                Query::RandomNeighbor(v) => {
+                    nbr_by_vertex.entry(v).or_default().push(nbr_samplers.len());
+                    nbr_samplers.push((
+                        i,
+                        v,
+                        L0Sampler::for_edge_domain(n, split_seed(pass_seed, i as u64)),
+                    ));
+                }
+                Query::Degree(v) => {
+                    degree_vertices.push(v);
+                    degree_queries.push((i, v));
+                }
+                Query::IthNeighbor(..) => {
+                    panic!(
+                        "IthNeighbor is not available in the turnstile model \
+                         (Definition 10 replaces it with RandomNeighbor)"
+                    );
+                }
+                Query::Adjacent(u, v) => {
+                    let e = Edge::new(u, v);
+                    flag_edges.push(e);
+                    flag_queries.push((i, e));
+                }
+            }
+        }
+        TurnstilePass {
+            edge_samplers,
+            nbr_samplers,
+            degree_counters: DegreeCounters::new(degree_vertices),
+            degree_queries,
+            flags: AdjacencyFlags::new(flag_edges),
+            flag_queries,
+            edge_counter: EdgeCounter::new(),
+            count_queries,
+            nbr_by_vertex,
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.edge_samplers
+            .iter()
+            .map(|(_, s)| s.space_bytes())
+            .sum::<usize>()
+            + self
+                .nbr_samplers
+                .iter()
+                .map(|(_, _, s)| s.space_bytes())
+                .sum::<usize>()
+            + self.degree_counters.space_bytes()
+            + self.flags.space_bytes()
+            + self.edge_counter.space_bytes()
+    }
+
+    fn answers(self, batch_len: usize) -> Vec<Answer> {
+        let mut answers = vec![Answer::Edge(None); batch_len];
+        for (i, s) in &self.edge_samplers {
+            answers[*i] = Answer::Edge(s.sample().map(Edge::from_key));
+        }
+        for (i, _, s) in &self.nbr_samplers {
+            answers[*i] = Answer::Neighbor(s.sample().map(|k| VertexId(k as u32)));
+        }
+        for (i, v) in &self.degree_queries {
+            answers[*i] = Answer::Degree(self.degree_counters.degree(*v).unwrap_or(0));
+        }
+        for (i, e) in &self.flag_queries {
+            answers[*i] = Answer::Adjacent(self.flags.present(*e).unwrap_or(false));
+        }
+        for i in &self.count_queries {
+            answers[*i] = Answer::EdgeCount(self.edge_counter.count());
+        }
+        answers
+    }
+}
+
+/// Execute as a turnstile streaming algorithm: one pass per round
+/// (Theorem 11).
+pub fn run_turnstile<A: RoundAdaptive>(
+    mut alg: A,
+    stream: &impl EdgeStream,
+    seed: u64,
+) -> (A::Output, ExecReport) {
+    let n = stream.num_vertices();
+    let mut report = ExecReport::default();
+    let mut answers: Vec<Answer> = Vec::new();
+    loop {
+        let batch = alg.next_round(&answers);
+        if batch.is_empty() {
+            break;
+        }
+        report.rounds += 1;
+        report.passes += 1;
+        report.queries += batch.len();
+        report.answer_bytes += batch.len() * ANSWER_BYTES;
+
+        let mut pass = TurnstilePass::build(&batch, n, split_seed(seed, report.passes as u64));
+        stream.replay(&mut |u| {
+            let d = u.delta as i64;
+            for (_, s) in &mut pass.edge_samplers {
+                s.update(u.edge.key(), d);
+            }
+            for endpoint in [u.edge.u(), u.edge.v()] {
+                if let Some(ids) = pass.nbr_by_vertex.get(&endpoint) {
+                    let other = u.edge.other(endpoint).0 as u64;
+                    for &si in ids {
+                        pass.nbr_samplers[si].2.update(other, d);
+                    }
+                }
+            }
+            pass.degree_counters.feed(u);
+            pass.flags.feed(u);
+            pass.edge_counter.feed(u);
+        });
+        report.max_pass_space_bytes = report.max_pass_space_bytes.max(pass.space_bytes());
+        answers = pass.answers(batch.len());
+    }
+    (alg.output(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactOracle;
+    use sgs_graph::{gen, StaticGraph};
+    use sgs_stream::{InsertionStream, TurnstileStream};
+
+    /// Asks a degree, then that many adjacency checks (2 rounds).
+    struct DegreeThenProbe {
+        v: VertexId,
+        stage: u8,
+        deg: usize,
+        present: usize,
+    }
+
+    impl DegreeThenProbe {
+        fn new(v: VertexId) -> Self {
+            DegreeThenProbe {
+                v,
+                stage: 0,
+                deg: 0,
+                present: 0,
+            }
+        }
+    }
+
+    impl RoundAdaptive for DegreeThenProbe {
+        type Output = (usize, usize);
+
+        fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    vec![Query::Degree(self.v)]
+                }
+                1 => {
+                    self.deg = answers[0].expect_degree();
+                    self.stage = 2;
+                    (0..self.deg as u32)
+                        .filter(|&u| u != self.v.0)
+                        .map(|u| Query::Adjacent(self.v, VertexId(u)))
+                        .collect()
+                }
+                _ => {
+                    if self.stage == 2 {
+                        self.present =
+                            answers.iter().filter(|a| a.expect_adjacent()).count();
+                        self.stage = 3;
+                    }
+                    Vec::new()
+                }
+            }
+        }
+
+        fn output(&mut self) -> (usize, usize) {
+            (self.deg, self.present)
+        }
+    }
+
+    #[test]
+    fn oracle_and_streams_agree_on_deterministic_queries() {
+        let g = gen::gnm(30, 120, 3);
+        let ins = InsertionStream::from_graph(&g, 4);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 5);
+        let v = VertexId(7);
+
+        let mut oracle = ExactOracle::new(&g, 1);
+        let (o_out, o_rep) = run_on_oracle(DegreeThenProbe::new(v), &mut oracle);
+        let (i_out, i_rep) = run_insertion(DegreeThenProbe::new(v), &ins, 2);
+        let (t_out, t_rep) = run_turnstile(DegreeThenProbe::new(v), &tst, 3);
+
+        assert_eq!(o_out, i_out);
+        assert_eq!(o_out, t_out);
+        assert_eq!(o_rep.rounds, 2);
+        assert_eq!(i_rep.passes, 2);
+        assert_eq!(t_rep.passes, 2);
+        assert_eq!(o_rep.passes, 0);
+    }
+
+    /// One round, one random edge (plus the edge count).
+    struct OneEdge {
+        asked: bool,
+        got: Option<Edge>,
+        m: usize,
+    }
+
+    impl OneEdge {
+        fn new() -> Self {
+            OneEdge {
+                asked: false,
+                got: None,
+                m: 0,
+            }
+        }
+    }
+
+    impl RoundAdaptive for OneEdge {
+        type Output = (Option<Edge>, usize);
+
+        fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+            if self.asked {
+                self.got = answers[0].expect_edge();
+                self.m = answers[1].expect_edge_count();
+                return Vec::new();
+            }
+            self.asked = true;
+            vec![Query::RandomEdge, Query::EdgeCount]
+        }
+
+        fn output(&mut self) -> Self::Output {
+            (self.got, self.m)
+        }
+    }
+
+    fn edge_distribution<F: Fn(u64) -> Option<Edge>>(trials: u64, run: F) -> Vec<(u64, u32)> {
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..trials {
+            if let Some(e) = run(t) {
+                *counts.entry(e.key()).or_insert(0u32) += 1;
+            }
+        }
+        let mut v: Vec<(u64, u32)> = counts.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn random_edge_uniform_across_executors() {
+        let g = gen::gnm(12, 16, 8);
+        let ins = InsertionStream::from_graph(&g, 9);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 10);
+        let trials = 8000u64;
+
+        let ins_d = edge_distribution(trials, |t| run_insertion(OneEdge::new(), &ins, t).0 .0);
+        let tst_d = edge_distribution(trials, |t| run_turnstile(OneEdge::new(), &tst, t).0 .0);
+
+        assert_eq!(ins_d.len(), 16);
+        for &(_, c) in &ins_d {
+            let dev = (c as f64 - trials as f64 / 16.0).abs() / (trials as f64 / 16.0);
+            assert!(dev < 0.2, "insertion deviation {dev}");
+        }
+        assert_eq!(tst_d.len(), 16);
+        let total: u32 = tst_d.iter().map(|&(_, c)| c).sum();
+        for &(k, c) in &tst_d {
+            let e = Edge::from_key(k);
+            assert!(g.has_edge(e.u(), e.v()), "sampled deleted edge {e:?}");
+            let dev = (c as f64 - total as f64 / 16.0).abs() / (total as f64 / 16.0);
+            assert!(dev < 0.25, "turnstile deviation {dev} for {e:?}");
+        }
+    }
+
+    #[test]
+    fn edge_count_correct_in_all_executors() {
+        let g = gen::gnm(30, 77, 2);
+        let ins = InsertionStream::from_graph(&g, 3);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 2.0, 4);
+        let mut oracle = ExactOracle::new(&g, 5);
+        assert_eq!(run_on_oracle(OneEdge::new(), &mut oracle).0 .1, 77);
+        assert_eq!(run_insertion(OneEdge::new(), &ins, 6).0 .1, 77);
+        assert_eq!(run_turnstile(OneEdge::new(), &tst, 7).0 .1, 77);
+    }
+
+    /// One round: random neighbor of v.
+    struct OneNeighbor {
+        v: VertexId,
+        asked: bool,
+        got: Option<VertexId>,
+    }
+
+    impl RoundAdaptive for OneNeighbor {
+        type Output = Option<VertexId>;
+
+        fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+            if self.asked {
+                self.got = answers[0].expect_neighbor();
+                return Vec::new();
+            }
+            self.asked = true;
+            vec![Query::RandomNeighbor(self.v)]
+        }
+
+        fn output(&mut self) -> Option<VertexId> {
+            self.got
+        }
+    }
+
+    #[test]
+    fn random_neighbor_lands_on_true_neighbors() {
+        let g = gen::gnm(20, 60, 11);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 1.5, 12);
+        let v = VertexId(3);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..400u64 {
+            let (out, _) = run_turnstile(
+                OneNeighbor {
+                    v,
+                    asked: false,
+                    got: None,
+                },
+                &tst,
+                t,
+            );
+            if let Some(u) = out {
+                assert!(g.has_edge(v, u), "{u:?} is not a neighbor of {v:?}");
+                seen.insert(u);
+            }
+        }
+        assert_eq!(seen.len(), g.degree(v));
+    }
+
+    #[test]
+    fn insertion_random_neighbor_uniform() {
+        let g = gen::star_graph(6); // center 0 with 6 petals
+        let ins = InsertionStream::from_graph(&g, 13);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 6000u64;
+        for t in 0..trials {
+            let (out, _) = run_insertion(
+                OneNeighbor {
+                    v: VertexId(0),
+                    asked: false,
+                    got: None,
+                },
+                &ins,
+                t,
+            );
+            *counts.entry(out.unwrap().0).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&u, &c) in &counts {
+            let dev = (c as f64 - 1000.0).abs() / 1000.0;
+            assert!(dev < 0.2, "petal {u}: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "IthNeighbor is not available")]
+    fn turnstile_rejects_indexed_neighbor_queries() {
+        struct Bad;
+        impl RoundAdaptive for Bad {
+            type Output = ();
+            fn next_round(&mut self, _: &[Answer]) -> Vec<Query> {
+                vec![Query::IthNeighbor(VertexId(0), 1)]
+            }
+            fn output(&mut self) {}
+        }
+        let g = gen::gnm(5, 5, 1);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 0.0, 2);
+        let _ = run_turnstile(Bad, &tst, 3);
+    }
+
+    #[test]
+    fn space_reported() {
+        let g = gen::gnm(30, 120, 3);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 5);
+        let (_, rep) = run_turnstile(OneEdge::new(), &tst, 2);
+        assert!(rep.max_pass_space_bytes > 0);
+        assert!(rep.answer_bytes > 0);
+        assert_eq!(rep.queries, 2);
+    }
+
+    #[test]
+    fn multiple_edge_queries_get_independent_samples() {
+        struct ManyEdges {
+            asked: bool,
+            edges: Vec<Option<Edge>>,
+        }
+        impl RoundAdaptive for ManyEdges {
+            type Output = Vec<Option<Edge>>;
+            fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+                if self.asked {
+                    self.edges = answers.iter().map(|a| a.expect_edge()).collect();
+                    return Vec::new();
+                }
+                self.asked = true;
+                vec![Query::RandomEdge; 64]
+            }
+            fn output(&mut self) -> Self::Output {
+                std::mem::take(&mut self.edges)
+            }
+        }
+        let g = gen::gnm(40, 200, 14);
+        let ins = InsertionStream::from_graph(&g, 15);
+        let (edges, _) = run_insertion(
+            ManyEdges {
+                asked: false,
+                edges: vec![],
+            },
+            &ins,
+            16,
+        );
+        assert_eq!(edges.len(), 64);
+        assert!(edges.iter().all(|e| e.is_some()));
+        let distinct: std::collections::HashSet<u64> =
+            edges.iter().map(|e| e.unwrap().key()).collect();
+        assert!(distinct.len() > 16, "64 samples over 200 edges should vary");
+    }
+}

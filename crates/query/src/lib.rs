@@ -1,0 +1,34 @@
+//! # sgs-query — the query-access substrate and the generic transformation
+//!
+//! This crate implements the paper's central contribution (§3): a generic
+//! transformation from *round-adaptive* sublinear-time graph query
+//! algorithms to multi-pass streaming algorithms.
+//!
+//! * [`query`] — the query/answer vocabulary of the augmented general
+//!   graph model (Definition 6) and its relaxed variant (Definition 10),
+//! * [`oracle`] — direct oracles over materialized graphs,
+//! * [`round`] — the [`round::RoundAdaptive`] state-machine trait
+//!   (Definition 8) and the [`round::Parallel`] combinator that lets many
+//!   instances share each round (and therefore each pass),
+//! * [`exec`] — the three executors:
+//!   [`exec::run_on_oracle`] (query-access),
+//!   [`exec::run_insertion`] (Theorem 9: one pass per round, reservoir
+//!   samplers + counters), and
+//!   [`exec::run_turnstile`] (Theorem 11: ℓ₀-samplers),
+//! * [`accounting`] — rounds / passes / queries / measured-space reports,
+//! * [`triangle_finder`] — the paper's §3 worked example (the 4-round
+//!   triangle finder), used by tests and experiment E10.
+
+pub mod accounting;
+pub mod exec;
+pub mod oracle;
+pub mod query;
+pub mod relaxed;
+pub mod round;
+pub mod triangle_finder;
+
+pub use accounting::ExecReport;
+pub use oracle::{ExactOracle, GraphOracle};
+pub use query::{Answer, Query};
+pub use relaxed::RelaxedOracle;
+pub use round::{Parallel, RoundAdaptive};

@@ -1,0 +1,145 @@
+//! Direct oracles over materialized graphs.
+//!
+//! [`ExactOracle`] answers Definition 6 queries from an in-memory graph —
+//! this is the "sublinear-time algorithm" execution mode, and the
+//! reference against which the streaming executors are validated
+//! (Theorems 9/11 promise the same output distribution).
+
+use crate::query::{Answer, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgs_graph::{AdjListGraph, Edge, StaticGraph};
+
+/// Anything that can answer model queries.
+pub trait GraphOracle {
+    /// Number of vertices `n` (known to algorithms up front).
+    fn num_vertices(&self) -> usize;
+    /// Answer one query.
+    fn answer(&mut self, q: Query) -> Answer;
+}
+
+/// An exact oracle over an adjacency-list graph with its own seeded
+/// randomness for the sampling queries.
+pub struct ExactOracle<'g> {
+    g: &'g AdjListGraph,
+    edges: Vec<Edge>,
+    rng: StdRng,
+}
+
+impl<'g> ExactOracle<'g> {
+    /// Wrap a graph; `seed` drives the `f1`/`f3` sampling.
+    pub fn new(g: &'g AdjListGraph, seed: u64) -> Self {
+        ExactOracle {
+            g,
+            edges: g.edges(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl GraphOracle for ExactOracle<'_> {
+    fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    fn answer(&mut self, q: Query) -> Answer {
+        match q {
+            Query::EdgeCount => Answer::EdgeCount(self.g.num_edges()),
+            Query::RandomEdge => {
+                if self.edges.is_empty() {
+                    Answer::Edge(None)
+                } else {
+                    let i = self.rng.gen_range(0..self.edges.len());
+                    Answer::Edge(Some(self.edges[i]))
+                }
+            }
+            Query::Degree(v) => Answer::Degree(self.g.degree(v)),
+            Query::IthNeighbor(v, i) => {
+                // 1-based index as in the paper.
+                if i == 0 {
+                    Answer::Neighbor(None)
+                } else {
+                    Answer::Neighbor(self.g.ith_neighbor(v, (i - 1) as usize))
+                }
+            }
+            Query::RandomNeighbor(v) => {
+                let d = self.g.degree(v);
+                if d == 0 {
+                    Answer::Neighbor(None)
+                } else {
+                    let i = self.rng.gen_range(0..d);
+                    Answer::Neighbor(Some(self.g.neighbors(v)[i]))
+                }
+            }
+            Query::Adjacent(u, v) => Answer::Adjacent(self.g.has_edge(u, v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::{gen, VertexId};
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = gen::gnm(20, 50, 1);
+        let mut o = ExactOracle::new(&g, 2);
+        for v in 0..20u32 {
+            let v = VertexId(v);
+            assert_eq!(o.answer(Query::Degree(v)).expect_degree(), g.degree(v));
+        }
+        for e in g.edges() {
+            assert!(o.answer(Query::Adjacent(e.u(), e.v())).expect_adjacent());
+        }
+    }
+
+    #[test]
+    fn ith_neighbor_one_based() {
+        let g: AdjListGraph = "0 1\n0 2\n0 3".parse().unwrap();
+        let mut o = ExactOracle::new(&g, 3);
+        assert_eq!(
+            o.answer(Query::IthNeighbor(VertexId(0), 1)).expect_neighbor(),
+            Some(VertexId(1))
+        );
+        assert_eq!(
+            o.answer(Query::IthNeighbor(VertexId(0), 3)).expect_neighbor(),
+            Some(VertexId(3))
+        );
+        assert_eq!(
+            o.answer(Query::IthNeighbor(VertexId(0), 4)).expect_neighbor(),
+            None
+        );
+        assert_eq!(
+            o.answer(Query::IthNeighbor(VertexId(0), 0)).expect_neighbor(),
+            None
+        );
+    }
+
+    #[test]
+    fn random_edge_uniformity() {
+        let g = gen::gnm(10, 20, 4);
+        let mut o = ExactOracle::new(&g, 5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let e = o.answer(Query::RandomEdge).expect_edge().unwrap();
+            *counts.entry(e.key()).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 20);
+        for (&k, &c) in &counts {
+            let dev = (c as f64 - 1000.0).abs() / 1000.0;
+            assert!(dev < 0.2, "edge {k}: {c}");
+        }
+    }
+
+    #[test]
+    fn random_neighbor_of_isolated_vertex() {
+        let g = AdjListGraph::new(3);
+        let mut o = ExactOracle::new(&g, 6);
+        assert_eq!(
+            o.answer(Query::RandomNeighbor(VertexId(0))).expect_neighbor(),
+            None
+        );
+        assert_eq!(o.answer(Query::RandomEdge).expect_edge(), None);
+    }
+}

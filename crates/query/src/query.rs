@@ -1,0 +1,129 @@
+//! Queries and answers of the (relaxed) augmented general graph model.
+//!
+//! Definition 6 allows four query types; Definition 10 relaxes `f1` and
+//! `f3` to *approximately* uniform sampling with a failure probability.
+//! The vocabulary below covers both models:
+//!
+//! | type | query                        | models                       |
+//! |------|------------------------------|------------------------------|
+//! | `f1` | [`Query::RandomEdge`]        | both (relaxed: may fail)     |
+//! | `f2` | [`Query::Degree`]            | both                         |
+//! | `f3` | [`Query::IthNeighbor`]       | augmented general model only |
+//! | `f3'`| [`Query::RandomNeighbor`]    | relaxed model (may fail)     |
+//! | `f4` | [`Query::Adjacent`]          | both                         |
+//!
+//! `IthNeighbor` indices are 1-based as in the paper (`i ∈ [dg(v)]`).
+//! Random edges are returned *undirected*; algorithms that need a random
+//! orientation (the FGP piece samplers) flip their own coin, which keeps
+//! every bit of algorithm randomness inside the algorithm state machine —
+//! a requirement for the executor-equivalence tests.
+
+use sgs_graph::{Edge, VertexId};
+
+/// A single query to the graph oracle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Query {
+    /// The number of edges `m`.
+    ///
+    /// Not one of Definition 6's four types: the FGP algorithm *receives*
+    /// `m` as an input (Lemma 15), and its streaming counterpart counts
+    /// `m` during its first pass (Algorithm 1, line 7). Modeling "learn m"
+    /// as a query keeps that bookkeeping inside the round/pass framework:
+    /// the oracle reads it off the graph, and both streaming executors
+    /// answer it with an 8-byte counter.
+    EdgeCount,
+    /// `f1`: a uniformly random edge of `E`.
+    RandomEdge,
+    /// `f2`: the degree of a vertex.
+    Degree(VertexId),
+    /// `f3` (exact form): the `i`-th neighbor of `v`, 1-based.
+    IthNeighbor(VertexId, u64),
+    /// `f3` (relaxed form): an approximately uniform neighbor of `v`.
+    RandomNeighbor(VertexId),
+    /// `f4`: whether `{u, v} ∈ E`.
+    Adjacent(VertexId, VertexId),
+}
+
+/// The oracle's answer to one [`Query`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Answer {
+    /// Answer to [`Query::EdgeCount`].
+    EdgeCount(usize),
+    /// Answer to [`Query::RandomEdge`]; `None` means the query failed
+    /// (possible in the relaxed model / turnstile emulation, or `E = ∅`).
+    Edge(Option<Edge>),
+    /// Answer to [`Query::Degree`].
+    Degree(usize),
+    /// Answer to [`Query::IthNeighbor`] / [`Query::RandomNeighbor`];
+    /// `None` when `i > dg(v)`, the vertex is isolated, or the relaxed
+    /// query failed.
+    Neighbor(Option<VertexId>),
+    /// Answer to [`Query::Adjacent`].
+    Adjacent(bool),
+}
+
+impl Answer {
+    /// Extract an edge-count answer; panics on type confusion (which
+    /// indicates an algorithm/executor protocol bug, never user error).
+    pub fn expect_edge_count(&self) -> usize {
+        match self {
+            Answer::EdgeCount(m) => *m,
+            other => panic!("expected EdgeCount answer, got {other:?}"),
+        }
+    }
+
+    /// Extract an edge answer.
+    pub fn expect_edge(&self) -> Option<Edge> {
+        match self {
+            Answer::Edge(e) => *e,
+            other => panic!("expected Edge answer, got {other:?}"),
+        }
+    }
+
+    /// Extract a degree answer.
+    pub fn expect_degree(&self) -> usize {
+        match self {
+            Answer::Degree(d) => *d,
+            other => panic!("expected Degree answer, got {other:?}"),
+        }
+    }
+
+    /// Extract a neighbor answer.
+    pub fn expect_neighbor(&self) -> Option<VertexId> {
+        match self {
+            Answer::Neighbor(n) => *n,
+            other => panic!("expected Neighbor answer, got {other:?}"),
+        }
+    }
+
+    /// Extract an adjacency answer.
+    pub fn expect_adjacent(&self) -> bool {
+        match self {
+            Answer::Adjacent(b) => *b,
+            other => panic!("expected Adjacent answer, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractors_roundtrip() {
+        let e = Edge::new(VertexId(1), VertexId(2));
+        assert_eq!(Answer::Edge(Some(e)).expect_edge(), Some(e));
+        assert_eq!(Answer::Degree(4).expect_degree(), 4);
+        assert_eq!(
+            Answer::Neighbor(Some(VertexId(3))).expect_neighbor(),
+            Some(VertexId(3))
+        );
+        assert!(Answer::Adjacent(true).expect_adjacent());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Edge")]
+    fn extractor_type_confusion_panics() {
+        let _ = Answer::Degree(1).expect_edge();
+    }
+}

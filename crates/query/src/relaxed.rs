@@ -1,0 +1,141 @@
+//! The *relaxed* augmented general graph model (Definition 10) as an
+//! explicit failure-injecting oracle.
+//!
+//! Definition 10 weakens `f1`/`f3`: samples are only approximately
+//! uniform (±1/n^c) and may fail outright with probability ≤ 1/n^c.
+//! The turnstile executor realizes this model implicitly (ℓ₀-samplers
+//! fail on ties); [`RelaxedOracle`] realizes it *explicitly* with a
+//! tunable failure probability, which lets tests and experiments verify
+//! that algorithms written for the relaxed model degrade gracefully:
+//! failures may cost success probability, but soundness (no fabricated
+//! copies, no wrong adjacency/degree answers) is preserved — exactly the
+//! property the proof of Lemma 18 relies on.
+
+use crate::oracle::{ExactOracle, GraphOracle};
+use crate::query::{Answer, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgs_graph::AdjListGraph;
+
+/// An oracle for the relaxed model: exact `f2`/`f4`, failure-injected
+/// `f1`/`f3`.
+pub struct RelaxedOracle<'g> {
+    inner: ExactOracle<'g>,
+    rng: StdRng,
+    fail_prob: f64,
+    failures_injected: u64,
+}
+
+impl<'g> RelaxedOracle<'g> {
+    /// Wrap a graph; sampling queries fail with probability `fail_prob`.
+    pub fn new(g: &'g AdjListGraph, fail_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fail_prob));
+        RelaxedOracle {
+            inner: ExactOracle::new(g, seed ^ 0x9e37_79b9),
+            rng: StdRng::seed_from_u64(seed),
+            fail_prob,
+            failures_injected: 0,
+        }
+    }
+
+    /// How many sampling queries were failed so far.
+    pub fn failures_injected(&self) -> u64 {
+        self.failures_injected
+    }
+
+    /// The failure probability per Definition 10 for a graph on `n`
+    /// vertices with constant `c`: `1/n^c`.
+    pub fn definition_fail_prob(n: usize, c: f64) -> f64 {
+        (n.max(2) as f64).powf(-c).min(1.0)
+    }
+}
+
+impl GraphOracle for RelaxedOracle<'_> {
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn answer(&mut self, q: Query) -> Answer {
+        match q {
+            Query::RandomEdge => {
+                if self.rng.gen_bool(self.fail_prob) {
+                    self.failures_injected += 1;
+                    Answer::Edge(None)
+                } else {
+                    self.inner.answer(q)
+                }
+            }
+            Query::RandomNeighbor(_) => {
+                if self.rng.gen_bool(self.fail_prob) {
+                    self.failures_injected += 1;
+                    Answer::Neighbor(None)
+                } else {
+                    self.inner.answer(q)
+                }
+            }
+            Query::IthNeighbor(..) => panic!(
+                "IthNeighbor is not part of the relaxed model (Definition 10); \
+                 use RandomNeighbor"
+            ),
+            // f2/f4/EdgeCount stay exact.
+            other => self.inner.answer(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::{gen, StaticGraph, VertexId};
+
+    #[test]
+    fn zero_failure_matches_exact() {
+        let g = gen::gnm(20, 60, 1);
+        let mut o = RelaxedOracle::new(&g, 0.0, 2);
+        for _ in 0..100 {
+            assert!(o.answer(Query::RandomEdge).expect_edge().is_some());
+        }
+        assert_eq!(o.failures_injected(), 0);
+    }
+
+    #[test]
+    fn failures_are_injected_at_rate() {
+        let g = gen::gnm(20, 60, 3);
+        let mut o = RelaxedOracle::new(&g, 0.3, 4);
+        let trials = 10_000;
+        let mut fails = 0;
+        for _ in 0..trials {
+            if o.answer(Query::RandomEdge).expect_edge().is_none() {
+                fails += 1;
+            }
+        }
+        let rate = fails as f64 / trials as f64;
+        assert!((0.27..0.33).contains(&rate), "rate {rate}");
+        assert_eq!(o.failures_injected(), fails);
+    }
+
+    #[test]
+    fn deterministic_queries_never_fail() {
+        let g = gen::gnm(20, 60, 5);
+        let mut o = RelaxedOracle::new(&g, 0.9, 6);
+        for v in 0..20u32 {
+            let v = VertexId(v);
+            assert_eq!(o.answer(Query::Degree(v)).expect_degree(), g.degree(v));
+        }
+        assert_eq!(o.answer(Query::EdgeCount).expect_edge_count(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the relaxed model")]
+    fn indexed_neighbor_rejected() {
+        let g = gen::gnm(5, 5, 7);
+        let mut o = RelaxedOracle::new(&g, 0.1, 8);
+        let _ = o.answer(Query::IthNeighbor(VertexId(0), 1));
+    }
+
+    #[test]
+    fn definition_probability() {
+        let p = RelaxedOracle::definition_fail_prob(100, 2.0);
+        assert!((p - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Round-adaptive graph query algorithms (Definition 8).
+//!
+//! A `k`-round adaptive algorithm proceeds in rounds: in each round it
+//! emits a *batch* of queries that may depend only on its own randomness
+//! and the answers to earlier rounds. This is exactly the structure the
+//! transformation theorems exploit — each round's batch can be answered by
+//! one streaming pass.
+//!
+//! [`RoundAdaptive`] captures the state machine; [`Parallel`] merges many
+//! instances so they share rounds (the paper's "parallel for" loops, e.g.
+//! the `k` estimator copies of Theorem 17 that together still use only 3
+//! passes).
+
+use crate::query::{Answer, Query};
+
+/// A round-adaptive algorithm as a resumable state machine.
+///
+/// Protocol: the executor first calls `next_round(&[])`; the returned
+/// queries are answered (all together), and their answers are passed to
+/// the next `next_round` call, in order. An empty batch signals
+/// completion, after which [`RoundAdaptive::output`] may be taken.
+///
+/// All randomness an implementation needs must live inside the
+/// implementation (seeded at construction): executors contribute *only*
+/// query answers. This separation is what makes "same output
+/// distribution" (Theorems 9/11) meaningful and testable.
+pub trait RoundAdaptive {
+    /// The algorithm's result type.
+    type Output;
+
+    /// Receive answers to the previous batch and emit the next batch;
+    /// empty means done. `answers` is empty on the first call.
+    fn next_round(&mut self, answers: &[Answer]) -> Vec<Query>;
+
+    /// The final output; only meaningful after `next_round` returned an
+    /// empty batch.
+    fn output(&mut self) -> Self::Output;
+}
+
+/// Runs many instances of a round-adaptive algorithm in lock-step, merging
+/// their per-round batches. The combined algorithm is done when every
+/// instance is done; its round count is the *maximum* over instances, not
+/// the sum — this is the pass-sharing trick behind Theorem 17.
+pub struct Parallel<A: RoundAdaptive> {
+    instances: Vec<A>,
+    /// Pending query count per instance for the current round.
+    pending: Vec<usize>,
+    started: bool,
+}
+
+impl<A: RoundAdaptive> Parallel<A> {
+    /// Combine instances.
+    pub fn new(instances: Vec<A>) -> Self {
+        let n = instances.len();
+        Parallel {
+            instances,
+            pending: vec![0; n],
+            started: false,
+        }
+    }
+
+    /// Number of managed instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+impl<A: RoundAdaptive> RoundAdaptive for Parallel<A> {
+    type Output = Vec<A::Output>;
+
+    fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+        if self.started {
+            debug_assert_eq!(
+                answers.len(),
+                self.pending.iter().sum::<usize>(),
+                "answer batch size mismatch"
+            );
+        }
+        self.started = true;
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        for (i, inst) in self.instances.iter_mut().enumerate() {
+            let take = self.pending[i];
+            let slice = &answers[cursor..cursor + take];
+            cursor += take;
+            let qs = inst.next_round(slice);
+            self.pending[i] = qs.len();
+            out.extend(qs);
+        }
+        out
+    }
+
+    fn output(&mut self) -> Vec<A::Output> {
+        self.instances.iter_mut().map(|a| a.output()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::VertexId;
+
+    /// Test fixture: asks for the degrees of `0..k`, one per round
+    /// (deliberately many rounds), output = sum of degrees.
+    struct SequentialDegreeSum {
+        k: u32,
+        next: u32,
+        sum: usize,
+    }
+
+    impl RoundAdaptive for SequentialDegreeSum {
+        type Output = usize;
+
+        fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+            if let Some(a) = answers.first() {
+                self.sum += a.expect_degree();
+            }
+            if self.next < self.k {
+                let q = Query::Degree(VertexId(self.next));
+                self.next += 1;
+                vec![q]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn output(&mut self) -> usize {
+            self.sum
+        }
+    }
+
+    /// One-round fixture: asks all degrees at once.
+    struct BatchedDegreeSum {
+        k: u32,
+        asked: bool,
+        sum: usize,
+    }
+
+    impl RoundAdaptive for BatchedDegreeSum {
+        type Output = usize;
+
+        fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+            if self.asked {
+                self.sum = answers.iter().map(|a| a.expect_degree()).sum();
+                return Vec::new();
+            }
+            self.asked = true;
+            (0..self.k).map(|v| Query::Degree(VertexId(v))).collect()
+        }
+
+        fn output(&mut self) -> usize {
+            self.sum
+        }
+    }
+
+    fn drive<A: RoundAdaptive>(mut alg: A, degree_of: impl Fn(u32) -> usize) -> (A::Output, usize) {
+        let mut answers: Vec<Answer> = Vec::new();
+        let mut rounds = 0;
+        loop {
+            let batch = alg.next_round(&answers);
+            if batch.is_empty() {
+                break;
+            }
+            rounds += 1;
+            answers = batch
+                .iter()
+                .map(|q| match q {
+                    Query::Degree(v) => Answer::Degree(degree_of(v.0)),
+                    _ => unreachable!(),
+                })
+                .collect();
+        }
+        (alg.output(), rounds)
+    }
+
+    #[test]
+    fn sequential_uses_k_rounds() {
+        let alg = SequentialDegreeSum {
+            k: 5,
+            next: 0,
+            sum: 0,
+        };
+        let (sum, rounds) = drive(alg, |v| v as usize);
+        assert_eq!(sum, 1 + 2 + 3 + 4);
+        assert_eq!(rounds, 5);
+    }
+
+    #[test]
+    fn batched_uses_one_round() {
+        let alg = BatchedDegreeSum {
+            k: 5,
+            asked: false,
+            sum: 0,
+        };
+        let (sum, rounds) = drive(alg, |v| v as usize);
+        assert_eq!(sum, 10);
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn parallel_shares_rounds() {
+        // 10 sequential instances in parallel: still k rounds, not 10k.
+        let insts: Vec<SequentialDegreeSum> = (0..10)
+            .map(|_| SequentialDegreeSum {
+                k: 5,
+                next: 0,
+                sum: 0,
+            })
+            .collect();
+        let par = Parallel::new(insts);
+        let (outputs, rounds) = drive(par, |v| v as usize);
+        assert_eq!(outputs, vec![10; 10]);
+        assert_eq!(rounds, 5);
+    }
+
+    #[test]
+    fn parallel_with_uneven_lengths() {
+        let insts = vec![
+            SequentialDegreeSum {
+                k: 2,
+                next: 0,
+                sum: 0,
+            },
+            SequentialDegreeSum {
+                k: 6,
+                next: 0,
+                sum: 0,
+            },
+        ];
+        let par = Parallel::new(insts);
+        let (outputs, rounds) = drive(par, |_| 1);
+        assert_eq!(outputs, vec![2, 6]);
+        assert_eq!(rounds, 6); // max, not sum
+    }
+
+    #[test]
+    fn parallel_empty() {
+        let par: Parallel<SequentialDegreeSum> = Parallel::new(vec![]);
+        let (outputs, rounds) = drive(par, |_| 0);
+        assert!(outputs.is_empty());
+        assert_eq!(rounds, 0);
+    }
+}

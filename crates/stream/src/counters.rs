@@ -1,0 +1,329 @@
+//! Small per-query streaming state: the `f2`–`f4` emulators from the
+//! proofs of Theorems 9 and 11.
+//!
+//! Each structure tracks a *fixed, known* set of targets (the vertices /
+//! pairs named by the current round's queries) through one pass:
+//!
+//! * [`DegreeCounters`] — `f2`: one counter per tracked vertex; works in
+//!   both insertion-only and turnstile streams (deletions decrement).
+//! * [`NeighborWatchers`] — `f3` (insertion-only): report the `i`-th
+//!   incident edge of a vertex seen in stream order.
+//! * [`AdjacencyFlags`] — `f4`: one flag per tracked pair; in turnstile
+//!   streams the flag follows the last update (insert sets, delete clears).
+//! * [`EdgeCounter`] — the running edge count `m` (used by pass 1 of
+//!   Algorithm 1).
+
+use crate::space::SpaceUsage;
+use crate::update::EdgeUpdate;
+use sgs_graph::{Edge, VertexId};
+use std::collections::HashMap;
+
+/// Degree counters for a tracked vertex set (`f2`).
+#[derive(Clone, Debug, Default)]
+pub struct DegreeCounters {
+    counts: HashMap<VertexId, i64>,
+}
+
+impl DegreeCounters {
+    /// Track the given vertices (duplicates fine).
+    pub fn new(vertices: impl IntoIterator<Item = VertexId>) -> Self {
+        DegreeCounters {
+            counts: vertices.into_iter().map(|v| (v, 0)).collect(),
+        }
+    }
+
+    /// Feed one stream update.
+    #[inline]
+    pub fn feed(&mut self, u: EdgeUpdate) {
+        let (a, b) = u.edge.endpoints();
+        let d = u.delta as i64;
+        if let Some(c) = self.counts.get_mut(&a) {
+            *c += d;
+        }
+        if let Some(c) = self.counts.get_mut(&b) {
+            *c += d;
+        }
+    }
+
+    /// The degree of a tracked vertex (None if untracked).
+    pub fn degree(&self, v: VertexId) -> Option<usize> {
+        self.counts.get(&v).map(|&c| c.max(0) as usize)
+    }
+
+    /// The collected dictionary `d[V']` as a lookup closure input.
+    pub fn as_map(&self) -> HashMap<VertexId, usize> {
+        self.counts
+            .iter()
+            .map(|(&v, &c)| (v, c.max(0) as usize))
+            .collect()
+    }
+
+    /// Number of tracked vertices.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+impl SpaceUsage for DegreeCounters {
+    fn space_bytes(&self) -> usize {
+        self.counts.len() * (std::mem::size_of::<VertexId>() + std::mem::size_of::<i64>())
+    }
+}
+
+/// Watches for the `i`-th edge incident to a vertex in stream arrival
+/// order (`f3` in insertion-only streams; Theorem 9's proof).
+///
+/// Queries are grouped by vertex so that a pass carrying thousands of
+/// watchers (the "parallel for" batches of Theorem 17) costs O(1) per
+/// stream update for untracked endpoints: one hash probe per endpoint,
+/// plus O(hits) when an awaited arrival index is reached.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborWatchers {
+    /// Per-vertex: (arrivals seen, pending (index, slot) sorted descending
+    /// so the next-due entry is last).
+    per_vertex: HashMap<VertexId, (u64, Vec<(u64, usize)>)>,
+    /// Answers by registration slot.
+    answers: Vec<Option<VertexId>>,
+}
+
+impl NeighborWatchers {
+    /// Watch for the `i`-th neighbor (1-based as in the paper) of each
+    /// listed vertex.
+    pub fn new(queries: impl IntoIterator<Item = (VertexId, u64)>) -> Self {
+        let mut per_vertex: HashMap<VertexId, (u64, Vec<(u64, usize)>)> = HashMap::new();
+        let mut slots = 0usize;
+        for (v, i) in queries {
+            per_vertex.entry(v).or_default().1.push((i, slots));
+            slots += 1;
+        }
+        for (_, pending) in per_vertex.values_mut() {
+            // Descending by index: pop() yields the smallest outstanding.
+            pending.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        }
+        NeighborWatchers {
+            per_vertex,
+            answers: vec![None; slots],
+        }
+    }
+
+    /// Feed one stream update (insertion-only semantics: deletions are
+    /// rejected with a panic, as `f3`-by-index is not well defined under
+    /// deletions — the turnstile executor uses ℓ₀-samplers instead).
+    #[inline]
+    pub fn feed(&mut self, u: EdgeUpdate) {
+        assert!(
+            u.is_insert(),
+            "NeighborWatchers only support insertion-only streams"
+        );
+        let (a, b) = u.edge.endpoints();
+        self.feed_endpoint(a, b);
+        self.feed_endpoint(b, a);
+    }
+
+    #[inline]
+    fn feed_endpoint(&mut self, v: VertexId, other: VertexId) {
+        if let Some((seen, pending)) = self.per_vertex.get_mut(&v) {
+            *seen += 1;
+            while let Some(&(idx, slot)) = pending.last() {
+                if idx == *seen {
+                    self.answers[slot] = Some(other);
+                    pending.pop();
+                } else if idx < *seen {
+                    // Index 0 or duplicates already consumed; drop.
+                    pending.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The answer for the `q`-th registered query: the neighbor, or None
+    /// if the vertex had fewer than `i` incident edges (or `i = 0`).
+    pub fn answer(&self, q: usize) -> Option<VertexId> {
+        self.answers[q]
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+impl SpaceUsage for NeighborWatchers {
+    fn space_bytes(&self) -> usize {
+        self.answers.len() * (std::mem::size_of::<(u64, usize)>() + 8)
+            + self.per_vertex.len() * 16
+    }
+}
+
+/// Presence flags for a tracked set of vertex pairs (`f4`).
+#[derive(Clone, Debug, Default)]
+pub struct AdjacencyFlags {
+    flags: HashMap<u64, bool>,
+}
+
+impl AdjacencyFlags {
+    /// Track the given pairs.
+    pub fn new(pairs: impl IntoIterator<Item = Edge>) -> Self {
+        AdjacencyFlags {
+            flags: pairs.into_iter().map(|e| (e.key(), false)).collect(),
+        }
+    }
+
+    /// Feed one stream update: an insertion sets the flag, a deletion
+    /// clears it (the turnstile "last update wins" semantics from the
+    /// proof of Theorem 11, which coincides with presence under the
+    /// strict-turnstile invariant).
+    #[inline]
+    pub fn feed(&mut self, u: EdgeUpdate) {
+        if let Some(f) = self.flags.get_mut(&u.edge.key()) {
+            *f = u.is_insert();
+        }
+    }
+
+    /// Whether the tracked pair is present (None if untracked).
+    pub fn present(&self, e: Edge) -> Option<bool> {
+        self.flags.get(&e.key()).copied()
+    }
+
+    /// Number of tracked pairs.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether no pairs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+}
+
+impl SpaceUsage for AdjacencyFlags {
+    fn space_bytes(&self) -> usize {
+        self.flags.len() * (std::mem::size_of::<u64>() + 1)
+    }
+}
+
+/// Running edge count `m` (net, under deletions).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeCounter {
+    m: i64,
+}
+
+impl EdgeCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        EdgeCounter::default()
+    }
+
+    /// Feed one update.
+    #[inline]
+    pub fn feed(&mut self, u: EdgeUpdate) {
+        self.m += u.delta as i64;
+    }
+
+    /// Current edge count.
+    pub fn count(&self) -> usize {
+        self.m.max(0) as usize
+    }
+}
+
+impl SpaceUsage for EdgeCounter {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{EdgeStream, InsertionStream, TurnstileStream};
+    use sgs_graph::{gen, StaticGraph};
+
+    #[test]
+    fn degree_counters_match_graph() {
+        let g = gen::gnm(20, 60, 1);
+        let s = InsertionStream::from_graph(&g, 2);
+        let mut dc = DegreeCounters::new((0..20).map(|v| VertexId(v as u32)));
+        s.replay(&mut |u| dc.feed(u));
+        for v in g.vertices() {
+            assert_eq!(dc.degree(v), Some(g.degree(v)));
+        }
+        assert_eq!(dc.degree(VertexId(99)), None);
+    }
+
+    #[test]
+    fn degree_counters_under_deletions() {
+        let g = gen::gnm(20, 60, 1);
+        let s = TurnstileStream::from_graph_with_churn(&g, 1.0, 5);
+        let mut dc = DegreeCounters::new((0..20).map(|v| VertexId(v as u32)));
+        s.replay(&mut |u| dc.feed(u));
+        for v in g.vertices() {
+            assert_eq!(dc.degree(v), Some(g.degree(v)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_watcher_returns_ith_arrival() {
+        use sgs_graph::Edge;
+        let edges = vec![
+            Edge::from((0, 5)),
+            Edge::from((1, 2)),
+            Edge::from((0, 3)),
+            Edge::from((4, 0)),
+        ];
+        let s = InsertionStream::from_edge_order(6, edges);
+        let mut nw = NeighborWatchers::new([
+            (VertexId(0), 1),
+            (VertexId(0), 2),
+            (VertexId(0), 3),
+            (VertexId(0), 4),
+        ]);
+        s.replay(&mut |u| nw.feed(u));
+        assert_eq!(nw.answer(0), Some(VertexId(5)));
+        assert_eq!(nw.answer(1), Some(VertexId(3)));
+        assert_eq!(nw.answer(2), Some(VertexId(4)));
+        assert_eq!(nw.answer(3), None); // only 3 incident edges
+    }
+
+    #[test]
+    fn adjacency_flags_follow_last_update() {
+        use sgs_graph::Edge;
+        let e = Edge::from((0, 1));
+        let f = Edge::from((2, 3));
+        let mut af = AdjacencyFlags::new([e, f]);
+        af.feed(EdgeUpdate::insert(e));
+        af.feed(EdgeUpdate::insert(f));
+        af.feed(EdgeUpdate::delete(f));
+        assert_eq!(af.present(e), Some(true));
+        assert_eq!(af.present(f), Some(false));
+        assert_eq!(af.present(Edge::from((4, 5))), None);
+    }
+
+    #[test]
+    fn edge_counter_nets_out() {
+        let g = gen::gnm(30, 90, 7);
+        let s = TurnstileStream::from_graph_with_churn(&g, 2.0, 8);
+        let mut ec = EdgeCounter::new();
+        s.replay(&mut |u| ec.feed(u));
+        assert_eq!(ec.count(), 90);
+    }
+
+    #[test]
+    fn space_accounting_nonzero() {
+        let dc = DegreeCounters::new([VertexId(1), VertexId(2)]);
+        assert!(dc.space_bytes() > 0);
+        let nw = NeighborWatchers::new([(VertexId(0), 1)]);
+        assert!(nw.space_bytes() > 0);
+    }
+}

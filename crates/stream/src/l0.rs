@@ -1,0 +1,301 @@
+//! ℓ₀-samplers for turnstile streams (Lemma 7).
+//!
+//! An ℓ₀-sampler summarizes a vector undergoing additive updates and, on
+//! query, returns a (near-)uniform element of its support. Theorem 11 uses
+//! one sampler per `f1` query (over the edge domain) and per `f3` query
+//! (over the adjacency list of one vertex).
+//!
+//! The construction follows the unifying framework of Cormode & Firmani
+//! (Lemma 7's citation): a hierarchy of geometrically subsampled levels,
+//! each summarized by a 1-sparse detector (count, key-sum, random-linear
+//! fingerprint). Recovery walks from the deepest level up and returns the
+//! unique survivor of the first exactly-1-sparse level; by symmetry of the
+//! hash, that survivor is uniform over the support. A repetition fails when
+//! the maximal subsampling level holds a tie, so the sampler keeps `R`
+//! independent repetitions; empirical failure rates and uniformity are
+//! measured by experiment E3.
+//!
+//! Space: `R · (max_level + 1)` detectors of 4 words each — the concrete
+//! counterpart of Lemma 7's `O(log⁴ n)` bits (we keep the `log` levels and
+//! replace the remaining union-bound machinery with repetitions; the
+//! *interface contract* — uniform support element or explicit failure — is
+//! what downstream algorithms rely on).
+
+use crate::hash::{split_seed, SeededHash};
+use crate::space::SpaceUsage;
+
+/// A 1-sparse detector: decides whether the updates it absorbed form a
+/// single key with net weight exactly `+1` (strict-turnstile simple-graph
+/// semantics), and if so recovers that key.
+#[derive(Clone, Copy, Debug, Default)]
+struct OneSparse {
+    count: i64,
+    key_sum: i128,
+    fingerprint: u64,
+}
+
+impl OneSparse {
+    /// `fp` must be the fingerprint hash of `key` (hoisted by the caller
+    /// so the level hierarchy hashes each update once, not once per
+    /// level).
+    #[inline]
+    fn update(&mut self, key: u64, delta: i64, fp: u64) {
+        self.count += delta;
+        self.key_sum += key as i128 * delta as i128;
+        if delta >= 0 {
+            for _ in 0..delta {
+                self.fingerprint = self.fingerprint.wrapping_add(fp);
+            }
+        } else {
+            for _ in 0..(-delta) {
+                self.fingerprint = self.fingerprint.wrapping_sub(fp);
+            }
+        }
+    }
+
+    /// Returns the unique key if the detector is exactly 1-sparse with
+    /// weight +1.
+    #[inline]
+    fn recover(&self, fp_hash: &SeededHash) -> Option<u64> {
+        if self.count != 1 {
+            return None;
+        }
+        if self.key_sum < 0 || self.key_sum > u64::MAX as i128 {
+            return None;
+        }
+        let key = self.key_sum as u64;
+        if fp_hash.hash64(key) == self.fingerprint {
+            Some(key)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.count == 0 && self.key_sum == 0 && self.fingerprint == 0
+    }
+}
+
+/// One independent repetition: a level hierarchy under one hash function.
+#[derive(Clone, Debug)]
+struct Repetition {
+    level_hash: SeededHash,
+    fp_hash: SeededHash,
+    levels: Vec<OneSparse>,
+}
+
+impl Repetition {
+    fn new(max_level: u32, seed: u64) -> Self {
+        Repetition {
+            level_hash: SeededHash::new(split_seed(seed, 0)),
+            fp_hash: SeededHash::new(split_seed(seed, 1)),
+            levels: vec![OneSparse::default(); max_level as usize + 1],
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, key: u64, delta: i64) {
+        let max = (self.levels.len() - 1) as u32;
+        let lvl = self.level_hash.geometric_level(key, max);
+        let fp = self.fp_hash.hash64(key);
+        // Nested levels: the item lives in levels 0..=lvl.
+        for l in 0..=lvl as usize {
+            self.levels[l].update(key, delta, fp);
+        }
+    }
+
+    fn sample(&self) -> Option<u64> {
+        // Deepest exactly-1-sparse level wins: its survivor has the
+        // (unique) maximum subsampling depth, uniform over the support.
+        for l in (0..self.levels.len()).rev() {
+            if self.levels[l].is_zero() {
+                continue;
+            }
+            return self.levels[l].recover(&self.fp_hash);
+        }
+        None
+    }
+}
+
+/// A turnstile ℓ₀-sampler over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct L0Sampler {
+    reps: Vec<Repetition>,
+    updates_absorbed: u64,
+}
+
+/// Default number of independent repetitions.
+pub const DEFAULT_REPS: usize = 8;
+
+impl L0Sampler {
+    /// Create a sampler with `reps` repetitions and `max_level + 1`
+    /// subsampling levels. `max_level` should be at least
+    /// `log2(support size)`; 40 comfortably covers every workload here.
+    pub fn new(max_level: u32, reps: usize, seed: u64) -> Self {
+        assert!(reps >= 1);
+        L0Sampler {
+            reps: (0..reps)
+                .map(|i| Repetition::new(max_level, split_seed(seed, 100 + i as u64)))
+                .collect(),
+            updates_absorbed: 0,
+        }
+    }
+
+    /// Sampler sized for a graph on `n` vertices over the edge domain
+    /// (`Edge::key()` keys), with default repetitions.
+    pub fn for_edge_domain(n: usize, seed: u64) -> Self {
+        let bits = (n.max(2) as f64).log2().ceil() as u32;
+        Self::new((2 * bits + 4).min(62), DEFAULT_REPS, seed)
+    }
+
+    /// Absorb an update: `delta` is `+1`/`-1` in strict turnstile streams.
+    #[inline]
+    pub fn update(&mut self, key: u64, delta: i64) {
+        self.updates_absorbed += 1;
+        for r in &mut self.reps {
+            r.update(key, delta);
+        }
+    }
+
+    /// Query: a uniform support element, or `None` on failure (all
+    /// repetitions had ties) or empty support.
+    pub fn sample(&self) -> Option<u64> {
+        self.reps.iter().find_map(|r| r.sample())
+    }
+
+    /// Whether the first repetition's level 0 is empty — i.e. the absorbed
+    /// updates cancel completely. Exact for strict streams (level 0 holds
+    /// every key).
+    pub fn support_is_empty(&self) -> bool {
+        self.reps[0].levels[0].count == 0
+    }
+
+    /// Total updates absorbed (diagnostics).
+    pub fn updates_absorbed(&self) -> u64 {
+        self.updates_absorbed
+    }
+}
+
+impl SpaceUsage for L0Sampler {
+    fn space_bytes(&self) -> usize {
+        let per_detector = std::mem::size_of::<OneSparse>();
+        let levels: usize = self.reps.iter().map(|r| r.levels.len()).sum();
+        levels * per_detector + self.reps.len() * 2 * std::mem::size_of::<SeededHash>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let s = L0Sampler::new(20, 4, 1);
+        assert!(s.sample().is_none());
+        assert!(s.support_is_empty());
+    }
+
+    #[test]
+    fn singleton_support_always_recovered() {
+        for seed in 0..20 {
+            let mut s = L0Sampler::new(20, 4, seed);
+            s.update(12345, 1);
+            assert_eq!(s.sample(), Some(12345), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut s = L0Sampler::new(20, 4, 3);
+        s.update(7, 1);
+        s.update(9, 1);
+        s.update(7, -1);
+        assert_eq!(s.sample(), Some(9));
+        s.update(9, -1);
+        assert!(s.sample().is_none());
+        assert!(s.support_is_empty());
+    }
+
+    #[test]
+    fn returns_only_live_keys() {
+        // Insert 100 keys, delete the even ones; samples must be odd.
+        for trial in 0..50u64 {
+            let mut s = L0Sampler::new(30, 6, split_seed(0xdead, trial));
+            for k in 0..100u64 {
+                s.update(k, 1);
+            }
+            for k in (0..100u64).step_by(2) {
+                s.update(k, -1);
+            }
+            if let Some(k) = s.sample() {
+                assert_eq!(k % 2, 1, "trial {trial} returned deleted key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_rate_is_low_with_reps() {
+        let mut failures = 0;
+        let trials = 300u64;
+        for t in 0..trials {
+            let mut s = L0Sampler::new(30, DEFAULT_REPS, split_seed(0xbeef, t));
+            for k in 0..64u64 {
+                s.update(k * 17 + 1, 1);
+            }
+            if s.sample().is_none() {
+                failures += 1;
+            }
+        }
+        assert!(
+            (failures as f64) < trials as f64 * 0.05,
+            "{failures}/{trials} failures"
+        );
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let n_keys = 16u64;
+        let trials = 8000u64;
+        let mut hits: HashMap<u64, u64> = HashMap::new();
+        for t in 0..trials {
+            let mut s = L0Sampler::new(30, DEFAULT_REPS, split_seed(0xf00d, t));
+            for k in 0..n_keys {
+                s.update(k, 1);
+            }
+            if let Some(k) = s.sample() {
+                *hits.entry(k).or_default() += 1;
+            }
+        }
+        let total: u64 = hits.values().sum();
+        let expect = total as f64 / n_keys as f64;
+        for k in 0..n_keys {
+            let h = *hits.get(&k).unwrap_or(&0) as f64;
+            assert!(
+                (h - expect).abs() / expect < 0.25,
+                "key {k}: {h} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_usage_scales_with_parameters() {
+        let small = L0Sampler::new(10, 2, 1);
+        let big = L0Sampler::new(40, 8, 1);
+        assert!(big.space_bytes() > small.space_bytes());
+        assert!(small.space_bytes() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = L0Sampler::new(25, 4, seed);
+            for k in 0..50u64 {
+                s.update(k * 3, 1);
+            }
+            s.sample()
+        };
+        assert_eq!(run(77), run(77));
+    }
+}

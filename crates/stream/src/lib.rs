@@ -1,0 +1,28 @@
+//! # sgs-stream — stream substrate
+//!
+//! Edge-stream models and the streaming primitives the paper's
+//! transformation theorems (Theorems 9 and 11) rely on:
+//!
+//! * [`update`] — edge insertions/deletions (`EdgeUpdate`),
+//! * [`source`] — arbitrary-order insertion-only and turnstile streams,
+//!   with pass accounting,
+//! * [`reservoir`] — reservoir sampling, the `f1` emulator for
+//!   insertion-only streams (Theorem 9),
+//! * [`l0`] — ℓ₀-samplers for turnstile streams (Lemma 7, Theorem 11),
+//! * [`counters`] — degree counters, i-th-neighbor watchers, adjacency
+//!   flags, edge counters (the `f2`–`f4` emulators),
+//! * [`space`] — measured space usage of every sketch, so the experiment
+//!   harness can report *actual* words instead of asymptotic claims,
+//! * [`hash`] — seeded hashing used by the sketches.
+
+pub mod counters;
+pub mod hash;
+pub mod l0;
+pub mod reservoir;
+pub mod source;
+pub mod space;
+pub mod update;
+
+pub use source::{EdgeStream, InsertionStream, PassCounter, TurnstileStream};
+pub use space::SpaceUsage;
+pub use update::EdgeUpdate;

@@ -1,0 +1,157 @@
+//! Reservoir sampling — the `f1` (uniform random edge) emulator for
+//! insertion-only streams (Theorem 9).
+//!
+//! A size-1 reservoir keeps each stream item with probability `1/t` at the
+//! `t`-th arrival, so after a full pass every item is retained with
+//! probability exactly `1/len`. This costs `O(log n)` bits per sampler,
+//! which is where Theorem 9's `O(q log n)` total comes from (one sampler
+//! per `f1` query in the round's batch).
+
+use crate::hash::split_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single-item reservoir sampler over items of type `T`.
+#[derive(Clone, Debug)]
+pub struct ReservoirSampler<T> {
+    rng: StdRng,
+    seen: u64,
+    current: Option<T>,
+}
+
+impl<T: Copy> ReservoirSampler<T> {
+    /// Create an empty sampler with its own random stream.
+    pub fn new(seed: u64) -> Self {
+        ReservoirSampler {
+            rng: StdRng::seed_from_u64(seed),
+            seen: 0,
+            current: None,
+        }
+    }
+
+    /// Offer the next stream item.
+    #[inline]
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.rng.gen_range(0..self.seen) == 0 {
+            self.current = Some(item);
+        }
+    }
+
+    /// The sampled item, uniform over everything offered (None if nothing
+    /// was offered).
+    pub fn sample(&self) -> Option<T> {
+        self.current
+    }
+
+    /// How many items were offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// A bank of `k` independent single-item reservoirs filled in one pass —
+/// the paper's "parallel" query batches (`k` independent `f1` queries
+/// answered in the same pass).
+#[derive(Clone, Debug)]
+pub struct ReservoirBank<T> {
+    samplers: Vec<ReservoirSampler<T>>,
+}
+
+impl<T: Copy> ReservoirBank<T> {
+    /// `k` independent samplers, seeds derived from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        ReservoirBank {
+            samplers: (0..k)
+                .map(|i| ReservoirSampler::new(split_seed(seed, i as u64)))
+                .collect(),
+        }
+    }
+
+    /// Offer an item to every sampler.
+    #[inline]
+    pub fn offer(&mut self, item: T) {
+        for s in &mut self.samplers {
+            s.offer(item);
+        }
+    }
+
+    /// Samples, one per reservoir.
+    pub fn samples(&self) -> Vec<Option<T>> {
+        self.samplers.iter().map(|s| s.sample()).collect()
+    }
+
+    /// Number of samplers.
+    pub fn len(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Whether the bank has no samplers.
+    pub fn is_empty(&self) -> bool {
+        self.samplers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reservoir_returns_none() {
+        let r: ReservoirSampler<u32> = ReservoirSampler::new(1);
+        assert!(r.sample().is_none());
+    }
+
+    #[test]
+    fn single_item_always_kept() {
+        let mut r = ReservoirSampler::new(2);
+        r.offer(7u32);
+        assert_eq!(r.sample(), Some(7));
+        assert_eq!(r.seen(), 1);
+    }
+
+    #[test]
+    fn distribution_is_close_to_uniform() {
+        // 10 items, many independent samplers: each item should win
+        // ~1/10 of the time.
+        let n_items = 10u32;
+        let trials = 20_000;
+        let mut wins = vec![0u32; n_items as usize];
+        for t in 0..trials {
+            let mut r = ReservoirSampler::new(split_seed(0xabc, t));
+            for i in 0..n_items {
+                r.offer(i);
+            }
+            wins[r.sample().unwrap() as usize] += 1;
+        }
+        let expect = trials as f64 / n_items as f64;
+        for (i, &w) in wins.iter().enumerate() {
+            let dev = (w as f64 - expect).abs() / expect;
+            assert!(dev < 0.15, "item {i}: {w} wins vs expected {expect}");
+        }
+    }
+
+    #[test]
+    fn bank_samplers_are_independent() {
+        let mut bank = ReservoirBank::new(64, 5);
+        for i in 0..100u32 {
+            bank.offer(i);
+        }
+        let samples: Vec<u32> = bank.samples().into_iter().map(Option::unwrap).collect();
+        // With 64 samplers over 100 items, at least two differ almost surely.
+        assert!(samples.iter().any(|&s| s != samples[0]));
+        assert_eq!(bank.len(), 64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut r = ReservoirSampler::new(seed);
+            for i in 0..50u32 {
+                r.offer(i);
+            }
+            r.sample()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

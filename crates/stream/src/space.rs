@@ -1,0 +1,68 @@
+//! Measured space accounting.
+//!
+//! The paper's headline claims are *space* bounds. Rather than trusting
+//! asymptotics, every sketch in this repository reports its concrete
+//! footprint through [`SpaceUsage`], and the experiment harness sums these
+//! to produce the measured-space columns of the E6/E9 tables.
+
+/// Types that can report the bytes of working state they hold.
+///
+/// The convention is to count the *semantic* payload (counters, samples,
+/// hash seeds) rather than allocator overhead: that is the quantity the
+/// paper's `O(·)` bounds describe.
+pub trait SpaceUsage {
+    /// Bytes of working state.
+    fn space_bytes(&self) -> usize;
+
+    /// Convenience: space in 64-bit words, rounded up.
+    fn space_words(&self) -> usize {
+        self.space_bytes().div_ceil(8)
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Vec<T> {
+    fn space_bytes(&self) -> usize {
+        self.iter().map(|x| x.space_bytes()).sum()
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Option<T> {
+    fn space_bytes(&self) -> usize {
+        self.as_ref().map_or(0, |x| x.space_bytes())
+    }
+}
+
+impl<A: SpaceUsage, B: SpaceUsage> SpaceUsage for (A, B) {
+    fn space_bytes(&self) -> usize {
+        self.0.space_bytes() + self.1.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl SpaceUsage for Fixed {
+        fn space_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn words_round_up() {
+        assert_eq!(Fixed(1).space_words(), 1);
+        assert_eq!(Fixed(8).space_words(), 1);
+        assert_eq!(Fixed(9).space_words(), 2);
+        assert_eq!(Fixed(0).space_words(), 0);
+    }
+
+    #[test]
+    fn containers_sum() {
+        let v = vec![Fixed(3), Fixed(5)];
+        assert_eq!(v.space_bytes(), 8);
+        let o: Option<Fixed> = None;
+        assert_eq!(o.space_bytes(), 0);
+        assert_eq!((Fixed(2), Fixed(4)).space_bytes(), 6);
+    }
+}

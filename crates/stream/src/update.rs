@@ -1,0 +1,53 @@
+//! Edge updates: the elements of a graph stream.
+
+use sgs_graph::Edge;
+
+/// One stream element: an edge insertion (`delta = +1`) or deletion
+/// (`delta = -1`).
+///
+/// In the insertion-only (cash-register) model every update has
+/// `delta = +1`; the turnstile model allows both, with the *strict*
+/// guarantee that the running multiplicity of every edge stays in
+/// `{0, 1}` (the stream describes a simple graph at every prefix).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeUpdate {
+    /// The edge being updated.
+    pub edge: Edge,
+    /// `+1` for insertion, `-1` for deletion.
+    pub delta: i8,
+}
+
+impl EdgeUpdate {
+    /// An insertion.
+    #[inline]
+    pub fn insert(edge: Edge) -> Self {
+        EdgeUpdate { edge, delta: 1 }
+    }
+
+    /// A deletion.
+    #[inline]
+    pub fn delete(edge: Edge) -> Self {
+        EdgeUpdate { edge, delta: -1 }
+    }
+
+    /// Whether this is an insertion.
+    #[inline]
+    pub fn is_insert(self) -> bool {
+        self.delta > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::VertexId;
+
+    #[test]
+    fn constructors() {
+        let e = Edge::new(VertexId(1), VertexId(2));
+        assert!(EdgeUpdate::insert(e).is_insert());
+        assert!(!EdgeUpdate::delete(e).is_insert());
+        assert_eq!(EdgeUpdate::insert(e).delta, 1);
+        assert_eq!(EdgeUpdate::delete(e).delta, -1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Turnstile counting: estimates that survive deletions.
+//!
+//! The paper motivates the turnstile model with streams "split into
+//! multiple substreams that cannot be joined for privacy reasons" and
+//! general insert/delete churn. Here a graph suffers heavy churn — edges
+//! appear, disappear, reappear — and the 3-pass turnstile estimator
+//! (Theorem 1, built on ℓ₀-samplers) still tracks the *final* graph,
+//! while a naive insertion-only run over the same update sequence would
+//! be meaningless.
+//!
+//! ```sh
+//! cargo run --release --example turnstile_windows
+//! ```
+
+use subgraph_streams::prelude::*;
+
+fn main() {
+    let n = 150;
+    let m = 900;
+    let graph = sgs_graph::gen::gnm(n, m, 21);
+    let exact = sgs_graph::exact::triangles::count_triangles(&graph);
+
+    for churn in [0.0, 1.0, 3.0] {
+        let stream = TurnstileStream::from_graph_with_churn(&graph, churn, 22);
+        let est = estimate_turnstile(&Pattern::triangle(), &stream, 25_000, 23).unwrap();
+        println!(
+            "churn x{churn:>3}: stream has {:>5} updates ({:>4.1}% deletions) \
+             -> estimate {:>7.1} vs exact {exact} ({} passes, {} KiB)",
+            stream.len(),
+            stream.deletion_fraction() * 100.0,
+            est.estimate,
+            est.report.passes,
+            est.report.total_space_bytes() / 1024,
+        );
+        assert!(est.report.passes <= 3);
+    }
+
+    println!(
+        "\nAll three runs produce the *identical* estimate: every sketch \
+         the executor keeps\n(l0-samplers, degree counters, adjacency \
+         flags) is a linear function of the\nupdate vector, so churn \
+         cancels exactly and only the final graph matters (Lemma 7)."
+    );
+}

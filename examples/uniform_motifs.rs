@@ -1,0 +1,67 @@
+//! Uniform motif sampling (Algorithm 10): draw random *instances* of a
+//! motif, not just count them.
+//!
+//! Beyond counting, the FGP machinery yields an exactly-uniform sampler
+//! over the copies of `H` — useful when downstream analysis wants
+//! representative instances (e.g. inspecting where triangles live in a
+//! network). Every trial returns each copy with the same probability
+//! `1/(2m)^ρ(H)`, so the first success is uniform.
+//!
+//! ```sh
+//! cargo run --release --example uniform_motifs
+//! ```
+
+use std::collections::HashMap;
+use subgraph_streams::prelude::*;
+
+fn main() {
+    // Two communities bridged by one vertex: triangles concentrate in
+    // the communities; a uniform sampler must reflect their proportions.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for base in [0u32, 20] {
+        // Dense community of 20 vertices (G(20, 0.4) style, deterministic).
+        for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                if (a * 7 + b * 13 + base) % 5 < 2 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+    }
+    edges.push((5, 25)); // bridge
+    let graph = AdjListGraph::from_pairs(40, edges);
+    let exact = sgs_graph::exact::triangles::count_triangles(&graph);
+    let m = graph.num_edges();
+    println!("two-community graph: n=40, m={m}, #T={exact}");
+
+    let stream = InsertionStream::from_graph(&graph, 3);
+    let trials = sgs_core::fgp::uniform_trials(m, &Pattern::triangle(), exact as f64)
+        .unwrap()
+        .max(500);
+
+    let mut per_community = HashMap::new();
+    let draws = 400;
+    let mut got = 0;
+    for seed in 0..draws {
+        let s = sgs_core::fgp::sample_uniform_insertion(
+            &Pattern::triangle(),
+            &stream,
+            trials,
+            seed,
+        )
+        .unwrap();
+        if let Some(copy) = s.copy {
+            got += 1;
+            let side = if copy.vertices[0].0 < 20 { "A" } else { "B" };
+            *per_community.entry(side).or_insert(0u32) += 1;
+        }
+    }
+    println!("drew {got}/{draws} uniform triangles in 3 passes each (k={trials} trials/draw)");
+    for (side, count) in &per_community {
+        println!("  community {side}: {count} samples");
+    }
+    println!(
+        "\nA uniform sampler reflects where the motifs actually are — here the\n\
+         two communities' triangle counts — without ever materializing them."
+    );
+}

@@ -1,0 +1,229 @@
+//! `sgs` — command-line streaming subgraph counter.
+//!
+//! ```text
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile]
+//! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
+//! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
+//! sgs info    --edges FILE
+//! sgs rho     --pattern C7
+//! ```
+//!
+//! Patterns: `triangle`, `K<r>`, `C<k>`, `S<k>`, `P<k>`, `paw`, `diamond`,
+//! `bull`, `bowtie`, `house`.
+
+use std::process::exit;
+use subgraph_streams::prelude::*;
+
+fn parse_pattern(s: &str) -> Option<Pattern> {
+    let p = match s {
+        "triangle" | "T" | "K3" | "C3" => Pattern::triangle(),
+        "paw" => sgs_graph::zoo::paw(),
+        "diamond" => sgs_graph::zoo::diamond(),
+        "bull" => sgs_graph::zoo::bull(),
+        "bowtie" => sgs_graph::zoo::bowtie(),
+        "house" => sgs_graph::zoo::house(),
+        _ => {
+            let (kind, num) = s.split_at(1);
+            let k: usize = num.parse().ok()?;
+            match kind {
+                "K" | "k" => Pattern::clique(k),
+                "C" | "c" => Pattern::cycle(k),
+                "S" | "s" => Pattern::star(k),
+                "P" | "p" => Pattern::path(k),
+                _ => return None,
+            }
+        }
+    };
+    Some(p)
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                i += 1;
+                argv[i].clone()
+            } else {
+                String::new()
+            };
+            flags.push((name.to_string(), value));
+        } else if let Some(name) = a.strip_prefix('-') {
+            let value = if i + 1 < argv.len() && !argv[i + 1].starts_with('-') {
+                i += 1;
+                argv[i].clone()
+            } else {
+                String::new()
+            };
+            flags.push((name.to_string(), value));
+        }
+        i += 1;
+    }
+    Args { flags }
+}
+
+fn load_graph(args: &Args) -> AdjListGraph {
+    let Some(path) = args.get("edges") else {
+        eprintln!("error: --edges FILE is required");
+        exit(2);
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot open {path}: {e}");
+            exit(2);
+        }
+    };
+    match sgs_graph::io::read_edge_list(std::io::BufReader::new(file)) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn need_pattern(args: &Args) -> Pattern {
+    let Some(ps) = args.get("pattern") else {
+        eprintln!("error: --pattern NAME is required");
+        exit(2);
+    };
+    match parse_pattern(ps) {
+        Some(p) => p,
+        None => {
+            eprintln!("error: unknown pattern '{ps}'");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("usage: sgs <count|search|cliques|info|rho> [flags]");
+        exit(2);
+    };
+    let args = parse_args(&argv[1..]);
+    let seed: u64 = args.num("seed", 1);
+
+    match cmd.as_str() {
+        "count" => {
+            let pattern = need_pattern(&args);
+            let g = load_graph(&args);
+            let m = g.num_edges();
+            let eps: f64 = args.num("eps", 0.2);
+            let plan = match SamplerPlan::new(&pattern) {
+                Some(p) => p,
+                None => {
+                    eprintln!("error: pattern has an isolated vertex (no edge cover)");
+                    exit(2);
+                }
+            };
+            let default_trials =
+                sgs_core::fgp::practical_trials(m, plan.rho(), eps, 1.0).min(2_000_000);
+            let trials: usize = args.num("trials", default_trials);
+            let est = if args.has("turnstile") {
+                let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+                sgs_core::fgp::estimate_turnstile(&pattern, &s, trials, seed)
+            } else {
+                let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+                sgs_core::fgp::estimate_insertion(&pattern, &s, trials, seed)
+            }
+            .expect("plan validated above");
+            println!(
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={})",
+                pattern.name(),
+                est.estimate,
+                est.hits,
+                est.trials,
+                plan.rho(),
+                est.report.passes,
+                m
+            );
+        }
+        "search" => {
+            let pattern = need_pattern(&args);
+            let g = load_graph(&args);
+            let eps: f64 = args.num("eps", 0.25);
+            let cap: usize = args.num("max-trials", 1_000_000);
+            let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+            let res = sgs_core::fgp::search_count_insertion(&pattern, &s, eps, seed, cap)
+                .expect("coverable pattern");
+            println!(
+                "#{} ≈ {:.1}   ({} search rounds, {} total passes, {} total trials)",
+                pattern.name(),
+                res.estimate,
+                res.rounds,
+                res.total_passes,
+                res.total_trials
+            );
+        }
+        "cliques" => {
+            let g = load_graph(&args);
+            let r: usize = args.num("r", 3);
+            let eps: f64 = args.num("eps", 0.3);
+            let instances: usize = args.num("instances", 5);
+            let lambda = sgs_graph::degeneracy::degeneracy(&g);
+            let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+            let template = ErsParams::practical(r, lambda.max(1), eps, 1.0);
+            let res = sgs_core::ers::search_count_cliques_insertion(&template, &s, instances, seed);
+            println!(
+                "#K{r} ≈ {:.1}   (lambda={lambda}, {} rounds, {} total passes)",
+                res.estimate, res.rounds, res.total_passes
+            );
+        }
+        "info" => {
+            let g = load_graph(&args);
+            let cd = sgs_graph::degeneracy::CoreDecomposition::compute(&g);
+            println!("n = {}", g.num_vertices());
+            println!("m = {}", g.num_edges());
+            println!("max degree = {}", g.max_degree());
+            println!("degeneracy = {}", cd.degeneracy);
+            println!(
+                "triangles (exact) = {}",
+                sgs_graph::exact::triangles::count_triangles(&g)
+            );
+        }
+        "rho" => {
+            let pattern = need_pattern(&args);
+            match sgs_graph::decompose::decompose(&pattern) {
+                Some(d) => {
+                    println!("pattern: {}", pattern.name());
+                    println!("rho(H) = {}", d.rho);
+                    println!("f_T(H) = {}", d.tuple_multiplicity);
+                    println!("decomposition pieces: {:?}", d.pieces);
+                }
+                None => println!("no edge cover (isolated vertex): rho = infinity"),
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Arbitrary-order model: guarantees must hold for *every* stream order,
+//! not just random ones. These tests feed adversarially structured
+//! orders — sorted, reverse-sorted, degree-clustered, motif-batched —
+//! and check the estimator stays unbiased.
+
+use sgs_graph::StaticGraph;
+use subgraph_streams::prelude::*;
+
+fn orders(g: &AdjListGraph) -> Vec<(&'static str, InsertionStream)> {
+    let n = g.num_vertices();
+    let mut sorted = g.edge_vec();
+    sorted.sort_unstable();
+    let mut reversed = sorted.clone();
+    reversed.reverse();
+    // Cluster by lower endpoint degree (low-degree edges first): an
+    // adversary that front-loads the sparse part of the graph.
+    let mut by_degree = sorted.clone();
+    by_degree.sort_by_key(|e| g.degree(e.u()).min(g.degree(e.v())));
+    // Interleave first and second half.
+    let mut interleaved = Vec::with_capacity(sorted.len());
+    let half = sorted.len() / 2;
+    for i in 0..half {
+        interleaved.push(sorted[i]);
+        interleaved.push(sorted[half + i]);
+    }
+    interleaved.extend_from_slice(&sorted[2 * half..]);
+
+    vec![
+        ("sorted", InsertionStream::from_edge_order(n, sorted)),
+        ("reversed", InsertionStream::from_edge_order(n, reversed)),
+        ("by-degree", InsertionStream::from_edge_order(n, by_degree)),
+        ("interleaved", InsertionStream::from_edge_order(n, interleaved)),
+    ]
+}
+
+#[test]
+fn triangle_estimates_order_independent() {
+    let g = sgs_graph::gen::gnm(40, 240, 1);
+    let exact = sgs_graph::exact::triangles::count_triangles(&g);
+    assert!(exact > 50);
+    for (name, stream) in orders(&g) {
+        let est = sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &stream, 25_000, 2)
+            .unwrap();
+        assert!(
+            est.relative_error(exact) < 0.25,
+            "{name}: estimate {} vs exact {exact}",
+            est.estimate
+        );
+    }
+}
+
+#[test]
+fn wedge_estimates_order_independent() {
+    let g = sgs_graph::gen::gnm(30, 120, 3);
+    let exact = sgs_graph::exact::stars::count_wedges(&g);
+    for (name, stream) in orders(&g) {
+        let est =
+            sgs_core::fgp::estimate_insertion(&Pattern::star(2), &stream, 15_000, 4).unwrap();
+        assert!(
+            est.relative_error(exact) < 0.25,
+            "{name}: estimate {} vs exact {exact}",
+            est.estimate
+        );
+    }
+}
+
+#[test]
+fn ers_order_independent() {
+    let g = sgs_graph::gen::barabasi_albert(100, 4, 5);
+    let exact = sgs_graph::exact::cliques::count_cliques(&g, 3);
+    assert!(exact > 20);
+    let lambda = sgs_graph::degeneracy::degeneracy(&g);
+    let params = ErsParams::practical(3, lambda, 0.3, exact as f64 * 0.5);
+    for (name, stream) in orders(&g) {
+        let est = count_cliques_insertion(&params, &stream, 7, 6);
+        assert!(
+            est.relative_error(exact) < 0.4,
+            "{name}: estimate {} vs exact {exact}",
+            est.estimate
+        );
+    }
+}
+
+#[test]
+fn pass_counts_unaffected_by_order() {
+    let g = sgs_graph::gen::gnm(25, 100, 7);
+    for (_, stream) in orders(&g) {
+        let est =
+            sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &stream, 100, 8).unwrap();
+        assert_eq!(est.report.passes, 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Failure injection: algorithms written for the relaxed model
+//! (Definition 10) must stay *sound* under query failures — they may
+//! miss copies (losing success probability) but never fabricate them,
+//! and the estimator's bias must track the injected failure rate in a
+//! predictable way.
+
+use sgs_core::{SamplerMode, SamplerPlan, SubgraphSampler};
+use sgs_query::exec::run_on_oracle;
+use sgs_query::{Parallel, RelaxedOracle};
+use sgs_stream::hash::split_seed;
+use subgraph_streams::prelude::*;
+
+fn hit_rate_with_failures(g: &AdjListGraph, fail_prob: f64, trials: usize, seed: u64) -> f64 {
+    let plan = SamplerPlan::new(&Pattern::triangle()).unwrap();
+    let par = Parallel::new(
+        (0..trials)
+            .map(|i| {
+                SubgraphSampler::new(plan.clone(), SamplerMode::Relaxed, split_seed(seed, i as u64))
+            })
+            .collect(),
+    );
+    let mut oracle = RelaxedOracle::new(g, fail_prob, split_seed(seed, u64::MAX));
+    let (outs, _) = run_on_oracle(par, &mut oracle);
+    outs.iter().filter(|o| o.copy.is_some()).count() as f64 / trials as f64
+}
+
+#[test]
+fn sampler_never_fabricates_under_failures() {
+    let g = sgs_graph::gen::gnm(25, 110, 1);
+    let plan = SamplerPlan::new(&Pattern::triangle()).unwrap();
+    for fail_prob in [0.1, 0.5, 0.9] {
+        for t in 0..500u64 {
+            let s = SubgraphSampler::new(plan.clone(), SamplerMode::Relaxed, t);
+            let mut oracle = RelaxedOracle::new(&g, fail_prob, 1000 + t);
+            let (out, _) = run_on_oracle(s, &mut oracle);
+            if let Some(c) = out.copy {
+                for e in &c.edges {
+                    assert!(
+                        g.has_edge(e.u(), e.v()),
+                        "fabricated edge {e:?} at fail_prob {fail_prob}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hit_rate_degrades_predictably() {
+    // A triangle trial issues 2 f1 queries and 1 relaxed f3 query; each
+    // independent failure kills it, so the success rate should scale by
+    // about (1-p)^3 (the f3 failure only matters in the light case, so
+    // the true factor is between (1-p)^2 and (1-p)^3).
+    let g = sgs_graph::gen::gnm(25, 110, 2);
+    let trials = 60_000;
+    let base = hit_rate_with_failures(&g, 0.0, trials, 3);
+    assert!(base > 0.0);
+    let p = 0.3;
+    let degraded = hit_rate_with_failures(&g, p, trials, 4);
+    let ratio = degraded / base;
+    let lo = (1.0f64 - p).powi(3) * 0.8;
+    let hi = (1.0f64 - p).powi(2) * 1.2;
+    assert!(
+        (lo..=hi).contains(&ratio),
+        "degradation ratio {ratio:.3} outside [{lo:.3}, {hi:.3}]"
+    );
+}
+
+#[test]
+fn total_failure_means_no_output_not_garbage() {
+    let g = sgs_graph::gen::gnm(20, 80, 5);
+    let rate = hit_rate_with_failures(&g, 1.0, 2_000, 6);
+    assert_eq!(rate, 0.0);
+}
+
+#[test]
+fn relaxed_failure_probability_at_definition_scale_is_negligible() {
+    // Definition 10's failure probability 1/n^c: at c=2 and n=25 it is
+    // 0.0016 — the hit rate moves by far less than statistical noise.
+    let g = sgs_graph::gen::gnm(25, 110, 7);
+    let trials = 40_000;
+    let p = RelaxedOracle::definition_fail_prob(25, 2.0);
+    let base = hit_rate_with_failures(&g, 0.0, trials, 8);
+    let relaxed = hit_rate_with_failures(&g, p, trials, 9);
+    let rel_shift = (base - relaxed).abs() / base;
+    assert!(rel_shift < 0.1, "shift {rel_shift:.3} too large for p={p}");
+}
