@@ -50,5 +50,10 @@ fn bench_tuple_multiplicity(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decompose, bench_automorphisms, bench_tuple_multiplicity);
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_automorphisms,
+    bench_tuple_multiplicity
+);
 criterion_main!(benches);

@@ -19,9 +19,7 @@ fn bench_ers_triangles(c: &mut Criterion) {
             &instances,
             |b, &instances| {
                 let params = ErsParams::practical(3, lam, 0.4, exact_t as f64 * 0.5);
-                b.iter(|| {
-                    black_box(count_cliques_insertion(&params, &stream, instances, 5))
-                });
+                b.iter(|| black_box(count_cliques_insertion(&params, &stream, instances, 5)));
             },
         );
     }

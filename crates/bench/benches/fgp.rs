@@ -16,9 +16,7 @@ fn bench_estimator_trials(c: &mut Criterion) {
         // 3 passes over the stream per run.
         group.throughput(Throughput::Elements(3 * stream.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(estimate_insertion(&Pattern::triangle(), &stream, k, 5).unwrap())
-            });
+            b.iter(|| black_box(estimate_insertion(&Pattern::triangle(), &stream, k, 5).unwrap()));
         });
     }
     group.finish();

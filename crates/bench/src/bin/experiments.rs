@@ -23,7 +23,10 @@ fn main() {
         .enumerate()
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && args.get(i.wrapping_sub(1)).map(|p| p != "--save").unwrap_or(true)
+                && args
+                    .get(i.wrapping_sub(1))
+                    .map(|p| p != "--save")
+                    .unwrap_or(true)
         })
         .map(|(_, a)| a)
         .collect();
@@ -53,6 +56,10 @@ fn main() {
         println!("markdown tables written to {path}");
     }
     if !markdown {
-        println!("\ntotal: {:.1}s{}", total.as_secs_f64(), if quick { " (quick mode)" } else { "" });
+        println!(
+            "\ntotal: {:.1}s{}",
+            total.as_secs_f64(),
+            if quick { " (quick mode)" } else { "" }
+        );
     }
 }

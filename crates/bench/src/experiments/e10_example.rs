@@ -22,7 +22,13 @@ pub fn run(quick: bool) -> Table {
 
     let mut t = Table::new(
         format!("E10 — 4-round triangle finder (m={m}, #T={exact_t})"),
-        &["executor", "success rate", "rounds", "passes", "queries/run"],
+        &[
+            "executor",
+            "success rate",
+            "rounds",
+            "passes",
+            "queries/run",
+        ],
     );
 
     let mut oracle_hits = 0u64;

@@ -17,7 +17,14 @@ pub fn run(quick: bool) -> Table {
     let trials: usize = if quick { 60_000 } else { 250_000 };
     let mut t = Table::new(
         "E11 — ablation: estimator with vs without the 1/f_T acceptance coin",
-        &["pattern", "f_T", "#H exact", "with coin", "without coin", "overcount x"],
+        &[
+            "pattern",
+            "f_T",
+            "#H exact",
+            "with coin",
+            "without coin",
+            "overcount x",
+        ],
     );
     let cases: Vec<(Pattern, sgs_graph::AdjListGraph)> = vec![
         (Pattern::triangle(), gen::gnm(25, 120, 91)), // f_T = 1: no effect

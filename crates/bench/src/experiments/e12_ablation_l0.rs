@@ -15,7 +15,12 @@ pub fn run(quick: bool) -> Table {
     let support = 64u64;
     let mut t = Table::new(
         "E12 — ablation: l0-sampler repetitions vs failure rate",
-        &["reps R", "fail rate", "bytes/sampler", "est. trial deflation (4 samplers)"],
+        &[
+            "reps R",
+            "fail rate",
+            "bytes/sampler",
+            "est. trial deflation (4 samplers)",
+        ],
     );
     for &reps in &[1usize, 2, 4, 8, 16] {
         let mut fails = 0u64;

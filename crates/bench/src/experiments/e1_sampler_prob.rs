@@ -11,7 +11,15 @@ pub fn run(quick: bool) -> Table {
     let trials: usize = if quick { 40_000 } else { 200_000 };
     let mut t = Table::new(
         "E1 — sampler hit probability vs Lemma 16 (oracle mode)",
-        &["pattern", "rho", "f_T", "m", "#H exact", "estimate", "est/exact"],
+        &[
+            "pattern",
+            "rho",
+            "f_T",
+            "m",
+            "#H exact",
+            "estimate",
+            "est/exact",
+        ],
     );
     // Workloads chosen so #H/(2m)^rho is observable at the trial budget.
     let cases: Vec<(Pattern, sgs_graph::AdjListGraph)> = vec![

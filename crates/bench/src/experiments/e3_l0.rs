@@ -14,7 +14,14 @@ pub fn run(quick: bool) -> Table {
     let trials: u64 = if quick { 4_000 } else { 20_000 };
     let mut t = Table::new(
         "E3 — l0-sampler uniformity and space (Lemma 7)",
-        &["support", "churn deletes", "TV dist", "noise floor", "fail rate", "bytes/sampler"],
+        &[
+            "support",
+            "churn deletes",
+            "TV dist",
+            "noise floor",
+            "fail rate",
+            "bytes/sampler",
+        ],
     );
     for &(support, churn) in &[(4usize, 0usize), (64, 0), (64, 192), (512, 0), (512, 1024)] {
         let mut hits: HashMap<u64, u64> = HashMap::new();

@@ -18,7 +18,14 @@ pub fn run(quick: bool) -> Table {
 
     let mut t = Table::new(
         format!("E4 — turnstile vs churn (triangle, m={m}, #T={exact_t})"),
-        &["stream", "updates", "deletions", "mean estimate", "rel err", "passes"],
+        &[
+            "stream",
+            "updates",
+            "deletions",
+            "mean estimate",
+            "rel err",
+            "passes",
+        ],
     );
 
     // Insertion-only reference.
@@ -27,9 +34,8 @@ pub fn run(quick: bool) -> Table {
         let mut sum = 0.0;
         let mut passes = 0;
         for s in 0..seeds {
-            let est =
-                estimate_insertion(&Pattern::triangle(), &ins, trials, split_seed(0xe4, s))
-                    .unwrap();
+            let est = estimate_insertion(&Pattern::triangle(), &ins, trials, split_seed(0xe4, s))
+                .unwrap();
             sum += est.estimate;
             passes = est.report.passes;
         }

@@ -11,7 +11,13 @@ use sgs_stream::InsertionStream;
 pub fn run(_quick: bool) -> Table {
     let mut t = Table::new(
         "E5 — pass complexity: measured vs claimed",
-        &["algorithm", "pattern", "claimed passes", "measured", "reference"],
+        &[
+            "algorithm",
+            "pattern",
+            "claimed passes",
+            "measured",
+            "reference",
+        ],
     );
 
     let g = gen::gnm(30, 150, 41);
@@ -30,7 +36,11 @@ pub fn run(_quick: bool) -> Table {
             .pieces()
             .iter()
             .any(|p| matches!(p, sgs_graph::decompose::Piece::OddCycle(_)));
-        let claim = if has_cycle { "3" } else { "3 (2: star-only decomposition)" };
+        let claim = if has_cycle {
+            "3"
+        } else {
+            "3 (2: star-only decomposition)"
+        };
         let est = estimate_insertion(&pattern, &ins, 200, 43).unwrap();
         t.row(vec![
             "FGP (Thm 1/17)".into(),
@@ -61,12 +71,37 @@ pub fn run(_quick: bool) -> Table {
 
     // Prior-work pass counts quoted in the paper's §1 (analytic).
     for (alg, pat, passes, refr) in [
-        ("Manjunath et al. turnstile", "C_r", "1 (space m^r/#C^2)", "[Man+11]"),
+        (
+            "Manjunath et al. turnstile",
+            "C_r",
+            "1 (space m^r/#C^2)",
+            "[Man+11]",
+        ),
         ("MVV 2-pass", "triangle", "2 (space m/sqrt(#T))", "[MVV16]"),
-        ("MVV 3-pass + degree oracle", "triangle", "3 (space m^1.5/#T)", "[MVV16]"),
-        ("Bera-Chakrabarti", "triangle", "4 (space m^1.5/#T)", "[BC17]"),
-        ("Bera-Seshadhri degeneracy", "triangle", "6 (space m*lambda/#T)", "[BS20]"),
-        ("AKK sampler-tree stream", "any H", ">= rho(H) ~ |V(H)|", "[AKK19]"),
+        (
+            "MVV 3-pass + degree oracle",
+            "triangle",
+            "3 (space m^1.5/#T)",
+            "[MVV16]",
+        ),
+        (
+            "Bera-Chakrabarti",
+            "triangle",
+            "4 (space m^1.5/#T)",
+            "[BC17]",
+        ),
+        (
+            "Bera-Seshadhri degeneracy",
+            "triangle",
+            "6 (space m*lambda/#T)",
+            "[BS20]",
+        ),
+        (
+            "AKK sampler-tree stream",
+            "any H",
+            ">= rho(H) ~ |V(H)|",
+            "[AKK19]",
+        ),
     ] {
         t.row(vec![
             alg.into(),

@@ -13,7 +13,15 @@ use sgs_stream::InsertionStream;
 pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "E6 — trial/space scaling with m (triangle; #T ~ n by planting)",
-        &["n", "m", "#T", "k for eps=0.2", "(2m)^1.5/#T", "measured err", "sketch KiB"],
+        &[
+            "n",
+            "m",
+            "#T",
+            "k for eps=0.2",
+            "(2m)^1.5/#T",
+            "measured err",
+            "sketch KiB",
+        ],
     );
     let sizes: &[usize] = if quick {
         &[300, 600, 1200]

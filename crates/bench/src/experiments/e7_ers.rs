@@ -15,8 +15,15 @@ pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "E7 — ERS on low-degeneracy graphs vs FGP budget (Thm 2)",
         &[
-            "graph", "r", "lambda", "#Kr", "ERS rel err", "ERS passes",
-            "ERS max s_t", "m*l^(r-2)/Kr", "FGP trials (m^(r/2)/Kr)",
+            "graph",
+            "r",
+            "lambda",
+            "#Kr",
+            "ERS rel err",
+            "ERS passes",
+            "ERS max s_t",
+            "m*l^(r-2)/Kr",
+            "FGP trials (m^(r/2)/Kr)",
         ],
     );
     let cases: Vec<(&str, sgs_graph::AdjListGraph)> = vec![
@@ -33,7 +40,8 @@ pub fn run(quick: bool) -> Table {
                 continue;
             }
             let params = ErsParams::practical(r, lam, 0.35, exact_r as f64);
-            let est = count_cliques_insertion(&params, &stream, instances, split_seed(0xe7, r as u64));
+            let est =
+                count_cliques_insertion(&params, &stream, instances, split_seed(0xe7, r as u64));
             let theory_ers = m as f64 * (lam as f64).powi(r as i32 - 2) / exact_r as f64;
             let plan = sgs_core::SamplerPlan::new(&Pattern::clique(r)).unwrap();
             let fgp_k = practical_trials(m, plan.rho(), 0.35, exact_r as f64);

@@ -10,7 +10,14 @@ use sgs_graph::{Pattern, Rho};
 pub fn run(_quick: bool) -> Table {
     let mut t = Table::new(
         "E8 — rho(H) closed forms and decompositions (Lemma 4)",
-        &["pattern", "rho computed", "rho closed form", "match", "decomposition", "f_T"],
+        &[
+            "pattern",
+            "rho computed",
+            "rho closed form",
+            "match",
+            "decomposition",
+            "f_T",
+        ],
     );
     let mut cases: Vec<(Pattern, Rho, String)> = Vec::new();
     for r in 3..=7 {
@@ -26,7 +33,11 @@ pub fn run(_quick: bool) -> Table {
         } else {
             Rho::from_int(k as u32 / 2)
         };
-        cases.push((Pattern::cycle(k), expect, format!("k/2 rounded up to half = {expect}")));
+        cases.push((
+            Pattern::cycle(k),
+            expect,
+            format!("k/2 rounded up to half = {expect}"),
+        ));
     }
     for k in 1..=5 {
         cases.push((
@@ -37,7 +48,11 @@ pub fn run(_quick: bool) -> Table {
     }
     for k in 2..=5 {
         let expect = Rho::from_int(((k + 1) as u32).div_ceil(2));
-        cases.push((Pattern::path(k), expect, format!("ceil((k+1)/2) = {expect}")));
+        cases.push((
+            Pattern::path(k),
+            expect,
+            format!("ceil((k+1)/2) = {expect}"),
+        ));
     }
     for (p, expect, closed) in cases {
         let d = decompose(&p).expect("coverable");

@@ -16,7 +16,14 @@ pub fn run(quick: bool) -> Table {
     let runs: u64 = if quick { 4 } else { 10 };
     let mut t = Table::new(
         "E9 — FGP vs DOULION vs exact across #T regimes",
-        &["workload", "#T", "method", "mean rel err", "space KiB", "passes"],
+        &[
+            "workload",
+            "#T",
+            "method",
+            "mean rel err",
+            "space KiB",
+            "passes",
+        ],
     );
     // Three regimes: triangle-rich, moderate, triangle-poor.
     let base = gen::gnm(120, 1400, 71);
@@ -47,13 +54,9 @@ pub fn run(quick: bool) -> Table {
         let mut errs = Vec::new();
         let mut space = 0;
         for s in 0..runs {
-            let est = estimate_insertion(
-                &Pattern::triangle(),
-                &stream,
-                trials,
-                split_seed(0xe9, s),
-            )
-            .unwrap();
+            let est =
+                estimate_insertion(&Pattern::triangle(), &stream, trials, split_seed(0xe9, s))
+                    .unwrap();
             errs.push(est.relative_error(exact_t));
             space = est.report.total_space_bytes();
         }
@@ -72,12 +75,8 @@ pub fn run(quick: bool) -> Table {
         let mut errs = Vec::new();
         let mut space = 0;
         for s in 0..runs {
-            let d = doulion::estimate_doulion(
-                &Pattern::triangle(),
-                &stream,
-                p,
-                split_seed(0xe9a, s),
-            );
+            let d =
+                doulion::estimate_doulion(&Pattern::triangle(), &stream, p, split_seed(0xe9a, s));
             errs.push((d.estimate - exact_t as f64).abs() / exact_t as f64);
             space = d.space_bytes;
         }

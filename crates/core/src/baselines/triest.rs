@@ -12,9 +12,8 @@
 //! are rare relative to `m²/capacity²`, which is the regime comparison
 //! E9 probes against Theorem 1's `m^{3/2}/#T` trade-off.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sgs_graph::{Edge, VertexId};
+use sgs_stream::hash::FastRng;
 use sgs_stream::EdgeStream;
 use std::collections::{HashMap, HashSet};
 
@@ -66,12 +65,16 @@ impl Reservoir {
         let (Some(nu), Some(nv)) = (self.adj.get(&e.u()), self.adj.get(&e.v())) else {
             return 0;
         };
-        let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+        let (small, large) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
         small.iter().filter(|w| large.contains(w)).count()
     }
 
     /// Standard reservoir insertion of the `t`-th element (1-based).
-    fn offer(&mut self, e: Edge, t: u64, rng: &mut StdRng) {
+    fn offer(&mut self, e: Edge, t: u64, rng: &mut FastRng) {
         if self.edges.len() < self.capacity {
             self.edges.push(e);
             self.link(e);
@@ -87,13 +90,9 @@ impl Reservoir {
 
 /// Run the estimator over an insertion-only stream with the given edge
 /// budget.
-pub fn estimate_triest(
-    stream: &impl EdgeStream,
-    capacity: usize,
-    seed: u64,
-) -> TriestEstimate {
+pub fn estimate_triest(stream: &impl EdgeStream, capacity: usize, seed: u64) -> TriestEstimate {
     assert!(capacity >= 2, "need at least two reservoir slots");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = FastRng::seed_from_u64(seed);
     let mut res = Reservoir::new(capacity);
     let mut t: u64 = 0;
     let mut estimate = 0.0f64;
@@ -101,9 +100,8 @@ pub fn estimate_triest(
     stream.replay(&mut |u| {
         assert!(u.is_insert(), "TRIÈST-base is insertion-only");
         t += 1;
-        let eta = ((t.saturating_sub(1) as f64 * t.saturating_sub(2) as f64)
-            / (cap * (cap - 1.0)))
-        .max(1.0);
+        let eta = ((t.saturating_sub(1) as f64 * t.saturating_sub(2) as f64) / (cap * (cap - 1.0)))
+            .max(1.0);
         estimate += eta * res.closing_count(u.edge) as f64;
         res.offer(u.edge, t, &mut rng);
     });

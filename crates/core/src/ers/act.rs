@@ -11,17 +11,16 @@ use crate::ers::chain::{
     absorb_verify, draw_queries, set_weight, verify_queries, Candidate, GrowDraw, OrderedClique,
 };
 use crate::ers::params::ErsParams;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sgs_graph::VertexId;
 use sgs_query::{Answer, Query, RoundAdaptive};
+use sgs_stream::hash::FastRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One independent run of the activity estimator for one prefix.
 pub struct StrActRun {
     params: Arc<ErsParams>,
-    rng: StdRng,
+    rng: FastRng,
     /// Prefix length `i`.
     i: usize,
     /// Edge count of the graph (from the outer algorithm's pass 1).
@@ -59,14 +58,12 @@ impl StrActRun {
     ) -> Self {
         let i = prefix.len();
         debug_assert!(i >= 2 && i < params.r);
-        let deg: HashMap<VertexId, usize> = prefix
-            .iter()
-            .map(|v| (*v, prefix_degrees[v]))
-            .collect();
+        let deg: HashMap<VertexId, usize> =
+            prefix.iter().map(|v| (*v, prefix_degrees[v])).collect();
         let omega = (1.0 - params.epsilon / 2.0) * params.tau(i);
         StrActRun {
             params,
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             i,
             m,
             deg,
@@ -204,8 +201,7 @@ mod tests {
         seed: u64,
     ) -> (Option<f64>, usize) {
         let params = Arc::new(ErsParams::practical(r, 3, 0.3, 1.0));
-        let degs: HashMap<VertexId, usize> =
-            prefix.iter().map(|&p| (p, g.degree(p))).collect();
+        let degs: HashMap<VertexId, usize> = prefix.iter().map(|&p| (p, g.degree(p))).collect();
         let m = g.num_edges();
         let run = StrActRun::new(params, prefix, &degs, m, seed);
         let mut oracle = ExactOracle::new(g, 1000 + seed);
@@ -249,7 +245,11 @@ mod tests {
     fn majority_vote_semantics() {
         let p = ErsParams::practical(3, 2, 0.3, 1.0);
         let thr = p.activity_threshold(2);
-        assert!(majority_active(&p, 2, &[Some(0.0), Some(thr), Some(thr * 2.0)]));
+        assert!(majority_active(
+            &p,
+            2,
+            &[Some(0.0), Some(thr), Some(thr * 2.0)]
+        ));
         assert!(!majority_active(&p, 2, &[None, Some(thr * 2.0), Some(0.0)]));
         // Aborts vote non-active.
         assert!(!majority_active(&p, 2, &[None, None, Some(0.0)]));
@@ -259,8 +259,7 @@ mod tests {
     fn works_through_stream_executor() {
         let g = gen::complete_graph(5);
         let params = Arc::new(ErsParams::practical(3, 3, 0.3, 1.0));
-        let degs: HashMap<VertexId, usize> =
-            [(v(0), 4), (v(1), 4)].into_iter().collect();
+        let degs: HashMap<VertexId, usize> = [(v(0), 4), (v(1), 4)].into_iter().collect();
         let run = StrActRun::new(params, vec![v(0), v(1)], &degs, g.num_edges(), 5);
         let ins = InsertionStream::from_graph(&g, 6);
         let (out, rep) = run_insertion(run, &ins, 7);

@@ -27,11 +27,10 @@ use crate::ers::chain::{
     absorb_verify, draw_queries, set_weight, verify_queries, Candidate, GrowDraw, OrderedClique,
 };
 use crate::ers::params::ErsParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sgs_query::{Answer, Parallel, Query, RoundAdaptive};
 use sgs_graph::VertexId;
+use sgs_query::{Answer, Parallel, Query, RoundAdaptive};
 use sgs_stream::hash::split_seed;
+use sgs_stream::hash::FastRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,7 +66,7 @@ enum Phase {
 /// [`crate::ers::count_cliques_insertion`]).
 pub struct ErsApproxClique {
     params: Arc<ErsParams>,
-    rng: StdRng,
+    rng: FastRng,
     seed: u64,
     phase: Phase,
     m: usize,
@@ -95,7 +94,7 @@ impl ErsApproxClique {
     pub fn new(params: Arc<ErsParams>, seed: u64) -> Self {
         ErsApproxClique {
             params,
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             seed,
             phase: Phase::Init,
             m: 0,
@@ -321,8 +320,7 @@ impl RoundAdaptive for ErsApproxClique {
                     return self.finish(0.0);
                 }
                 // Pass 3: degrees of all R2 vertices.
-                let mut distinct: Vec<VertexId> =
-                    self.r_t.iter().flatten().copied().collect();
+                let mut distinct: Vec<VertexId> = self.r_t.iter().flatten().copied().collect();
                 distinct.sort_unstable();
                 distinct.dedup();
                 self.deg = distinct.iter().map(|&v| (v, 0)).collect();
@@ -387,12 +385,7 @@ mod tests {
     use sgs_query::ExactOracle;
     use sgs_stream::InsertionStream;
 
-    fn mean_estimate(
-        g: &sgs_graph::AdjListGraph,
-        r: usize,
-        runs: u64,
-        lower_bound: f64,
-    ) -> f64 {
+    fn mean_estimate(g: &sgs_graph::AdjListGraph, r: usize, runs: u64, lower_bound: f64) -> f64 {
         let lam = degeneracy(g);
         let params = Arc::new(ErsParams::practical(r, lam.max(1), 0.3, lower_bound));
         let mut sum = 0.0;
@@ -431,12 +424,7 @@ mod tests {
     fn pass_count_within_theorem_budget() {
         let g = gen::barabasi_albert(80, 4, 5);
         let exact = count_cliques(&g, 3) as f64;
-        let params = Arc::new(ErsParams::practical(
-            3,
-            degeneracy(&g),
-            0.3,
-            exact.max(1.0),
-        ));
+        let params = Arc::new(ErsParams::practical(3, degeneracy(&g), 0.3, exact.max(1.0)));
         let ins = InsertionStream::from_graph(&g, 6);
         let alg = ErsApproxClique::new(params, 7);
         let (out, rep) = run_insertion(alg, &ins, 8);

@@ -14,11 +14,10 @@
 //! probability `dg(⃗T)/dg(R_t) · 1/dg(⃗T) = 1/dg(R_t)` per draw — the
 //! invariant behind the estimator's unbiasedness (§5.1).
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use sgs_graph::order::precedes_with_degrees;
 use sgs_graph::VertexId;
 use sgs_query::{Answer, Query};
+use sgs_stream::hash::FastRng;
 use std::collections::HashMap;
 
 /// An ordered clique: vertices in their sampling order.
@@ -26,10 +25,7 @@ pub type OrderedClique = Vec<VertexId>;
 
 /// `dg(⃗T)` = degree of the minimum-degree vertex (ties by id, matching
 /// the vertex order `≺_G`), together with that vertex.
-pub fn clique_weight(
-    cq: &OrderedClique,
-    deg: &HashMap<VertexId, usize>,
-) -> (usize, VertexId) {
+pub fn clique_weight(cq: &OrderedClique, deg: &HashMap<VertexId, usize>) -> (usize, VertexId) {
     let mut best = cq[0];
     let mut best_d = deg[&cq[0]];
     for &v in &cq[1..] {
@@ -62,7 +58,7 @@ pub fn draw_queries(
     r_t: &[OrderedClique],
     deg: &HashMap<VertexId, usize>,
     s: usize,
-    rng: &mut StdRng,
+    rng: &mut FastRng,
 ) -> (Vec<GrowDraw>, Vec<Query>) {
     let mut draws = Vec::with_capacity(s);
     let mut queries = Vec::with_capacity(s);
@@ -156,7 +152,6 @@ pub fn absorb_verify(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn v(x: u32) -> VertexId {
         VertexId(x)
@@ -192,7 +187,7 @@ mod tests {
     fn draws_are_weight_proportional() {
         let deg = degmap(&[(0, 90), (1, 90), (2, 10), (3, 10)]);
         let r = vec![vec![v(0), v(1)], vec![v(2), v(3)]];
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = FastRng::seed_from_u64(5);
         let (draws, queries) = draw_queries(&r, &deg, 5000, &mut rng);
         assert_eq!(draws.len(), 5000);
         assert_eq!(queries.len(), 5000);
@@ -259,7 +254,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let deg = HashMap::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = FastRng::seed_from_u64(1);
         let (d, q) = draw_queries(&[], &deg, 10, &mut rng);
         assert!(d.is_empty() && q.is_empty());
     }

@@ -39,7 +39,11 @@ impl ErsEstimate {
     /// Relative error against a known ground truth.
     pub fn relative_error(&self, exact: u64) -> f64 {
         if exact == 0 {
-            return if self.estimate == 0.0 { 0.0 } else { f64::INFINITY };
+            return if self.estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.estimate - exact as f64).abs() / exact as f64
     }

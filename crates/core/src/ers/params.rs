@@ -108,9 +108,7 @@ impl ErsParams {
                 let b = self.beta();
                 (self.r as f64).powi(4 * self.r as i32) / (b.powi(self.r as i32) * g * g) * lam_pow
             }
-            ParamMode::Practical { tau_scale, .. } => {
-                tau_scale * factorial(self.r - t) * lam_pow
-            }
+            ParamMode::Practical { tau_scale, .. } => tau_scale * factorial(self.r - t) * lam_pow,
         }
     }
 
@@ -121,9 +119,7 @@ impl ErsParams {
                 let g = self.gamma();
                 3.0 * (2.0 / self.beta()).ln() / (g * g)
             }
-            ParamMode::Practical { confidence, .. } => {
-                confidence / (self.epsilon * self.epsilon)
-            }
+            ParamMode::Practical { confidence, .. } => confidence / (self.epsilon * self.epsilon),
         }
     }
 
@@ -142,7 +138,11 @@ impl ErsParams {
     pub fn sample_cap(&self, m: usize, t_next: usize) -> Option<f64> {
         let scale = self.cap_scale?;
         let lam_pow = (self.lambda as f64).powi((t_next - 2) as i32);
-        let tau = if t_next < self.r { self.tau(t_next) } else { 1.0 };
+        let tau = if t_next < self.r {
+            self.tau(t_next)
+        } else {
+            1.0
+        };
         Some(scale * 4.0 * m as f64 * lam_pow * tau / self.lower_bound * self.confidence())
     }
 

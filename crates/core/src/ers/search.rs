@@ -49,7 +49,8 @@ pub fn search_count_cliques_insertion(
         rounds += 1;
         let mut params = template.clone();
         params.lower_bound = guess.max(1.0);
-        let est = count_cliques_insertion(&params, stream, instances, split_seed(seed, rounds as u64));
+        let est =
+            count_cliques_insertion(&params, stream, instances, split_seed(seed, rounds as u64));
         total_passes += est.report.passes;
         let accept = est.estimate >= guess;
         trace.push(est.clone());

@@ -99,22 +99,12 @@ pub fn compatible_copies(
 
     let mut copies: HashSet<Vec<Edge>> = HashSet::new();
     let mut phi: Vec<Option<VertexId>> = vec![None; n];
-    compose(
-        pattern,
-        &per_piece,
-        0,
-        &mut phi,
-        has_edge,
-        &mut copies,
-    );
+    compose(pattern, &per_piece, 0, &mut phi, has_edge, &mut copies);
 
     let mut out: Vec<FoundCopy> = copies
         .into_iter()
         .map(|edges| {
-            let mut vertices: Vec<VertexId> = edges
-                .iter()
-                .flat_map(|e| [e.u(), e.v()])
-                .collect();
+            let mut vertices: Vec<VertexId> = edges.iter().flat_map(|e| [e.u(), e.v()]).collect();
             vertices.sort_unstable();
             vertices.dedup();
             FoundCopy { vertices, edges }

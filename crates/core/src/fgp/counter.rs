@@ -56,7 +56,11 @@ impl CountEstimate {
     /// Relative error against a known ground truth.
     pub fn relative_error(&self, exact: u64) -> f64 {
         if exact == 0 {
-            return if self.estimate == 0.0 { 0.0 } else { f64::INFINITY };
+            return if self.estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.estimate - exact as f64).abs() / exact as f64
     }
@@ -123,8 +127,8 @@ pub fn estimate_oracle(
 /// experiments and keep this for the record.
 pub fn theory_trials(n: usize, m: usize, rho: Rho, epsilon: f64, lower_bound: f64) -> usize {
     assert!(epsilon > 0.0 && lower_bound > 0.0);
-    let k = 30.0 * rho.pow(2.0 * m as f64) * (n.max(2) as f64).ln()
-        / (epsilon * epsilon * lower_bound);
+    let k =
+        30.0 * rho.pow(2.0 * m as f64) * (n.max(2) as f64).ln() / (epsilon * epsilon * lower_bound);
     k.ceil() as usize
 }
 

@@ -111,8 +111,7 @@ mod tests {
     fn one_thread_is_fine() {
         let g = gen::gnm(20, 80, 4);
         let stream = InsertionStream::from_graph(&g, 5);
-        let est =
-            estimate_insertion_threaded(&Pattern::triangle(), &stream, 2_000, 1, 6).unwrap();
+        let est = estimate_insertion_threaded(&Pattern::triangle(), &stream, 2_000, 1, 6).unwrap();
         assert_eq!(est.trials, 2_000);
     }
 

@@ -24,13 +24,11 @@
 
 use crate::fgp::assemble::{compatible_copies, ConcretePiece, FoundCopy};
 use crate::fgp::plan::SamplerPlan;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sgs_graph::decompose::Piece;
 use sgs_graph::order::precedes_with_degrees;
 use sgs_graph::{canonical, VertexId};
 use sgs_query::{Answer, Query, RoundAdaptive};
-use std::collections::{HashMap, HashSet};
+use sgs_stream::hash::FastRng;
 use std::sync::Arc;
 
 /// How the round-2 wedge query is issued (which streaming model the
@@ -45,7 +43,7 @@ pub enum SamplerMode {
 }
 
 /// Result of one sampler run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SamplerOutcome {
     /// The edge count observed in round 1.
     pub m: usize,
@@ -78,7 +76,7 @@ struct StarDraw {
 pub struct SubgraphSampler {
     plan: Arc<SamplerPlan>,
     mode: SamplerMode,
-    rng: StdRng,
+    rng: FastRng,
     stage: u8,
     m: usize,
     sqrt2m: f64,
@@ -96,7 +94,7 @@ impl SubgraphSampler {
         SubgraphSampler {
             plan,
             mode,
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             stage: 0,
             m: 0,
             sqrt2m: 0.0,
@@ -155,7 +153,7 @@ impl SubgraphSampler {
         }
         self.sqrt2m = (2.0 * self.m as f64).sqrt();
         let mut cursor = 1usize;
-        let orient = |rng: &mut StdRng, a: Answer| -> Option<(VertexId, VertexId)> {
+        let orient = |rng: &mut FastRng, a: Answer| -> Option<(VertexId, VertexId)> {
             let e = a.expect_edge()?;
             // Uniformly random orientation: the algorithm's own coin.
             if rng.gen_bool(0.5) {
@@ -164,8 +162,11 @@ impl SubgraphSampler {
                 Some((e.v(), e.u()))
             }
         };
-        let pieces = self.plan.pieces().to_vec();
-        for (piece_idx, p) in pieces.iter().enumerate() {
+        // Arc clone instead of cloning the piece list: `orient` needs
+        // `&mut self.rng` while we iterate the plan, and this runs once
+        // per trial (thousands of times per estimate).
+        let plan = self.plan.clone();
+        for (piece_idx, p) in plan.pieces().iter().enumerate() {
             match p {
                 Piece::OddCycle(vs) => {
                     let k = (vs.len() - 1) / 2;
@@ -217,7 +218,7 @@ impl SubgraphSampler {
                 SamplerMode::Indexed => {
                     // j = floor(t * sqrt(2m)) + 1: each j <= dg hit with
                     // probability exactly 1/sqrt(2m).
-                    let t: f64 = self.rng.gen();
+                    let t = self.rng.gen_f64();
                     let j = (t * self.sqrt2m).floor() as u64 + 1;
                     qs.push(Query::IthNeighbor(u1, j));
                 }
@@ -235,10 +236,11 @@ impl SubgraphSampler {
 
     /// Round-3 batch: all degrees and pairwise adjacencies on `V'`.
     fn round3(&mut self) -> Vec<Query> {
-        let mut seen = HashSet::new();
-        let mut verts = Vec::new();
-        let mut push = |v: VertexId, verts: &mut Vec<VertexId>| {
-            if seen.insert(v) {
+        // `V'` holds at most a handful of vertices (pattern-sized), so a
+        // linear dedup over a flat vec beats any hashed set.
+        let mut verts: Vec<VertexId> = Vec::new();
+        let push = |v: VertexId, verts: &mut Vec<VertexId>| {
+            if !verts.contains(&v) {
                 verts.push(v);
             }
         };
@@ -260,8 +262,10 @@ impl SubgraphSampler {
                 push(b, &mut verts);
             }
         }
-        let mut qs: Vec<Query> = verts.iter().map(|&v| Query::Degree(v)).collect();
-        let mut pairs = Vec::new();
+        let n_pairs = verts.len() * verts.len().saturating_sub(1) / 2;
+        let mut qs: Vec<Query> = Vec::with_capacity(verts.len() + n_pairs);
+        qs.extend(verts.iter().map(|&v| Query::Degree(v)));
+        let mut pairs = Vec::with_capacity(n_pairs);
         for i in 0..verts.len() {
             for j in (i + 1)..verts.len() {
                 pairs.push((verts[i], verts[j]));
@@ -276,29 +280,40 @@ impl SubgraphSampler {
     /// Postprocessing: canonicality, light/heavy split, assembly,
     /// acceptance.
     fn postprocess(&mut self, answers: &[Answer]) {
+        // `V'` is pattern-sized (a handful of vertices, tens of pairs),
+        // so the scratch is flat sorted vecs: linear degree lookup and a
+        // binary-searched adjacency list beat hashed containers at this
+        // scale — this runs once per trial, thousands of times per
+        // estimate.
         let nv = self.verts.len();
-        let mut deg: HashMap<VertexId, usize> = HashMap::with_capacity(nv);
-        for (i, &v) in self.verts.iter().enumerate() {
-            deg.insert(v, answers[i].expect_degree());
-        }
-        let mut adj: HashSet<u64> = HashSet::new();
+        let verts = &self.verts;
+        let deg_of = |v: VertexId| -> Option<usize> {
+            verts
+                .iter()
+                .position(|&x| x == v)
+                .map(|i| answers[i].expect_degree())
+        };
+        let mut adj: Vec<u64> = Vec::with_capacity(self.pairs.len());
         for (k, &(a, b)) in self.pairs.iter().enumerate() {
             if answers[nv + k].expect_adjacent() {
-                adj.insert(sgs_graph::Edge::new(a, b).key());
+                adj.push(sgs_graph::Edge::new(a, b).key());
             }
         }
+        adj.sort_unstable();
         let has_edge = |a: VertexId, b: VertexId| -> bool {
-            a != b && adj.contains(&sgs_graph::Edge::new(a, b).key())
+            a != b && adj.binary_search(&sgs_graph::Edge::new(a, b).key()).is_ok()
         };
         let precedes = |a: VertexId, b: VertexId| -> bool {
-            precedes_with_degrees(a, deg[&a], b, deg[&b])
+            let da = deg_of(a).expect("round-3 vertex");
+            let db = deg_of(b).expect("round-3 vertex");
+            precedes_with_degrees(a, da, b, db)
         };
 
         // Cycles: light/heavy case split and canonical check.
         let mut concrete: Vec<(usize, ConcretePiece)> = Vec::new();
         for c in &self.cycles {
             let u1 = c.path[0].0;
-            let du1 = deg[&u1] as f64;
+            let du1 = deg_of(u1).expect("round-3 vertex") as f64;
             let mut seq: Vec<VertexId> = Vec::with_capacity(2 * c.path.len() + 1);
             for &(a, b) in &c.path {
                 seq.push(a);
@@ -310,7 +325,7 @@ impl SubgraphSampler {
                 if self.mode == SamplerMode::Relaxed {
                     // Thin 1/dg(u1) down to exactly 1/sqrt(2m)
                     // (Algorithm 5, lines 21-22).
-                    let t: f64 = self.rng.gen::<f64>() * self.sqrt2m;
+                    let t: f64 = self.rng.gen_f64() * self.sqrt2m;
                     if t > du1 {
                         return;
                     }
@@ -321,8 +336,8 @@ impl SubgraphSampler {
                 // degree-proportional vertex sample; accept with
                 // probability sqrt(2m)/dg (Algorithm 5, lines 26-27).
                 let (u0, _) = c.aux.expect("aux edge present for live cycle");
-                let Some(&du0) = deg.get(&u0) else { return };
-                let t: f64 = self.rng.gen();
+                let Some(du0) = deg_of(u0) else { return };
+                let t = self.rng.gen_f64();
                 if t > (self.sqrt2m / du0 as f64).min(1.0) {
                     return;
                 }
@@ -376,7 +391,7 @@ impl SubgraphSampler {
             self.outcome.copy = Some(copies[idx].clone());
             return;
         }
-        let t: f64 = self.rng.gen();
+        let t = self.rng.gen_f64();
         if t < copies.len() as f64 / f_t {
             let idx = self.rng.gen_range(0..copies.len());
             self.outcome.copy = Some(copies[idx].clone());

@@ -127,8 +127,7 @@ mod tests {
         let exact_t = exact::triangles::count_triangles(&g);
         assert!(exact_t > 50);
         let stream = InsertionStream::from_graph(&g, 2);
-        let res =
-            search_count_insertion(&Pattern::triangle(), &stream, 0.25, 3, 200_000).unwrap();
+        let res = search_count_insertion(&Pattern::triangle(), &stream, 0.25, 3, 200_000).unwrap();
         let rel = (res.estimate - exact_t as f64).abs() / exact_t as f64;
         assert!(rel < 0.3, "estimate {} vs exact {exact_t}", res.estimate);
         assert!(res.rounds >= 2, "search should need several halvings");
@@ -148,8 +147,7 @@ mod tests {
     fn search_total_work_dominated_by_last_round() {
         let g = gen::gnm(30, 150, 4);
         let stream = InsertionStream::from_graph(&g, 5);
-        let res =
-            search_count_insertion(&Pattern::triangle(), &stream, 0.3, 6, 300_000).unwrap();
+        let res = search_count_insertion(&Pattern::triangle(), &stream, 0.3, 6, 300_000).unwrap();
         let last = res.trace.last().unwrap().trials;
         assert!(
             res.total_trials <= 3 * last,
@@ -165,12 +163,12 @@ mod tests {
         assert!(exact_t > 50.0);
         let stream = InsertionStream::from_graph(&g, 8);
         // Threshold far below the truth: must say "above".
-        let d = distinguish_insertion(&Pattern::triangle(), &stream, exact_t / 4.0, 0.5, 9)
-            .unwrap();
+        let d =
+            distinguish_insertion(&Pattern::triangle(), &stream, exact_t / 4.0, 0.5, 9).unwrap();
         assert!(d.above);
         // Threshold far above the truth: must say "below".
-        let d = distinguish_insertion(&Pattern::triangle(), &stream, exact_t * 4.0, 0.5, 10)
-            .unwrap();
+        let d =
+            distinguish_insertion(&Pattern::triangle(), &stream, exact_t * 4.0, 0.5, 10).unwrap();
         assert!(!d.above);
     }
 

@@ -62,7 +62,13 @@ pub fn sample_uniform_insertion(
     let plan = SamplerPlan::new(pattern)?;
     let par = Parallel::new(
         (0..trials)
-            .map(|i| SubgraphSampler::new(plan.clone(), SamplerMode::Indexed, split_seed(seed, i as u64)))
+            .map(|i| {
+                SubgraphSampler::new(
+                    plan.clone(),
+                    SamplerMode::Indexed,
+                    split_seed(seed, i as u64),
+                )
+            })
             .collect(),
     );
     let (outcomes, report) = run_insertion(par, stream, split_seed(seed, u64::MAX));
@@ -79,7 +85,13 @@ pub fn sample_uniform_turnstile(
     let plan = SamplerPlan::new(pattern)?;
     let par = Parallel::new(
         (0..trials)
-            .map(|i| SubgraphSampler::new(plan.clone(), SamplerMode::Relaxed, split_seed(seed, i as u64)))
+            .map(|i| {
+                SubgraphSampler::new(
+                    plan.clone(),
+                    SamplerMode::Relaxed,
+                    split_seed(seed, i as u64),
+                )
+            })
             .collect(),
     );
     let (outcomes, report) = run_turnstile(par, stream, split_seed(seed, u64::MAX));
@@ -96,7 +108,13 @@ pub fn sample_uniform_oracle(
     let plan = SamplerPlan::new(pattern)?;
     let par = Parallel::new(
         (0..trials)
-            .map(|i| SubgraphSampler::new(plan.clone(), SamplerMode::Indexed, split_seed(seed, i as u64)))
+            .map(|i| {
+                SubgraphSampler::new(
+                    plan.clone(),
+                    SamplerMode::Indexed,
+                    split_seed(seed, i as u64),
+                )
+            })
             .collect(),
     );
     let mut oracle = ExactOracle::new(g, split_seed(seed, u64::MAX));
@@ -127,8 +145,9 @@ mod tests {
     fn copies_are_roughly_uniform() {
         // Small graph with few triangles: check each copy is sampled at
         // a comparable rate.
-        let g: sgs_graph::AdjListGraph =
-            "0 1\n1 2\n2 0\n2 3\n3 4\n4 2\n4 5\n5 0\n0 4".parse().unwrap();
+        let g: sgs_graph::AdjListGraph = "0 1\n1 2\n2 0\n2 3\n3 4\n4 2\n4 5\n5 0\n0 4"
+            .parse()
+            .unwrap();
         let exact = sgs_graph::exact::triangles::count_triangles(&g);
         assert!(exact >= 3);
         let mut counts: HashMap<Vec<u32>, u32> = HashMap::new();
@@ -164,8 +183,8 @@ mod tests {
         assert!(sgs_graph::exact::triangles::count_triangles(&g) > 5);
         let stream = TurnstileStream::from_graph_with_churn(&g, 1.0, 7);
         let trials = uniform_trials(90, &Pattern::triangle(), 5.0).unwrap();
-        let s = sample_uniform_turnstile(&Pattern::triangle(), &stream, trials.min(20_000), 8)
-            .unwrap();
+        let s =
+            sample_uniform_turnstile(&Pattern::triangle(), &stream, trials.min(20_000), 8).unwrap();
         if let Some(c) = &s.copy {
             for e in &c.edges {
                 assert!(g.has_edge(e.u(), e.v()));

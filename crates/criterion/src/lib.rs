@@ -1,0 +1,373 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this crate implements the (small) slice of criterion's API the benches
+//! under `crates/bench/benches/` use: `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is deliberately
+//! simple — a fixed warmup, `sample_size` timed samples, median/mean/min
+//! reporting — which is plenty for the before/after comparisons recorded
+//! in `BENCH_executor.json`.
+//!
+//! Set `CRITERION_JSON=<path>` to append one JSON line per benchmark
+//! (id, sample stats, derived throughput) — the machine-readable record
+//! the repo commits alongside human-readable output.
+//!
+//! If real criterion ever becomes installable, deleting this crate and
+//! adding the dependency restores the full harness; the bench sources
+//! need no changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: converts per-iteration time into rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `name` or `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (criterion prefixes the group name at print time;
+    /// we do the same).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records samples.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`: warm up (≥ 2 calls, up to ~300 ms, like
+    /// criterion's warmup phase — first-touch page faults and allocator
+    /// growth land here, not in the samples), then one timed call per
+    /// sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut warmups = 0u32;
+        while warmups < 2 || (start.elapsed() < warmup_budget && warmups < 50) {
+            black_box(routine());
+            warmups += 1;
+        }
+        self.samples.clear();
+        self.samples.reserve(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+fn stats(samples: &[Duration]) -> Stats {
+    let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min_ns = ns.first().copied().unwrap_or(0.0);
+    let median_ns = if ns.is_empty() { 0.0 } else { ns[ns.len() / 2] };
+    let mean_ns = if ns.is_empty() {
+        0.0
+    } else {
+        ns.iter().sum::<f64>() / ns.len() as f64
+    };
+    Stats {
+        median_ns,
+        mean_ns,
+        min_ns,
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(id: &str, s: Stats, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / s.median_ns * 1e3),
+        Throughput::Bytes(n) => format!(
+            "{:.3} MiB/s",
+            n as f64 / s.median_ns * 1e9 / (1 << 20) as f64
+        ),
+    });
+    match &rate {
+        Some(r) => println!(
+            "{id:<40} median {:>10}  mean {:>10}  thrpt {r}",
+            human_time(s.median_ns),
+            human_time(s.mean_ns)
+        ),
+        None => println!(
+            "{id:<40} median {:>10}  mean {:>10}",
+            human_time(s.median_ns),
+            human_time(s.mean_ns)
+        ),
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write;
+        let elems = match throughput {
+            Some(Throughput::Elements(n)) => n,
+            _ => 0,
+        };
+        let line = format!(
+            "{{\"id\":\"{id}\",\"median_ns\":{:.0},\"mean_ns\":{:.0},\"min_ns\":{:.0},\
+             \"elements_per_iter\":{elems},\"elements_per_sec\":{:.0}}}\n",
+            s.median_ns,
+            s.mean_ns,
+            s.min_ns,
+            if elems > 0 {
+                elems as f64 / (s.median_ns / 1e9)
+            } else {
+                0.0
+            },
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn skipped(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => !full_id.contains(f.as_str()),
+            None => false,
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100;
+    /// ours is 20 to keep `cargo bench` quick in CI).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `routine` with an input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if self.skipped(&full_id) {
+            return self;
+        }
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        routine(&mut b, input);
+        report(&full_id, stats(&samples), self.throughput);
+        self
+    }
+
+    /// Benchmark a no-input routine inside the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let full_id = format!("{}/{}", self.name, id.id);
+        if self.skipped(&full_id) {
+            return self;
+        }
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        routine(&mut b);
+        report(&full_id, stats(&samples), self.throughput);
+        self
+    }
+
+    /// Finish the group (criterion renders summaries here; we print as we
+    /// go, so this only ends the scope).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            filter,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: 20,
+        };
+        routine(&mut b);
+        report(id, stats(&samples), None);
+    }
+
+    /// Honor a `cargo bench -- <filter>` substring filter.
+    pub fn with_filter_from_args(mut self) -> Self {
+        // `cargo bench` passes `--bench` when harness = false; ignore flags.
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().with_filter_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = stats(&[
+            Duration::from_nanos(100),
+            Duration::from_nanos(300),
+            Duration::from_nanos(200),
+        ]);
+        assert_eq!(s.min_ns, 100.0);
+        assert_eq!(s.median_ns, 200.0);
+        assert_eq!(s.mean_ns, 200.0);
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: 5,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(samples.len(), 5);
+        assert!(calls >= 7); // >= 2 warmup calls + 5 samples
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("k4").id, "k4");
+    }
+
+    #[test]
+    fn group_runs_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
+            b.iter(|| black_box(x + 1));
+        });
+        g.finish();
+    }
+}

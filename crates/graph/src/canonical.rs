@@ -138,7 +138,7 @@ mod tests {
         for start in 0..5 {
             for dir in [1i32, -1] {
                 let seq: Vec<VertexId> = (0..5)
-                    .map(|i| base[((start + dir * i)).rem_euclid(5) as usize])
+                    .map(|i| base[(start + dir * i).rem_euclid(5) as usize])
                     .collect();
                 if is_canonical_cycle(&seq, has, ord) {
                     canonical_count += 1;
@@ -169,7 +169,11 @@ mod tests {
         // 0-1-3 is not a triangle in the pentagon.
         assert!(!is_canonical_cycle(&[v(0), v(1), v(3)], has, ord));
         // repeated vertex
-        assert!(!is_canonical_cycle(&[v(0), v(1), v(0), v(4), v(1)], has, ord));
+        assert!(!is_canonical_cycle(
+            &[v(0), v(1), v(0), v(4), v(1)],
+            has,
+            ord
+        ));
         // too short
         assert!(!is_canonical_cycle(&[v(0), v(1)], has, ord));
     }

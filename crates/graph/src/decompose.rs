@@ -55,6 +55,7 @@ impl Rho {
     }
 
     /// Sum of two values.
+    #[allow(clippy::should_implement_trait)] // named sum, not operator overloading
     pub fn add(self, other: Rho) -> Rho {
         Rho {
             halves: self.halves + other.halves,

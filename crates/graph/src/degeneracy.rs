@@ -29,7 +29,9 @@ impl CoreDecomposition {
     /// Compute the decomposition of `g`.
     pub fn compute(g: &impl StaticGraph) -> Self {
         let n = g.num_vertices();
-        let mut deg: Vec<u32> = (0..n).map(|v| g.degree(VertexId(v as u32)) as u32).collect();
+        let mut deg: Vec<u32> = (0..n)
+            .map(|v| g.degree(VertexId(v as u32)) as u32)
+            .collect();
         let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
 
         // Bucket sort vertices by degree.
@@ -192,7 +194,16 @@ mod tests {
         // K4 on {0,1,2,3} plus tail 3-4-5
         let g = AdjListGraph::from_pairs(
             6,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         );
         let cd = CoreDecomposition::compute(&g);
         assert_eq!(cd.degeneracy, 3);

@@ -102,7 +102,11 @@ mod tests {
     fn complete_graph_all_r() {
         let g = gen::complete_graph(8);
         for r in 1..=8u64 {
-            assert_eq!(count_cliques(&g, r as usize), binomial(8, r), "K8 choose {r}");
+            assert_eq!(
+                count_cliques(&g, r as usize),
+                binomial(8, r),
+                "K8 choose {r}"
+            );
         }
     }
 

@@ -13,9 +13,7 @@
 use crate::ids::{Edge, VertexId};
 use crate::pattern::Pattern;
 use crate::{AdjListGraph, StaticGraph};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use sgs_prng::FastRng;
 use std::collections::HashSet;
 
 /// Uniform random graph with exactly `m` distinct edges.
@@ -24,7 +22,7 @@ use std::collections::HashSet;
 pub fn gnm(n: usize, m: usize, seed: u64) -> AdjListGraph {
     let max = n * (n - 1) / 2;
     assert!(m <= max, "requested {m} edges but K{n} has only {max}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = FastRng::seed_from_u64(seed);
     let mut g = AdjListGraph::new(n);
     if m > max / 2 {
         // Dense: sample which edges to *exclude*.
@@ -34,7 +32,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> AdjListGraph {
                 all.push((a, b));
             }
         }
-        all.shuffle(&mut rng);
+        rng.shuffle(&mut all);
         for &(a, b) in all.iter().take(m) {
             g.add_edge(Edge::from((a, b)));
         }
@@ -58,7 +56,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> AdjListGraph {
 /// Erdős–Rényi `G(n, p)`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> AdjListGraph {
     assert!((0.0..=1.0).contains(&p));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = FastRng::seed_from_u64(seed);
     let mut g = AdjListGraph::new(n);
     for a in 0..n as u32 {
         for b in (a + 1)..n as u32 {
@@ -75,7 +73,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> AdjListGraph {
 /// vertices chosen proportionally to degree. Degeneracy is at most `k`.
 pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> AdjListGraph {
     assert!(k >= 1 && n > k + 1, "need n > k + 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = FastRng::seed_from_u64(seed);
     let mut g = AdjListGraph::new(n);
     // Endpoint multiset: vertex appears once per incident edge endpoint,
     // so uniform sampling from it is degree-proportional sampling.
@@ -111,13 +109,13 @@ pub fn plant_pattern(
     copies: usize,
     seed: u64,
 ) -> AdjListGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = FastRng::seed_from_u64(seed);
     let n = base.num_vertices();
     assert!(n >= pattern.num_vertices());
     let mut g = base.clone();
     let mut pool: Vec<u32> = (0..n as u32).collect();
     for _ in 0..copies {
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
         let chosen = &pool[..pattern.num_vertices()];
         for &(a, b) in pattern.edges() {
             g.add_edge(Edge::new(
@@ -198,7 +196,7 @@ pub fn path_graph(n: usize) -> AdjListGraph {
 /// probability `min(1, w_u w_v / Σw)`.
 pub fn chung_lu(n: usize, target_m: usize, gamma: f64, seed: u64) -> AdjListGraph {
     assert!(gamma > 2.0, "need gamma > 2 for bounded expected degrees");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = FastRng::seed_from_u64(seed);
     let exp = -1.0 / (gamma - 1.0);
     let raw: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
     let sum: f64 = raw.iter().sum();

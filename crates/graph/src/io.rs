@@ -37,7 +37,11 @@ pub fn read_edge_list(r: impl BufRead) -> Result<AdjListGraph, String> {
         max_id = max_id.max(a).max(b);
         edges.push((a, b));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     Ok(AdjListGraph::from_pairs(n, edges))
 }
 

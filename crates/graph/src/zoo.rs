@@ -29,11 +29,7 @@ pub fn bowtie() -> Pattern {
 
 /// The house: a 4-cycle with a triangle roof.
 pub fn house() -> Pattern {
-    Pattern::from_edges(
-        5,
-        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)],
-    )
-    .named("house")
+    Pattern::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]).named("house")
 }
 
 /// The tadpole `T(3,1)`: triangle plus a path of length 1 — alias of paw,

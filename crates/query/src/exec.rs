@@ -17,6 +17,14 @@
 //!   queries are a protocol error in this model (Definition 10
 //!   deliberately drops them) and panic.
 //!
+//! Both streaming executors dispatch each update through one shared
+//! [`QueryRouter`]: the whole merged batch of a [`crate::Parallel`]
+//! sampler bank is bucketed into per-vertex and per-edge flat indexes at
+//! round start, so per-update work is O(1 + hits) regardless of how many
+//! trials are pending. The pre-refactor executors survive verbatim in
+//! [`crate::reference`]; seeded equivalence tests pin the two
+//! byte-identical.
+//!
 //! Executors never contribute algorithm randomness: the per-pass sketch
 //! seeds only decide *which* uniform sample each query receives, mirroring
 //! the oracle's own sampling coins.
@@ -25,17 +33,43 @@ use crate::accounting::ExecReport;
 use crate::oracle::GraphOracle;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::router::{QueryRouter, RouterMode};
 use sgs_graph::{Edge, VertexId};
-use sgs_stream::counters::{AdjacencyFlags, DegreeCounters, EdgeCounter, NeighborWatchers};
-use sgs_stream::hash::split_seed;
+use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
 use sgs_stream::reservoir::ReservoirSampler;
 use sgs_stream::{EdgeStream, SpaceUsage};
 
 /// Bytes charged per retained answer (Theorem 9's `O(q log n)` term).
 const ANSWER_BYTES: usize = 16;
+
+/// Sort `f1` position targets by `(position, slot)`. Positions live in
+/// `0..stream_len`, so when a counting table is affordable a two-pass
+/// bucket sort beats the comparison sort that dominates round-1 setup at
+/// large trial counts. Targets arrive slot-ascending, so bucketing is
+/// stable in exactly the comparison order.
+fn sort_targets(targets: &mut Vec<(u64, u32)>, stream_len: u64) {
+    if targets.is_empty() {
+        return;
+    }
+    if stream_len > 4 * targets.len() as u64 + 1024 {
+        targets.sort_unstable();
+        return;
+    }
+    let mut counts = vec![0u32; stream_len as usize + 1];
+    for &(pos, _) in targets.iter() {
+        counts[pos as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let mut sorted = vec![(0u64, 0u32); targets.len()];
+    for &(pos, slot) in targets.iter() {
+        sorted[counts[pos as usize] as usize] = (pos, slot);
+        counts[pos as usize] += 1;
+    }
+    *targets = sorted;
+}
 
 /// Execute against a query oracle; returns the output and the adaptivity
 /// actually used.
@@ -58,118 +92,100 @@ pub fn run_on_oracle<A: RoundAdaptive>(
     (alg.output(), report)
 }
 
-/// Per-pass emulation state for the insertion-only model.
+/// Per-pass state for the insertion-only model: the shared router plus
+/// the model-specific `f1` position cursor and `f3` reservoirs.
 struct InsertionPass {
-    /// `f1`: (target stream position, query index), sorted by position.
-    /// Sampling a uniform position is exactly the distribution of a size-1
-    /// reservoir over a fixed-length pass.
-    edge_targets: Vec<(u64, usize)>,
-    edge_hits: Vec<(usize, Edge)>,
-    edge_cursor: usize,
+    router: QueryRouter,
+    /// `f1`: (target stream position, query slot), sorted by position.
+    /// Sampling a uniform position is exactly the distribution of a
+    /// size-1 reservoir over a fixed-length pass.
+    targets: Vec<(u64, u32)>,
+    cursor: usize,
     update_idx: u64,
-    /// Relaxed `f3`: (query index, vertex, reservoir over incident edges).
-    nbr_samplers: Vec<(usize, VertexId, ReservoirSampler<Edge>)>,
-    degree_counters: DegreeCounters,
-    degree_queries: Vec<(usize, VertexId)>,
-    watchers: NeighborWatchers,
-    watcher_queries: Vec<usize>,
-    flags: AdjacencyFlags,
-    flag_queries: Vec<(usize, Edge)>,
-    edge_counter: EdgeCounter,
-    count_queries: Vec<usize>,
+    edge_hits: Vec<(u32, Edge)>,
+    /// Relaxed `f3`: one reservoir per pooled neighbor slot, aligned with
+    /// [`QueryRouter::neighbor_slots`].
+    reservoirs: Vec<ReservoirSampler<Edge>>,
 }
 
 impl InsertionPass {
     fn build(batch: &[Query], stream_len: u64, pass_seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(pass_seed);
-        let mut edge_targets = Vec::new();
-        let mut nbr_samplers = Vec::new();
-        let mut degree_vertices = Vec::new();
-        let mut degree_queries = Vec::new();
-        let mut watch_list = Vec::new();
-        let mut watcher_queries = Vec::new();
-        let mut flag_edges = Vec::new();
-        let mut flag_queries = Vec::new();
-        let mut count_queries = Vec::new();
-        for (i, q) in batch.iter().enumerate() {
-            match *q {
-                Query::EdgeCount => count_queries.push(i),
-                Query::RandomEdge => {
-                    if stream_len > 0 {
-                        edge_targets.push((rng.gen_range(0..stream_len), i));
-                    }
-                }
-                Query::RandomNeighbor(v) => {
-                    nbr_samplers.push((
-                        i,
-                        v,
-                        ReservoirSampler::new(split_seed(pass_seed, i as u64)),
-                    ));
-                }
-                Query::Degree(v) => {
-                    degree_vertices.push(v);
-                    degree_queries.push((i, v));
-                }
-                Query::IthNeighbor(v, idx) => {
-                    watch_list.push((v, idx));
-                    watcher_queries.push(i);
-                }
-                Query::Adjacent(u, v) => {
-                    let e = Edge::new(u, v);
-                    flag_edges.push(e);
-                    flag_queries.push((i, e));
-                }
+        let router = QueryRouter::build(batch, RouterMode::Insertion);
+        // f1 position draws are consumed in batch order from the pass rng
+        // (`edge_slots` preserves batch order), matching the reference
+        // executor coin-for-coin.
+        let mut rng = FastRng::seed_from_u64(pass_seed);
+        let mut targets = Vec::with_capacity(router.edge_slots().len());
+        if stream_len > 0 {
+            for &slot in router.edge_slots() {
+                targets.push((rng.gen_range(0..stream_len), slot));
             }
         }
-        edge_targets.sort_unstable();
+        sort_targets(&mut targets, stream_len);
+        let reservoirs = router
+            .neighbor_slots()
+            .iter()
+            .map(|&slot| ReservoirSampler::new(split_seed(pass_seed, slot as u64)))
+            .collect();
         InsertionPass {
-            edge_targets,
-            edge_hits: Vec::new(),
-            edge_cursor: 0,
+            router,
+            targets,
+            cursor: 0,
             update_idx: 0,
-            nbr_samplers,
-            degree_counters: DegreeCounters::new(degree_vertices),
-            degree_queries,
-            watchers: NeighborWatchers::new(watch_list),
-            watcher_queries,
-            flags: AdjacencyFlags::new(flag_edges),
-            flag_queries,
-            edge_counter: EdgeCounter::new(),
-            count_queries,
+            edge_hits: Vec::new(),
+            reservoirs,
         }
+    }
+
+    #[inline]
+    fn feed(&mut self, u: sgs_stream::EdgeUpdate) {
+        debug_assert!(u.is_insert(), "insertion executor fed a deletion");
+        while self.cursor < self.targets.len() && self.targets[self.cursor].0 == self.update_idx {
+            self.edge_hits.push((self.targets[self.cursor].1, u.edge));
+            self.cursor += 1;
+        }
+        self.update_idx += 1;
+        let edge = u.edge;
+        let reservoirs = &mut self.reservoirs;
+        self.router.feed(u, |i| reservoirs[i].offer(edge));
     }
 
     fn space_bytes(&self) -> usize {
-        self.edge_targets.len() * 16
-            + self.nbr_samplers.len() * 24
-            + self.degree_counters.space_bytes()
-            + self.watchers.space_bytes()
-            + self.flags.space_bytes()
-            + self.edge_counter.space_bytes()
+        self.router.space_bytes() + self.targets.len() * 16 + self.reservoirs.len() * 24
     }
 
-    fn answers(self, batch_len: usize) -> Vec<Answer> {
-        let mut answers = vec![Answer::Edge(None); batch_len];
-        for (i, e) in &self.edge_hits {
-            answers[*i] = Answer::Edge(Some(*e));
+    fn into_answers(self) -> Vec<Answer> {
+        let mut answers = vec![Answer::Edge(None); self.router.batch_len()];
+        for &(slot, e) in &self.edge_hits {
+            answers[slot as usize] = Answer::Edge(Some(e));
         }
-        for (i, v, s) in &self.nbr_samplers {
-            answers[*i] = Answer::Neighbor(s.sample().map(|e| e.other(*v)));
+        for ((&slot, v), res) in self
+            .router
+            .neighbor_slots()
+            .iter()
+            .zip(self.router.neighbor_vertices())
+            .zip(&self.reservoirs)
+        {
+            answers[slot as usize] = Answer::Neighbor(res.sample().map(|e| e.other(v)));
         }
-        for (i, v) in &self.degree_queries {
-            answers[*i] = Answer::Degree(self.degree_counters.degree(*v).unwrap_or(0));
-        }
-        for (k, i) in self.watcher_queries.iter().enumerate() {
-            answers[*i] = Answer::Neighbor(self.watchers.answer(k));
-        }
-        for (i, e) in &self.flag_queries {
-            answers[*i] = Answer::Adjacent(self.flags.present(*e).unwrap_or(false));
-        }
-        for i in &self.count_queries {
-            answers[*i] = Answer::EdgeCount(self.edge_counter.count());
-        }
+        self.router.distribute(&mut answers);
         answers
     }
+}
+
+/// Answer one round's batch with one insertion-only pass (the unit step
+/// of Theorem 9). Returns the answers and the pass state's measured
+/// footprint. Exposed so benchmarks and sharded drivers can exercise the
+/// pass emulation directly.
+pub fn answer_insertion_batch(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+) -> (Vec<Answer>, usize) {
+    let mut pass = InsertionPass::build(batch, stream.len() as u64, pass_seed);
+    stream.replay(&mut |u| pass.feed(u));
+    let space = pass.space_bytes();
+    (pass.into_answers(), space)
 }
 
 /// Execute as an insertion-only streaming algorithm: one pass per round
@@ -191,144 +207,98 @@ pub fn run_insertion<A: RoundAdaptive>(
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
 
-        let mut pass = InsertionPass::build(
-            &batch,
-            stream.len() as u64,
-            split_seed(seed, report.passes as u64),
-        );
-        stream.replay(&mut |u| {
-            debug_assert!(u.is_insert(), "insertion executor fed a deletion");
-            // f1 position sampling.
-            while pass.edge_cursor < pass.edge_targets.len()
-                && pass.edge_targets[pass.edge_cursor].0 == pass.update_idx
-            {
-                let (_, qi) = pass.edge_targets[pass.edge_cursor];
-                pass.edge_hits.push((qi, u.edge));
-                pass.edge_cursor += 1;
-            }
-            pass.update_idx += 1;
-            for (_, v, s) in &mut pass.nbr_samplers {
-                if u.edge.contains(*v) {
-                    s.offer(u.edge);
-                }
-            }
-            pass.degree_counters.feed(u);
-            pass.watchers.feed(u);
-            pass.flags.feed(u);
-            pass.edge_counter.feed(u);
-        });
-        report.max_pass_space_bytes = report.max_pass_space_bytes.max(pass.space_bytes());
-        answers = pass.answers(batch.len());
+        let (a, space) =
+            answer_insertion_batch(&batch, stream, split_seed(seed, report.passes as u64));
+        report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
+        answers = a;
     }
     (alg.output(), report)
 }
 
-/// Per-pass emulation state for the turnstile model.
+/// Per-pass state for the turnstile model: the shared router plus one
+/// ℓ₀-sampler per `f1` slot and per pooled neighbor slot.
 struct TurnstilePass {
-    edge_samplers: Vec<(usize, L0Sampler)>,
-    nbr_samplers: Vec<(usize, VertexId, L0Sampler)>,
-    degree_counters: DegreeCounters,
-    degree_queries: Vec<(usize, VertexId)>,
-    flags: AdjacencyFlags,
-    flag_queries: Vec<(usize, Edge)>,
-    edge_counter: EdgeCounter,
-    count_queries: Vec<usize>,
-    /// Neighbor samplers indexed by vertex for O(1) dispatch.
-    nbr_by_vertex: std::collections::HashMap<VertexId, Vec<usize>>,
+    router: QueryRouter,
+    edge_samplers: Vec<L0Sampler>,
+    nbr_samplers: Vec<L0Sampler>,
+    /// The vertex each pooled neighbor sampler listens on.
+    nbr_verts: Vec<VertexId>,
 }
 
 impl TurnstilePass {
     fn build(batch: &[Query], n: usize, pass_seed: u64) -> Self {
-        let mut edge_samplers = Vec::new();
-        let mut nbr_samplers: Vec<(usize, VertexId, L0Sampler)> = Vec::new();
-        let mut degree_vertices = Vec::new();
-        let mut degree_queries = Vec::new();
-        let mut flag_edges = Vec::new();
-        let mut flag_queries = Vec::new();
-        let mut count_queries = Vec::new();
-        let mut nbr_by_vertex: std::collections::HashMap<VertexId, Vec<usize>> =
-            std::collections::HashMap::new();
-        for (i, q) in batch.iter().enumerate() {
-            match *q {
-                Query::EdgeCount => count_queries.push(i),
-                Query::RandomEdge => {
-                    edge_samplers.push((
-                        i,
-                        L0Sampler::for_edge_domain(n, split_seed(pass_seed, i as u64)),
-                    ));
-                }
-                Query::RandomNeighbor(v) => {
-                    nbr_by_vertex.entry(v).or_default().push(nbr_samplers.len());
-                    nbr_samplers.push((
-                        i,
-                        v,
-                        L0Sampler::for_edge_domain(n, split_seed(pass_seed, i as u64)),
-                    ));
-                }
-                Query::Degree(v) => {
-                    degree_vertices.push(v);
-                    degree_queries.push((i, v));
-                }
-                Query::IthNeighbor(..) => {
-                    panic!(
-                        "IthNeighbor is not available in the turnstile model \
-                         (Definition 10 replaces it with RandomNeighbor)"
-                    );
-                }
-                Query::Adjacent(u, v) => {
-                    let e = Edge::new(u, v);
-                    flag_edges.push(e);
-                    flag_queries.push((i, e));
-                }
-            }
-        }
+        let router = QueryRouter::build(batch, RouterMode::Turnstile);
+        let edge_samplers = router
+            .edge_slots()
+            .iter()
+            .map(|&slot| L0Sampler::for_edge_domain(n, split_seed(pass_seed, slot as u64)))
+            .collect();
+        let nbr_samplers = router
+            .neighbor_slots()
+            .iter()
+            .map(|&slot| L0Sampler::for_edge_domain(n, split_seed(pass_seed, slot as u64)))
+            .collect();
+        let nbr_verts = router.neighbor_vertices().collect();
         TurnstilePass {
+            router,
             edge_samplers,
             nbr_samplers,
-            degree_counters: DegreeCounters::new(degree_vertices),
-            degree_queries,
-            flags: AdjacencyFlags::new(flag_edges),
-            flag_queries,
-            edge_counter: EdgeCounter::new(),
-            count_queries,
-            nbr_by_vertex,
+            nbr_verts,
         }
+    }
+
+    #[inline]
+    fn feed(&mut self, u: sgs_stream::EdgeUpdate) {
+        let d = u.delta as i64;
+        let key = u.edge.key();
+        // Every f1 sampler summarizes the whole edge domain, so each one
+        // absorbs every update — inherent to ℓ₀-sampling, not routing.
+        for s in &mut self.edge_samplers {
+            s.update(key, d);
+        }
+        let edge = u.edge;
+        let nbr_samplers = &mut self.nbr_samplers;
+        let nbr_verts = &self.nbr_verts;
+        self.router.feed(u, |i| {
+            nbr_samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+        });
     }
 
     fn space_bytes(&self) -> usize {
-        self.edge_samplers
-            .iter()
-            .map(|(_, s)| s.space_bytes())
-            .sum::<usize>()
+        self.router.space_bytes()
             + self
-                .nbr_samplers
+                .edge_samplers
                 .iter()
-                .map(|(_, _, s)| s.space_bytes())
+                .chain(&self.nbr_samplers)
+                .map(|s| s.space_bytes())
                 .sum::<usize>()
-            + self.degree_counters.space_bytes()
-            + self.flags.space_bytes()
-            + self.edge_counter.space_bytes()
     }
 
-    fn answers(self, batch_len: usize) -> Vec<Answer> {
-        let mut answers = vec![Answer::Edge(None); batch_len];
-        for (i, s) in &self.edge_samplers {
-            answers[*i] = Answer::Edge(s.sample().map(Edge::from_key));
+    fn into_answers(self) -> Vec<Answer> {
+        let mut answers = vec![Answer::Edge(None); self.router.batch_len()];
+        for (&slot, s) in self.router.edge_slots().iter().zip(&self.edge_samplers) {
+            answers[slot as usize] = Answer::Edge(s.sample().map(Edge::from_key));
         }
-        for (i, _, s) in &self.nbr_samplers {
-            answers[*i] = Answer::Neighbor(s.sample().map(|k| VertexId(k as u32)));
+        for (&slot, s) in self.router.neighbor_slots().iter().zip(&self.nbr_samplers) {
+            answers[slot as usize] = Answer::Neighbor(s.sample().map(|k| VertexId(k as u32)));
         }
-        for (i, v) in &self.degree_queries {
-            answers[*i] = Answer::Degree(self.degree_counters.degree(*v).unwrap_or(0));
-        }
-        for (i, e) in &self.flag_queries {
-            answers[*i] = Answer::Adjacent(self.flags.present(*e).unwrap_or(false));
-        }
-        for i in &self.count_queries {
-            answers[*i] = Answer::EdgeCount(self.edge_counter.count());
-        }
+        self.router.distribute(&mut answers);
         answers
     }
+}
+
+/// Answer one round's batch with one turnstile pass (the unit step of
+/// Theorem 11). Returns the answers and the pass state's measured
+/// footprint.
+pub fn answer_turnstile_batch(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+) -> (Vec<Answer>, usize) {
+    let mut pass = TurnstilePass::build(batch, stream.num_vertices(), pass_seed);
+    stream.replay(&mut |u| pass.feed(u));
+    let space = pass.space_bytes();
+    (pass.into_answers(), space)
 }
 
 /// Execute as a turnstile streaming algorithm: one pass per round
@@ -338,7 +308,6 @@ pub fn run_turnstile<A: RoundAdaptive>(
     stream: &impl EdgeStream,
     seed: u64,
 ) -> (A::Output, ExecReport) {
-    let n = stream.num_vertices();
     let mut report = ExecReport::default();
     let mut answers: Vec<Answer> = Vec::new();
     loop {
@@ -351,26 +320,10 @@ pub fn run_turnstile<A: RoundAdaptive>(
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
 
-        let mut pass = TurnstilePass::build(&batch, n, split_seed(seed, report.passes as u64));
-        stream.replay(&mut |u| {
-            let d = u.delta as i64;
-            for (_, s) in &mut pass.edge_samplers {
-                s.update(u.edge.key(), d);
-            }
-            for endpoint in [u.edge.u(), u.edge.v()] {
-                if let Some(ids) = pass.nbr_by_vertex.get(&endpoint) {
-                    let other = u.edge.other(endpoint).0 as u64;
-                    for &si in ids {
-                        pass.nbr_samplers[si].2.update(other, d);
-                    }
-                }
-            }
-            pass.degree_counters.feed(u);
-            pass.flags.feed(u);
-            pass.edge_counter.feed(u);
-        });
-        report.max_pass_space_bytes = report.max_pass_space_bytes.max(pass.space_bytes());
-        answers = pass.answers(batch.len());
+        let (a, space) =
+            answer_turnstile_batch(&batch, stream, split_seed(seed, report.passes as u64));
+        report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
+        answers = a;
     }
     (alg.output(), report)
 }
@@ -379,6 +332,7 @@ pub fn run_turnstile<A: RoundAdaptive>(
 mod tests {
     use super::*;
     use crate::oracle::ExactOracle;
+    use crate::reference::{run_insertion_reference, run_turnstile_reference};
     use sgs_graph::{gen, StaticGraph};
     use sgs_stream::{InsertionStream, TurnstileStream};
 
@@ -420,8 +374,7 @@ mod tests {
                 }
                 _ => {
                     if self.stage == 2 {
-                        self.present =
-                            answers.iter().filter(|a| a.expect_adjacent()).count();
+                        self.present = answers.iter().filter(|a| a.expect_adjacent()).count();
                         self.stage = 3;
                     }
                     Vec::new()
@@ -671,5 +624,84 @@ mod tests {
         let distinct: std::collections::HashSet<u64> =
             edges.iter().map(|e| e.unwrap().key()).collect();
         assert!(distinct.len() > 16, "64 samples over 200 edges should vary");
+    }
+
+    /// A mixed-kind batch covering every query type the model allows,
+    /// compared slot-for-slot against the reference executor.
+    struct MixedBatch {
+        indexed: bool,
+        asked: bool,
+        got: Vec<Answer>,
+    }
+
+    impl RoundAdaptive for MixedBatch {
+        type Output = Vec<Answer>;
+
+        fn next_round(&mut self, answers: &[Answer]) -> Vec<Query> {
+            if self.asked {
+                self.got = answers.to_vec();
+                return Vec::new();
+            }
+            self.asked = true;
+            let mut qs = vec![Query::EdgeCount, Query::RandomEdge];
+            for v in 0..10u32 {
+                qs.push(Query::Degree(VertexId(v % 5)));
+                qs.push(Query::RandomNeighbor(VertexId(v)));
+                qs.push(Query::Adjacent(VertexId(v), VertexId(v + 1)));
+                if self.indexed {
+                    qs.push(Query::IthNeighbor(VertexId(v), (v as u64 % 4) + 1));
+                }
+                qs.push(Query::RandomEdge);
+            }
+            qs
+        }
+
+        fn output(&mut self) -> Vec<Answer> {
+            std::mem::take(&mut self.got)
+        }
+    }
+
+    #[test]
+    fn router_matches_reference_on_mixed_insertion_batches() {
+        let g = gen::gnm(25, 90, 17);
+        let ins = InsertionStream::from_graph(&g, 18);
+        for seed in 0..30u64 {
+            let new = MixedBatch {
+                indexed: true,
+                asked: false,
+                got: vec![],
+            };
+            let old = MixedBatch {
+                indexed: true,
+                asked: false,
+                got: vec![],
+            };
+            let (a, ra) = run_insertion(new, &ins, seed);
+            let (b, rb) = run_insertion_reference(old, &ins, seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(ra.queries, rb.queries);
+            assert_eq!(ra.passes, rb.passes);
+        }
+    }
+
+    #[test]
+    fn router_matches_reference_on_mixed_turnstile_batches() {
+        let g = gen::gnm(25, 90, 19);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 20);
+        for seed in 0..30u64 {
+            let new = MixedBatch {
+                indexed: false,
+                asked: false,
+                got: vec![],
+            };
+            let old = MixedBatch {
+                indexed: false,
+                asked: false,
+                got: vec![],
+            };
+            let (a, _) = run_turnstile(new, &tst, seed);
+            let (b, _) = run_turnstile_reference(old, &tst, seed);
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 }

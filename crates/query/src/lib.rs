@@ -10,11 +10,17 @@
 //! * [`round`] — the [`round::RoundAdaptive`] state-machine trait
 //!   (Definition 8) and the [`round::Parallel`] combinator that lets many
 //!   instances share each round (and therefore each pass),
+//! * [`router`] — the [`router::QueryRouter`]: per-vertex / per-edge
+//!   flat hash-bucket indexes plus sorted position cursors over one
+//!   round's merged batch, so each stream update costs O(1 + hits)
+//!   regardless of how many parallel trials are pending,
 //! * [`exec`] — the three executors:
 //!   [`exec::run_on_oracle`] (query-access),
 //!   [`exec::run_insertion`] (Theorem 9: one pass per round, reservoir
 //!   samplers + counters), and
 //!   [`exec::run_turnstile`] (Theorem 11: ℓ₀-samplers),
+//! * [`reference`] — the pre-router executors, frozen as the equivalence
+//!   oracle and perf baseline,
 //! * [`accounting`] — rounds / passes / queries / measured-space reports,
 //! * [`triangle_finder`] — the paper's §3 worked example (the 4-round
 //!   triangle finder), used by tests and experiment E10.
@@ -23,8 +29,10 @@ pub mod accounting;
 pub mod exec;
 pub mod oracle;
 pub mod query;
+pub mod reference;
 pub mod relaxed;
 pub mod round;
+pub mod router;
 pub mod triangle_finder;
 
 pub use accounting::ExecReport;
@@ -32,3 +40,4 @@ pub use oracle::{ExactOracle, GraphOracle};
 pub use query::{Answer, Query};
 pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
+pub use router::{QueryRouter, RouterMode};

@@ -4,11 +4,16 @@
 //! this is the "sublinear-time algorithm" execution mode, and the
 //! reference against which the streaming executors are validated
 //! (Theorems 9/11 promise the same output distribution).
+//!
+//! Internally the oracle freezes the graph into a [`CsrGraph`]: one
+//! contiguous allocation with sorted neighbor ranges, so `f2` is two
+//! array reads, `f3` one bounds-checked index, and `f4` a binary search —
+//! no hashing and no pointer chasing on the query hot path. The `f1`/`f3`
+//! sampling coins come from a seeded [`FastRng`].
 
 use crate::query::{Answer, Query};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sgs_graph::{AdjListGraph, Edge, StaticGraph};
+use sgs_graph::{CsrGraph, Edge, StaticGraph};
+use sgs_stream::hash::FastRng;
 
 /// Anything that can answer model queries.
 pub trait GraphOracle {
@@ -18,26 +23,28 @@ pub trait GraphOracle {
     fn answer(&mut self, q: Query) -> Answer;
 }
 
-/// An exact oracle over an adjacency-list graph with its own seeded
-/// randomness for the sampling queries.
-pub struct ExactOracle<'g> {
-    g: &'g AdjListGraph,
+/// An exact oracle over a frozen CSR snapshot of a graph, with its own
+/// seeded randomness for the sampling queries.
+pub struct ExactOracle {
+    g: CsrGraph,
     edges: Vec<Edge>,
-    rng: StdRng,
+    rng: FastRng,
 }
 
-impl<'g> ExactOracle<'g> {
-    /// Wrap a graph; `seed` drives the `f1`/`f3` sampling.
-    pub fn new(g: &'g AdjListGraph, seed: u64) -> Self {
+impl ExactOracle {
+    /// Snapshot a graph into CSR form; `seed` drives the `f1`/`f3`
+    /// sampling. `IthNeighbor` indexes into the CSR's *sorted* adjacency
+    /// order (any fixed order is a valid Definition 6 oracle).
+    pub fn new(g: &impl StaticGraph, seed: u64) -> Self {
         ExactOracle {
-            g,
+            g: CsrGraph::from_graph(g),
             edges: g.edges(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
         }
     }
 }
 
-impl GraphOracle for ExactOracle<'_> {
+impl GraphOracle for ExactOracle {
     fn num_vertices(&self) -> usize {
         self.g.num_vertices()
     }
@@ -59,16 +66,16 @@ impl GraphOracle for ExactOracle<'_> {
                 if i == 0 {
                     Answer::Neighbor(None)
                 } else {
-                    Answer::Neighbor(self.g.ith_neighbor(v, (i - 1) as usize))
+                    Answer::Neighbor(self.g.sorted_neighbors(v).get((i - 1) as usize).copied())
                 }
             }
             Query::RandomNeighbor(v) => {
-                let d = self.g.degree(v);
-                if d == 0 {
+                let ns = self.g.sorted_neighbors(v);
+                if ns.is_empty() {
                     Answer::Neighbor(None)
                 } else {
-                    let i = self.rng.gen_range(0..d);
-                    Answer::Neighbor(Some(self.g.neighbors(v)[i]))
+                    let i = self.rng.gen_range(0..ns.len());
+                    Answer::Neighbor(Some(ns[i]))
                 }
             }
             Query::Adjacent(u, v) => Answer::Adjacent(self.g.has_edge(u, v)),
@@ -79,7 +86,7 @@ impl GraphOracle for ExactOracle<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgs_graph::{gen, VertexId};
+    use sgs_graph::{gen, AdjListGraph, VertexId};
 
     #[test]
     fn degrees_and_adjacency() {
@@ -95,23 +102,27 @@ mod tests {
     }
 
     #[test]
-    fn ith_neighbor_one_based() {
-        let g: AdjListGraph = "0 1\n0 2\n0 3".parse().unwrap();
+    fn ith_neighbor_one_based_in_sorted_order() {
+        let g: AdjListGraph = "0 2\n0 1\n0 3".parse().unwrap();
         let mut o = ExactOracle::new(&g, 3);
         assert_eq!(
-            o.answer(Query::IthNeighbor(VertexId(0), 1)).expect_neighbor(),
+            o.answer(Query::IthNeighbor(VertexId(0), 1))
+                .expect_neighbor(),
             Some(VertexId(1))
         );
         assert_eq!(
-            o.answer(Query::IthNeighbor(VertexId(0), 3)).expect_neighbor(),
+            o.answer(Query::IthNeighbor(VertexId(0), 3))
+                .expect_neighbor(),
             Some(VertexId(3))
         );
         assert_eq!(
-            o.answer(Query::IthNeighbor(VertexId(0), 4)).expect_neighbor(),
+            o.answer(Query::IthNeighbor(VertexId(0), 4))
+                .expect_neighbor(),
             None
         );
         assert_eq!(
-            o.answer(Query::IthNeighbor(VertexId(0), 0)).expect_neighbor(),
+            o.answer(Query::IthNeighbor(VertexId(0), 0))
+                .expect_neighbor(),
             None
         );
     }
@@ -137,9 +148,28 @@ mod tests {
         let g = AdjListGraph::new(3);
         let mut o = ExactOracle::new(&g, 6);
         assert_eq!(
-            o.answer(Query::RandomNeighbor(VertexId(0))).expect_neighbor(),
+            o.answer(Query::RandomNeighbor(VertexId(0)))
+                .expect_neighbor(),
             None
         );
         assert_eq!(o.answer(Query::RandomEdge).expect_edge(), None);
+    }
+
+    #[test]
+    fn csr_snapshot_answers_match_source_graph() {
+        let g = gen::gnm(40, 200, 9);
+        let mut o = ExactOracle::new(&g, 10);
+        for v in 0..40u32 {
+            let v = VertexId(v);
+            let d = g.degree(v);
+            assert_eq!(o.answer(Query::Degree(v)).expect_degree(), d);
+            for i in 1..=d as u64 {
+                let w = o
+                    .answer(Query::IthNeighbor(v, i))
+                    .expect_neighbor()
+                    .unwrap();
+                assert!(g.has_edge(v, w), "{v:?} -> {w:?}");
+            }
+        }
     }
 }

@@ -13,26 +13,26 @@
 
 use crate::oracle::{ExactOracle, GraphOracle};
 use crate::query::{Answer, Query};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sgs_graph::AdjListGraph;
+use sgs_graph::StaticGraph;
+use sgs_stream::hash::FastRng;
 
 /// An oracle for the relaxed model: exact `f2`/`f4`, failure-injected
 /// `f1`/`f3`.
-pub struct RelaxedOracle<'g> {
-    inner: ExactOracle<'g>,
-    rng: StdRng,
+pub struct RelaxedOracle {
+    inner: ExactOracle,
+    rng: FastRng,
     fail_prob: f64,
     failures_injected: u64,
 }
 
-impl<'g> RelaxedOracle<'g> {
-    /// Wrap a graph; sampling queries fail with probability `fail_prob`.
-    pub fn new(g: &'g AdjListGraph, fail_prob: f64, seed: u64) -> Self {
+impl RelaxedOracle {
+    /// Snapshot a graph; sampling queries fail with probability
+    /// `fail_prob`.
+    pub fn new(g: &impl StaticGraph, fail_prob: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&fail_prob));
         RelaxedOracle {
             inner: ExactOracle::new(g, seed ^ 0x9e37_79b9),
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             fail_prob,
             failures_injected: 0,
         }
@@ -50,7 +50,7 @@ impl<'g> RelaxedOracle<'g> {
     }
 }
 
-impl GraphOracle for RelaxedOracle<'_> {
+impl GraphOracle for RelaxedOracle {
     fn num_vertices(&self) -> usize {
         self.inner.num_vertices()
     }

@@ -82,7 +82,10 @@ impl<A: RoundAdaptive> RoundAdaptive for Parallel<A> {
             );
         }
         self.started = true;
-        let mut out = Vec::new();
+        // Batches shrink round over round; the previous round's pending
+        // total is a good upper bound that avoids re-growing the merge
+        // buffer under thousands of instances.
+        let mut out = Vec::with_capacity(self.pending.iter().sum::<usize>().max(64));
         let mut cursor = 0usize;
         for (i, inst) in self.instances.iter_mut().enumerate() {
             let take = self.pending[i];

@@ -15,9 +15,8 @@
 
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sgs_graph::VertexId;
+use sgs_stream::hash::FastRng;
 
 /// How the third-round neighbor sample is issued.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,7 +30,7 @@ pub enum NeighborMode {
 
 /// The 4-round triangle finder.
 pub struct TriangleFinder {
-    rng: StdRng,
+    rng: FastRng,
     mode: NeighborMode,
     stage: u8,
     u: Option<VertexId>,
@@ -45,7 +44,7 @@ impl TriangleFinder {
     /// the neighbor index).
     pub fn new(seed: u64, mode: NeighborMode) -> Self {
         TriangleFinder {
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             mode,
             stage: 0,
             u: None,
@@ -147,7 +146,7 @@ mod tests {
     fn uses_exactly_four_rounds() {
         let g = gen::complete_graph(6);
         let mut o = ExactOracle::new(&g, 1);
-        let (out, rep) = run_on_oracle(TriangleFinder::new(2, NeighborMode::Indexed), &mut o);
+        let (out, rep) = run_on_oracle(TriangleFinder::new(0, NeighborMode::Indexed), &mut o);
         assert_eq!(rep.rounds, 4);
         assert_eq!(rep.queries, 5); // 1 + 2 + 1 + 1
         assert!(out.is_some(), "K6: any (e, w) completes a triangle");
@@ -173,8 +172,11 @@ mod tests {
         let ins = InsertionStream::from_graph(&g, 10);
         let mut found = 0;
         for t in 0..300u64 {
-            let (out, _) =
-                run_insertion(TriangleFinder::new(t, NeighborMode::Indexed), &ins, 1000 + t);
+            let (out, _) = run_insertion(
+                TriangleFinder::new(t, NeighborMode::Indexed),
+                &ins,
+                1000 + t,
+            );
             if let Some((a, b, c)) = out {
                 found += 1;
                 assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c));
@@ -188,8 +190,7 @@ mod tests {
         let g = gen::complete_bipartite(6, 6);
         let ins = InsertionStream::from_graph(&g, 11);
         for t in 0..100u64 {
-            let (out, _) =
-                run_insertion(TriangleFinder::new(t, NeighborMode::Indexed), &ins, t);
+            let (out, _) = run_insertion(TriangleFinder::new(t, NeighborMode::Indexed), &ins, t);
             assert!(out.is_none());
         }
     }
@@ -210,9 +211,13 @@ mod tests {
             {
                 oracle_hits += 1;
             }
-            if run_insertion(TriangleFinder::new(t, NeighborMode::Indexed), &ins, 90_000 + t)
-                .0
-                .is_some()
+            if run_insertion(
+                TriangleFinder::new(t, NeighborMode::Indexed),
+                &ins,
+                90_000 + t,
+            )
+            .0
+            .is_some()
             {
                 stream_hits += 1;
             }

@@ -12,6 +12,14 @@
 //!   streams the flag follows the last update (insert sets, delete clears).
 //! * [`EdgeCounter`] — the running edge count `m` (used by pass 1 of
 //!   Algorithm 1).
+//!
+//! These are the straightforward HashMap-based emulators from the
+//! original executors; `sgs_query::reference` (the frozen pre-router
+//! baseline) still drives them. The production executors route through
+//! `sgs_query::router::QueryRouter`, which fuses the same `f2`–`f4`
+//! logic into shared flat per-vertex/per-edge indexes for O(1 + hits)
+//! per-update cost — seeded equivalence tests pin the two
+//! implementations to identical answers.
 
 use crate::space::SpaceUsage;
 use crate::update::EdgeUpdate;
@@ -103,7 +111,7 @@ impl NeighborWatchers {
         }
         for (_, pending) in per_vertex.values_mut() {
             // Descending by index: pop() yields the smallest outstanding.
-            pending.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+            pending.sort_unstable_by_key(|&(idx, _)| std::cmp::Reverse(idx));
         }
         NeighborWatchers {
             per_vertex,
@@ -162,8 +170,7 @@ impl NeighborWatchers {
 
 impl SpaceUsage for NeighborWatchers {
     fn space_bytes(&self) -> usize {
-        self.answers.len() * (std::mem::size_of::<(u64, usize)>() + 8)
-            + self.per_vertex.len() * 16
+        self.answers.len() * (std::mem::size_of::<(u64, usize)>() + 8) + self.per_vertex.len() * 16
     }
 }
 

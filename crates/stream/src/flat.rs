@@ -1,0 +1,193 @@
+//! Flat open-addressed hash indexes for the per-pass routing structures.
+//!
+//! The pass-emulation layer tracks *fixed, known* key sets (the vertices,
+//! pairs, and positions named by one round's query batch) and probes them
+//! once or twice per stream update. `std::collections::HashMap` pays
+//! SipHash plus a heap of per-entry overhead for DoS resistance we do not
+//! need — the keys come from our own query batches, not an adversary.
+//! [`FlatIndex`] replaces it on this hot path: open addressing with linear
+//! probing over a power-of-two table, SplitMix64 as the hash, `u32` dense
+//! group ids as values. One cache line typically serves a probe.
+//!
+//! The index maps each distinct key to a dense id `0..len` in first-insert
+//! order, which is exactly what the router needs: per-key state lives in
+//! plain `Vec`s indexed by group id, and answer distribution walks those
+//! `Vec`s without touching the table again.
+
+use crate::space::SpaceUsage;
+use sgs_prng::splitmix64;
+
+const EMPTY: u32 = u32::MAX;
+
+/// One table slot: key plus dense id, interleaved so a probe touches a
+/// single cache line (the dominant cost of bulk index construction is
+/// memory traffic, not hashing).
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    key: u64,
+    id: u32,
+}
+
+const VACANT: Slot = Slot { key: 0, id: EMPTY };
+
+/// An insert-then-probe hash index from `u64` keys to dense `u32` ids.
+#[derive(Clone, Debug)]
+pub struct FlatIndex {
+    /// Power-of-two probe table.
+    slots: Vec<Slot>,
+    mask: usize,
+    len: u32,
+}
+
+impl Default for FlatIndex {
+    fn default() -> Self {
+        FlatIndex::with_capacity(0)
+    }
+}
+
+impl FlatIndex {
+    /// An index expecting about `expected` distinct keys (load factor
+    /// ≤ 2/3 if the estimate holds; the table grows past it regardless).
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(4) * 3 / 2).next_power_of_two();
+        FlatIndex {
+            slots: vec![VACANT; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of distinct keys inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no keys were inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dense id for `key`, inserting a fresh one (`len`) if absent.
+    pub fn insert_or_get(&mut self, key: u64) -> u32 {
+        if (self.len as usize + 1) * 3 > self.slots.len() * 2 {
+            self.grow();
+        }
+        let mut slot = splitmix64(key) as usize & self.mask;
+        loop {
+            let s = self.slots[slot];
+            if s.id == EMPTY {
+                self.slots[slot] = Slot { key, id: self.len };
+                self.len += 1;
+                return self.len - 1;
+            }
+            if s.key == key {
+                return s.id;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Dense id for `key`, or `None` if never inserted.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let mut slot = splitmix64(key) as usize & self.mask;
+        loop {
+            let s = self.slots[slot];
+            if s.id == EMPTY {
+                return None;
+            }
+            if s.key == key {
+                return Some(s.id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap]);
+        self.mask = new_cap - 1;
+        for s in old {
+            if s.id == EMPTY {
+                continue;
+            }
+            let mut slot = splitmix64(s.key) as usize & self.mask;
+            while self.slots[slot].id != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = s;
+        }
+    }
+}
+
+impl SpaceUsage for FlatIndex {
+    fn space_bytes(&self) -> usize {
+        // Semantic payload: one key + one id per distinct entry (the
+        // table's empty slack is an engineering constant factor, like a
+        // HashMap's load-factor headroom, and is excluded by the
+        // space-accounting convention in `crate::space`).
+        self.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ids_in_first_insert_order() {
+        let mut ix = FlatIndex::with_capacity(4);
+        assert_eq!(ix.insert_or_get(100), 0);
+        assert_eq!(ix.insert_or_get(7), 1);
+        assert_eq!(ix.insert_or_get(100), 0);
+        assert_eq!(ix.insert_or_get(u64::MAX), 2);
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.get(7), Some(1));
+        assert_eq!(ix.get(8), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut ix = FlatIndex::with_capacity(2);
+        for k in 0..1000u64 {
+            assert_eq!(ix.insert_or_get(k * 31 + 5), k as u32);
+        }
+        assert_eq!(ix.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(ix.get(k * 31 + 5), Some(k as u32), "key {k}");
+        }
+        assert_eq!(ix.get(4), None);
+    }
+
+    #[test]
+    fn zero_key_is_a_valid_key() {
+        let mut ix = FlatIndex::with_capacity(2);
+        assert_eq!(ix.get(0), None);
+        assert_eq!(ix.insert_or_get(0), 0);
+        assert_eq!(ix.get(0), Some(0));
+    }
+
+    #[test]
+    fn empty_index_probes_cleanly() {
+        let ix = FlatIndex::with_capacity(0);
+        assert!(ix.is_empty());
+        assert_eq!(ix.get(42), None);
+        assert_eq!(ix.space_bytes(), 0);
+    }
+
+    #[test]
+    fn adversarially_colliding_keys_still_resolve() {
+        // Keys congruent mod the table size collide in the same slot
+        // neighborhood; linear probing must keep them distinct.
+        let mut ix = FlatIndex::with_capacity(8);
+        let cap = 16u64;
+        for i in 0..12 {
+            ix.insert_or_get(i * cap);
+        }
+        for i in 0..12 {
+            assert_eq!(ix.get(i * cap), Some(i as u32));
+        }
+    }
+}

@@ -42,15 +42,13 @@ impl OneSparse {
     fn update(&mut self, key: u64, delta: i64, fp: u64) {
         self.count += delta;
         self.key_sum += key as i128 * delta as i128;
-        if delta >= 0 {
-            for _ in 0..delta {
-                self.fingerprint = self.fingerprint.wrapping_add(fp);
-            }
-        } else {
-            for _ in 0..(-delta) {
-                self.fingerprint = self.fingerprint.wrapping_sub(fp);
-            }
-        }
+        // fingerprint += delta · fp over Z/2^64: two's-complement wrapping
+        // multiplication makes negative deltas subtract, so the
+        // accumulation is O(1) in |delta| (the old loop added/subtracted
+        // `fp` once per unit of delta).
+        self.fingerprint = self
+            .fingerprint
+            .wrapping_add((delta as u64).wrapping_mul(fp));
     }
 
     /// Returns the unique key if the detector is exactly 1-sparse with
@@ -285,6 +283,19 @@ mod tests {
         let big = L0Sampler::new(40, 8, 1);
         assert!(big.space_bytes() > small.space_bytes());
         assert!(small.space_bytes() > 0);
+    }
+
+    #[test]
+    fn large_magnitude_deltas_cancel_in_constant_time() {
+        // Non-strict deltas exercise the wrapping-mul fingerprint path:
+        // +1000 then -999 leaves net weight +1 and must recover the key.
+        let mut s = L0Sampler::new(20, 4, 11);
+        s.update(42, 1000);
+        s.update(42, -999);
+        assert_eq!(s.sample(), Some(42));
+        s.update(42, -1);
+        assert!(s.sample().is_none());
+        assert!(s.support_is_empty());
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! * [`l0`] — ℓ₀-samplers for turnstile streams (Lemma 7, Theorem 11),
 //! * [`counters`] — degree counters, i-th-neighbor watchers, adjacency
 //!   flags, edge counters (the `f2`–`f4` emulators),
+//! * [`flat`] — open-addressed hash indexes backing the per-pass routing
+//!   structures (one SplitMix64 probe per update instead of SipHash),
 //! * [`space`] — measured space usage of every sketch, so the experiment
 //!   harness can report *actual* words instead of asymptotic claims,
 //! * [`hash`] — seeded hashing used by the sketches.
 
 pub mod counters;
+pub mod flat;
 pub mod hash;
 pub mod l0;
 pub mod reservoir;

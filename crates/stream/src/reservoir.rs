@@ -8,13 +8,12 @@
 //! per `f1` query in the round's batch).
 
 use crate::hash::split_seed;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::hash::FastRng;
 
 /// A single-item reservoir sampler over items of type `T`.
 #[derive(Clone, Debug)]
 pub struct ReservoirSampler<T> {
-    rng: StdRng,
+    rng: FastRng,
     seen: u64,
     current: Option<T>,
 }
@@ -23,7 +22,7 @@ impl<T: Copy> ReservoirSampler<T> {
     /// Create an empty sampler with its own random stream.
     pub fn new(seed: u64) -> Self {
         ReservoirSampler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: FastRng::seed_from_u64(seed),
             seen: 0,
             current: None,
         }

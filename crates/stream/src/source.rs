@@ -8,10 +8,8 @@
 //! verifies the paper's pass-complexity claims (3 passes for Theorem 1,
 //! `5r` for Theorem 2).
 
+use crate::hash::FastRng;
 use crate::update::EdgeUpdate;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use sgs_graph::{AdjListGraph, Edge, StaticGraph};
 use std::cell::Cell;
 
@@ -63,8 +61,8 @@ impl InsertionStream {
     /// algorithm).
     pub fn from_graph(g: &impl StaticGraph, order_seed: u64) -> Self {
         let mut edges = g.edges();
-        let mut rng = StdRng::seed_from_u64(order_seed);
-        edges.shuffle(&mut rng);
+        let mut rng = FastRng::seed_from_u64(order_seed);
+        rng.shuffle(&mut edges);
         InsertionStream {
             n: g.num_vertices(),
             updates: edges.into_iter().map(EdgeUpdate::insert).collect(),
@@ -115,7 +113,7 @@ impl TurnstileStream {
     /// that respect per-edge causality, so every prefix is a simple graph.
     pub fn from_graph_with_churn(g: &impl StaticGraph, churn_factor: f64, seed: u64) -> Self {
         assert!(churn_factor >= 0.0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = FastRng::seed_from_u64(seed);
         let n = g.num_vertices();
         let m = g.num_edges();
         // (timestamp, tiebreak, update)
@@ -124,15 +122,15 @@ impl TurnstileStream {
         for e in g.edges() {
             // Optionally one insert/delete cycle before the surviving insert.
             if rng.gen_bool(0.25) {
-                let a = rng.gen::<f64>() * 0.5;
-                let b = a + rng.gen::<f64>() * (0.75 - a).max(1e-9);
-                let c = b + rng.gen::<f64>() * (1.0 - b).max(1e-9);
-                events.push((a, rng.gen(), EdgeUpdate::insert(e)));
-                events.push((b, rng.gen(), EdgeUpdate::delete(e)));
-                events.push((c, rng.gen(), EdgeUpdate::insert(e)));
+                let a = rng.gen_f64() * 0.5;
+                let b = a + rng.gen_f64() * (0.75 - a).max(1e-9);
+                let c = b + rng.gen_f64() * (1.0 - b).max(1e-9);
+                events.push((a, rng.next_u64(), EdgeUpdate::insert(e)));
+                events.push((b, rng.next_u64(), EdgeUpdate::delete(e)));
+                events.push((c, rng.next_u64(), EdgeUpdate::insert(e)));
             } else {
-                let t = rng.gen::<f64>();
-                events.push((t, rng.gen(), EdgeUpdate::insert(e)));
+                let t = rng.gen_f64();
+                events.push((t, rng.next_u64(), EdgeUpdate::insert(e)));
             }
         }
 
@@ -152,10 +150,10 @@ impl TurnstileStream {
             if g.has_edge(e.u(), e.v()) || !churned.insert(e.key()) {
                 continue;
             }
-            let t0 = rng.gen::<f64>() * 0.9;
-            let t1 = t0 + rng.gen::<f64>() * (1.0 - t0);
-            events.push((t0, rng.gen(), EdgeUpdate::insert(e)));
-            events.push((t1, rng.gen(), EdgeUpdate::delete(e)));
+            let t0 = rng.gen_f64() * 0.9;
+            let t1 = t0 + rng.gen_f64() * (1.0 - t0);
+            events.push((t0, rng.next_u64(), EdgeUpdate::insert(e)));
+            events.push((t1, rng.next_u64(), EdgeUpdate::delete(e)));
             added += 1;
         }
 

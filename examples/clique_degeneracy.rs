@@ -40,8 +40,8 @@ fn main() {
         // painful for r=4 on the same budget.
         let pattern = Pattern::clique(r);
         let plan = SamplerPlan::new(&pattern).unwrap();
-        let trials = practical_trials(m, plan.rho(), 0.3, (exact as f64).max(1.0))
-            .clamp(10_000, 250_000);
+        let trials =
+            practical_trials(m, plan.rho(), 0.3, (exact as f64).max(1.0)).clamp(10_000, 250_000);
         let fgp = estimate_insertion(&pattern, &stream, trials, 90 + r as u64).unwrap();
         println!(
             "  FGP : estimate {:>9.1}  ({} passes, {} trials needed at rho={})",

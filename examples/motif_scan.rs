@@ -37,8 +37,8 @@ fn main() {
         let plan = SamplerPlan::new(motif).expect("all motifs coverable");
         let exact = sgs_graph::exact::count_pattern_auto(&graph, motif);
         // Budget: the paper's k ~ (2m)^rho/(eps^2 #H), capped for the demo.
-        let trials = practical_trials(m, plan.rho(), 0.25, (exact as f64).max(1.0))
-            .clamp(20_000, 600_000);
+        let trials =
+            practical_trials(m, plan.rho(), 0.25, (exact as f64).max(1.0)).clamp(20_000, 600_000);
         let est = estimate_insertion(motif, &stream, trials, 100 + i as u64).unwrap();
         let err = if exact > 0 {
             est.relative_error(exact) * 100.0

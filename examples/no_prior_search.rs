@@ -15,19 +15,12 @@ use subgraph_streams::prelude::*;
 fn main() {
     let graph = sgs_graph::gen::gnm(200, 1500, 9);
     let exact = sgs_graph::exact::triangles::count_triangles(&graph);
-    println!(
-        "graph: n=200, m=1500, exact #T = {exact} (unknown to the algorithm)\n"
-    );
+    println!("graph: n=200, m=1500, exact #T = {exact} (unknown to the algorithm)\n");
     let stream = InsertionStream::from_graph(&graph, 10);
 
-    let res = sgs_core::fgp::search_count_insertion(
-        &Pattern::triangle(),
-        &stream,
-        0.25,
-        11,
-        500_000,
-    )
-    .unwrap();
+    let res =
+        sgs_core::fgp::search_count_insertion(&Pattern::triangle(), &stream, 0.25, 11, 500_000)
+            .unwrap();
 
     println!("round  guess L          trials   estimate");
     let mut guess = {

@@ -43,13 +43,9 @@ fn main() {
     let draws = 400;
     let mut got = 0;
     for seed in 0..draws {
-        let s = sgs_core::fgp::sample_uniform_insertion(
-            &Pattern::triangle(),
-            &stream,
-            trials,
-            seed,
-        )
-        .unwrap();
+        let s =
+            sgs_core::fgp::sample_uniform_insertion(&Pattern::triangle(), &stream, trials, seed)
+                .unwrap();
         if let Some(copy) = s.copy {
             got += 1;
             let side = if copy.vertices[0].0 < 20 { "A" } else { "B" };

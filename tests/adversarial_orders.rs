@@ -29,7 +29,10 @@ fn orders(g: &AdjListGraph) -> Vec<(&'static str, InsertionStream)> {
         ("sorted", InsertionStream::from_edge_order(n, sorted)),
         ("reversed", InsertionStream::from_edge_order(n, reversed)),
         ("by-degree", InsertionStream::from_edge_order(n, by_degree)),
-        ("interleaved", InsertionStream::from_edge_order(n, interleaved)),
+        (
+            "interleaved",
+            InsertionStream::from_edge_order(n, interleaved),
+        ),
     ]
 }
 
@@ -39,8 +42,8 @@ fn triangle_estimates_order_independent() {
     let exact = sgs_graph::exact::triangles::count_triangles(&g);
     assert!(exact > 50);
     for (name, stream) in orders(&g) {
-        let est = sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &stream, 25_000, 2)
-            .unwrap();
+        let est =
+            sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &stream, 25_000, 2).unwrap();
         assert!(
             est.relative_error(exact) < 0.25,
             "{name}: estimate {} vs exact {exact}",
@@ -54,8 +57,7 @@ fn wedge_estimates_order_independent() {
     let g = sgs_graph::gen::gnm(30, 120, 3);
     let exact = sgs_graph::exact::stars::count_wedges(&g);
     for (name, stream) in orders(&g) {
-        let est =
-            sgs_core::fgp::estimate_insertion(&Pattern::star(2), &stream, 15_000, 4).unwrap();
+        let est = sgs_core::fgp::estimate_insertion(&Pattern::star(2), &stream, 15_000, 4).unwrap();
         assert!(
             est.relative_error(exact) < 0.25,
             "{name}: estimate {} vs exact {exact}",
@@ -85,8 +87,7 @@ fn ers_order_independent() {
 fn pass_counts_unaffected_by_order() {
     let g = sgs_graph::gen::gnm(25, 100, 7);
     for (_, stream) in orders(&g) {
-        let est =
-            sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &stream, 100, 8).unwrap();
+        let est = sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &stream, 100, 8).unwrap();
         assert_eq!(est.report.passes, 3);
     }
 }

@@ -81,8 +81,7 @@ fn oracle_and_stream_estimates_agree_statistically() {
     let g = sgs_graph::gen::gnm(30, 150, 13);
     let exact = sgs_graph::exact::triangles::count_triangles(&g) as f64;
     let stream = InsertionStream::from_graph(&g, 14);
-    let oracle_est =
-        sgs_core::fgp::estimate_oracle(&Pattern::triangle(), &g, 25_000, 15).unwrap();
+    let oracle_est = sgs_core::fgp::estimate_oracle(&Pattern::triangle(), &g, 25_000, 15).unwrap();
     let stream_est = estimate_insertion(&Pattern::triangle(), &stream, 25_000, 16).unwrap();
     let a = oracle_est.estimate / exact;
     let b = stream_est.estimate / exact;

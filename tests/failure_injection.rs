@@ -15,7 +15,11 @@ fn hit_rate_with_failures(g: &AdjListGraph, fail_prob: f64, trials: usize, seed:
     let par = Parallel::new(
         (0..trials)
             .map(|i| {
-                SubgraphSampler::new(plan.clone(), SamplerMode::Relaxed, split_seed(seed, i as u64))
+                SubgraphSampler::new(
+                    plan.clone(),
+                    SamplerMode::Relaxed,
+                    split_seed(seed, i as u64),
+                )
             })
             .collect(),
     );

@@ -42,7 +42,13 @@ fn petersen_star_and_path_census() {
 fn petersen_zoo_patterns_absent() {
     let g = gen::petersen();
     // Everything containing a triangle or C4 is absent.
-    for p in [zoo::paw(), zoo::diamond(), zoo::bull(), zoo::bowtie(), zoo::house()] {
+    for p in [
+        zoo::paw(),
+        zoo::diamond(),
+        zoo::bull(),
+        zoo::bowtie(),
+        zoo::house(),
+    ] {
         assert_eq!(
             exact::generic::count_pattern(&g, &p),
             0,

@@ -1,57 +1,94 @@
 //! Property-based tests on the core invariants, spanning crates.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these run each property over a seeded sweep of randomized cases drawn
+//! from the workspace's own [`FastRng`] — fully deterministic, and the
+//! failing case is identified by its case index.
 
-use proptest::prelude::*;
+use sgs_prng::FastRng;
 use subgraph_streams::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// The degeneracy never exceeds the maximum degree and every graph
-    /// has a peeling order witnessing it.
-    #[test]
-    fn degeneracy_bounded(n in 2usize..40, mdiv in 1usize..4, seed in 0u64..1000) {
+fn case_rng(test_tag: u64, case: u64) -> FastRng {
+    FastRng::seed_from_u64(sgs_prng::split_seed(test_tag, case))
+}
+
+/// The degeneracy never exceeds the maximum degree and every graph has a
+/// peeling order witnessing it.
+#[test]
+fn degeneracy_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xd11, case);
+        let n = rng.gen_range(2usize..40);
+        let mdiv = rng.gen_range(1usize..4);
+        let seed = rng.next_u64();
         let max_m = n * (n - 1) / 2;
         let m = max_m / mdiv;
         let g = sgs_graph::gen::gnm(n, m, seed);
         let cd = sgs_graph::degeneracy::CoreDecomposition::compute(&g);
-        prop_assert!(cd.degeneracy <= g.max_degree());
+        assert!(cd.degeneracy <= g.max_degree(), "case {case}");
         for v in g.vertices() {
-            prop_assert!(cd.later_neighbors(&g, v).len() <= cd.degeneracy);
+            assert!(
+                cd.later_neighbors(&g, v).len() <= cd.degeneracy,
+                "case {case}, vertex {v:?}"
+            );
         }
     }
+}
 
-    /// rho(H) is sandwiched by n(H)/2 and |E(H)| for connected patterns.
-    #[test]
-    fn rho_bounds(kind in 0usize..4, size in 3usize..8) {
-        let p = match kind {
-            0 => Pattern::clique(size),
-            1 => Pattern::cycle(size),
-            2 => Pattern::star(size - 1),
-            _ => Pattern::path(size - 1),
-        };
-        let rho = sgs_graph::decompose::rho(&p).unwrap();
-        prop_assert!(rho.as_f64() * 2.0 >= p.num_vertices() as f64);
-        prop_assert!(rho.as_f64() <= p.num_edges() as f64);
+/// rho(H) is sandwiched by n(H)/2 and |E(H)| for connected patterns.
+#[test]
+fn rho_bounds() {
+    for kind in 0usize..4 {
+        for size in 3usize..8 {
+            let p = match kind {
+                0 => Pattern::clique(size),
+                1 => Pattern::cycle(size),
+                2 => Pattern::star(size - 1),
+                _ => Pattern::path(size - 1),
+            };
+            let rho = sgs_graph::decompose::rho(&p).unwrap();
+            assert!(rho.as_f64() * 2.0 >= p.num_vertices() as f64, "{p:?}");
+            assert!(rho.as_f64() <= p.num_edges() as f64, "{p:?}");
+        }
     }
+}
 
-    /// Turnstile streams always converge to the source graph, whatever
-    /// the churn, and every prefix is a simple graph.
-    #[test]
-    fn turnstile_strict_and_convergent(n in 5usize..30, mdiv in 2usize..5,
-                                       churn in 0.0f64..3.0, seed in 0u64..500) {
+/// Turnstile streams always converge to the source graph, whatever the
+/// churn, and every prefix is a simple graph.
+#[test]
+fn turnstile_strict_and_convergent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x7ab, case);
+        let n = rng.gen_range(5usize..30);
+        let mdiv = rng.gen_range(2usize..5);
+        let churn = rng.gen_f64() * 3.0;
+        let seed = rng.next_u64();
         let m = (n * (n - 1) / 2) / mdiv;
         let g = sgs_graph::gen::gnm(n, m, seed);
         let s = TurnstileStream::from_graph_with_churn(&g, churn, seed ^ 0xabc);
-        prop_assert!(s.is_strict());
-        prop_assert_eq!(s.final_graph().edge_vec(), g.edge_vec());
+        assert!(s.is_strict(), "case {case}");
+        assert_eq!(s.final_graph().edge_vec(), g.edge_vec(), "case {case}");
     }
+}
 
-    /// The l0-sampler never returns a deleted or absent key.
-    #[test]
-    fn l0_returns_live_keys(keys in prop::collection::hash_set(0u64..500, 1..60),
-                            dead_frac in 0.0f64..0.9, seed in 0u64..500) {
-        use sgs_stream::l0::L0Sampler;
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// The l0-sampler never returns a deleted or absent key.
+#[test]
+fn l0_returns_live_keys() {
+    use sgs_stream::l0::L0Sampler;
+    for case in 0..CASES {
+        let mut rng = case_rng(0x1_0, case);
+        let n_keys = rng.gen_range(1usize..60);
+        let mut keys: Vec<u64> = Vec::new();
+        while keys.len() < n_keys {
+            let k = rng.gen_range(0u64..500);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        let dead_frac = rng.gen_f64() * 0.9;
+        let seed = rng.next_u64();
         let dead = ((keys.len() as f64) * dead_frac) as usize;
         let mut s = L0Sampler::new(30, 6, seed);
         for &k in &keys {
@@ -62,70 +99,100 @@ proptest! {
         }
         let live: std::collections::HashSet<u64> = keys[dead..].iter().copied().collect();
         if let Some(k) = s.sample() {
-            prop_assert!(live.contains(&k), "returned dead key {}", k);
-        } else {
-            // Failure allowed, but must not happen when support is empty
-            // vs non-empty confusion: empty support must return None.
-            if live.is_empty() {
-                prop_assert!(s.support_is_empty());
-            }
+            assert!(live.contains(&k), "case {case}: returned dead key {k}");
+        } else if live.is_empty() {
+            // Failure allowed, but empty support must report as empty.
+            assert!(s.support_is_empty(), "case {case}");
         }
     }
+}
 
-    /// Exact counters agree with the generic embedding counter.
-    #[test]
-    fn exact_counters_cross_check(n in 6usize..18, mdiv in 1usize..3, seed in 0u64..200) {
+/// Exact counters agree with the generic embedding counter.
+#[test]
+fn exact_counters_cross_check() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xecc, case);
+        let n = rng.gen_range(6usize..18);
+        let mdiv = rng.gen_range(1usize..3);
+        let seed = rng.next_u64();
         let max_m = n * (n - 1) / 2;
         let g = sgs_graph::gen::gnm(n, max_m / (mdiv + 1), seed);
-        for p in [Pattern::triangle(), Pattern::cycle(4), Pattern::star(3), Pattern::clique(4)] {
+        for p in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::star(3),
+            Pattern::clique(4),
+        ] {
             let fast = sgs_graph::exact::count_pattern_auto(&g, &p);
             let slow = sgs_graph::exact::generic::count_pattern(&g, &p);
-            prop_assert_eq!(fast, slow);
+            assert_eq!(fast, slow, "case {case}, {p:?}");
         }
     }
+}
 
-    /// A sampled copy, when produced, is a genuine subgraph isomorphic
-    /// to the pattern (here: its edge count matches and all edges exist).
-    #[test]
-    fn sampler_soundness(seed in 0u64..150) {
-        use sgs_core::{SamplerMode, SamplerPlan, SubgraphSampler};
-        use sgs_query::exec::run_insertion;
-        let g = sgs_graph::gen::gnm(20, 80, 3);
-        let stream = InsertionStream::from_graph(&g, 4);
-        let plan = SamplerPlan::new(&Pattern::triangle()).unwrap();
-        let s = SubgraphSampler::new(plan, SamplerMode::Indexed, seed);
+/// A sampled copy, when produced, is a genuine subgraph isomorphic to
+/// the pattern (here: its edge count matches and all edges exist).
+#[test]
+fn sampler_soundness() {
+    use sgs_core::{SamplerMode, SamplerPlan, SubgraphSampler};
+    use sgs_query::exec::run_insertion;
+    let g = sgs_graph::gen::gnm(20, 80, 3);
+    let stream = InsertionStream::from_graph(&g, 4);
+    let plan = SamplerPlan::new(&Pattern::triangle()).unwrap();
+    for seed in 0..150u64 {
+        let s = SubgraphSampler::new(plan.clone(), SamplerMode::Indexed, seed);
         let (out, rep) = run_insertion(s, &stream, seed ^ 0x5555);
-        prop_assert!(rep.passes <= 3);
+        assert!(rep.passes <= 3, "seed {seed}");
         if let Some(c) = out.copy {
-            prop_assert_eq!(c.edges.len(), 3);
+            assert_eq!(c.edges.len(), 3, "seed {seed}");
             for e in &c.edges {
-                prop_assert!(g.has_edge(e.u(), e.v()));
+                assert!(g.has_edge(e.u(), e.v()), "seed {seed}, edge {e:?}");
             }
         }
     }
+}
 
-    /// Reservoir + position sampling: a random edge from the insertion
-    /// executor is always a real edge of the final graph.
-    #[test]
-    fn executor_random_edge_sound(n in 5usize..25, seed in 0u64..300) {
-        use sgs_query::{Answer, Query, RoundAdaptive};
-        struct One { asked: bool, got: Option<Edge> }
-        impl RoundAdaptive for One {
-            type Output = Option<Edge>;
-            fn next_round(&mut self, a: &[Answer]) -> Vec<Query> {
-                if self.asked { self.got = a[0].expect_edge(); return Vec::new(); }
-                self.asked = true;
-                vec![Query::RandomEdge]
+/// Reservoir + position sampling: a random edge from the insertion
+/// executor is always a real edge of the final graph.
+#[test]
+fn executor_random_edge_sound() {
+    use sgs_query::{Answer, Query, RoundAdaptive};
+    struct One {
+        asked: bool,
+        got: Option<Edge>,
+    }
+    impl RoundAdaptive for One {
+        type Output = Option<Edge>;
+        fn next_round(&mut self, a: &[Answer]) -> Vec<Query> {
+            if self.asked {
+                self.got = a[0].expect_edge();
+                return Vec::new();
             }
-            fn output(&mut self) -> Option<Edge> { self.got }
+            self.asked = true;
+            vec![Query::RandomEdge]
         }
+        fn output(&mut self) -> Option<Edge> {
+            self.got
+        }
+    }
+    for case in 0..CASES * 4 {
+        let mut rng = case_rng(0xe5e, case);
+        let n = rng.gen_range(5usize..25);
+        let seed = rng.next_u64();
         let m = (n * (n - 1) / 2) / 2;
         let g = sgs_graph::gen::gnm(n, m, seed);
         let stream = InsertionStream::from_graph(&g, seed ^ 1);
-        let (out, _) = sgs_query::exec::run_insertion(One { asked: false, got: None }, &stream, seed ^ 2);
+        let (out, _) = sgs_query::exec::run_insertion(
+            One {
+                asked: false,
+                got: None,
+            },
+            &stream,
+            seed ^ 2,
+        );
         if m > 0 {
             let e = out.expect("non-empty stream yields an edge");
-            prop_assert!(g.has_edge(e.u(), e.v()));
+            assert!(g.has_edge(e.u(), e.v()), "case {case}");
         }
     }
 }
