@@ -34,7 +34,11 @@ pub struct CountEstimate {
 }
 
 impl CountEstimate {
-    fn from_outcomes(outcomes: Vec<SamplerOutcome>, rho: Rho, report: ExecReport) -> Self {
+    pub(crate) fn from_outcomes(
+        outcomes: Vec<SamplerOutcome>,
+        rho: Rho,
+        report: ExecReport,
+    ) -> Self {
         let trials = outcomes.len();
         let m = outcomes.iter().map(|o| o.m).max().unwrap_or(0);
         let hits = outcomes.iter().filter(|o| o.copy.is_some()).count() as u64;
@@ -66,7 +70,7 @@ impl CountEstimate {
     }
 }
 
-fn build_parallel(
+pub(crate) fn build_parallel(
     plan: &Arc<SamplerPlan>,
     mode: SamplerMode,
     trials: usize,

@@ -19,7 +19,10 @@ pub use counter::{
     estimate_insertion, estimate_oracle, estimate_turnstile, practical_trials, theory_trials,
     CountEstimate,
 };
-pub use parallel_exec::estimate_insertion_threaded;
+pub use parallel_exec::{
+    estimate_insertion_on_feed, estimate_insertion_threaded, estimate_turnstile_on_feed,
+    estimate_turnstile_threaded,
+};
 pub use plan::SamplerPlan;
 pub use sampler::{SamplerMode, SamplerOutcome, SubgraphSampler};
 pub use search::{distinguish_insertion, search_count_insertion, GapDecision, SearchResult};

@@ -1,25 +1,67 @@
-//! Multi-threaded estimator driver.
+//! Multi-threaded estimator driver: sharded *streams*, not just sharded
+//! trial banks.
 //!
-//! The `k` sampler trials of Theorem 17 are mutually independent, so they
-//! shard perfectly across OS threads: each thread drives its own
-//! `Parallel` bank of samplers over the same replayable stream and the
-//! hit counts add up. The *logical* pass count is unchanged (every thread
-//! reads the same 3 passes; a deployment would fan the feed out to
-//! shards), and the estimate distribution is identical to the
-//! single-threaded run with the same total trial count — only wall-clock
-//! time changes.
+//! The pre-sharding version of this module split the `k` sampler trials
+//! of Theorem 17 across threads, each replaying the whole stream — the
+//! feed path stayed one hot loop per thread and the per-thread runs drew
+//! different coins than a single-threaded run. Since the sharded-pipeline
+//! refactor the split happens one layer down: **one** `Parallel` bank of
+//! all `k` trials drives `run_insertion_sharded`/`run_turnstile_sharded`,
+//! which hash-partition the *stream* across a [`ShardedFeed`], run one
+//! private `QueryRouter` per shard (pooled in a [`RouterArena`]), and
+//! merge per-shard answers back into the exact single-stream batch
+//! answers.
+//!
+//! Because the merge is exact, the sharded estimate is **byte-identical**
+//! to [`crate::fgp::counter::estimate_insertion`] /
+//! [`crate::fgp::counter::estimate_turnstile`] with the same seed, for
+//! any shard count — the logical pass count (3) and the estimate
+//! distribution are unchanged by construction, not just in expectation.
+//! Shard workers run on scoped threads (one per shard) when the host has
+//! the cores; wall-clock time is the only thing that changes.
 
-use crate::fgp::counter::CountEstimate;
+use crate::fgp::counter::{build_parallel, CountEstimate};
 use crate::fgp::plan::SamplerPlan;
-use crate::fgp::sampler::{SamplerMode, SubgraphSampler};
+use crate::fgp::sampler::SamplerMode;
 use sgs_graph::Pattern;
-use sgs_query::exec::run_insertion;
-use sgs_query::{ExecReport, Parallel};
+use sgs_query::sharded::{run_insertion_sharded, run_turnstile_sharded};
+use sgs_query::RouterArena;
 use sgs_stream::hash::split_seed;
-use sgs_stream::EdgeStream;
+use sgs_stream::{EdgeStream, ShardedFeed};
 
-/// Estimate `#H` from an insertion-only stream using `threads` worker
-/// threads sharing `trials` total sampler copies.
+/// Estimate `#H` from an already-partitioned insertion-only feed,
+/// reusing a caller-owned arena: the serving-loop entry point (partition
+/// once, estimate many times, zero router allocations after warm-up).
+pub fn estimate_insertion_on_feed(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+) -> Option<CountEstimate> {
+    let plan = SamplerPlan::new(pattern)?;
+    let par = build_parallel(&plan, SamplerMode::Indexed, trials, seed);
+    let (outcomes, report) = run_insertion_sharded(par, feed, split_seed(seed, u64::MAX), arena);
+    Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
+}
+
+/// Turnstile sibling of [`estimate_insertion_on_feed`].
+pub fn estimate_turnstile_on_feed(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+) -> Option<CountEstimate> {
+    let plan = SamplerPlan::new(pattern)?;
+    let par = build_parallel(&plan, SamplerMode::Relaxed, trials, seed);
+    let (outcomes, report) = run_turnstile_sharded(par, feed, split_seed(seed, u64::MAX), arena);
+    Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
+}
+
+/// Estimate `#H` from an insertion-only stream sharded `threads` ways:
+/// the stream is hash-partitioned, one worker drives each shard, and the
+/// merged answers reproduce the single-stream run coin for coin.
 pub fn estimate_insertion_threaded<S: EdgeStream + Sync>(
     pattern: &Pattern,
     stream: &S,
@@ -28,83 +70,79 @@ pub fn estimate_insertion_threaded<S: EdgeStream + Sync>(
     seed: u64,
 ) -> Option<CountEstimate> {
     assert!(threads >= 1);
-    let plan = SamplerPlan::new(pattern)?;
-    let chunk = trials.div_ceil(threads);
-    let results: Vec<(u64, usize, usize, ExecReport)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for tid in 0..threads {
-            let plan = plan.clone();
-            let lo = tid * chunk;
-            let hi = ((tid + 1) * chunk).min(trials);
-            if lo >= hi {
-                continue;
-            }
-            handles.push(scope.spawn(move || {
-                let par = Parallel::new(
-                    (lo..hi)
-                        .map(|i| {
-                            SubgraphSampler::new(
-                                plan.clone(),
-                                SamplerMode::Indexed,
-                                split_seed(seed, i as u64),
-                            )
-                        })
-                        .collect(),
-                );
-                let (outcomes, report) =
-                    run_insertion(par, stream, split_seed(seed ^ 0xabcd, tid as u64));
-                let hits = outcomes.iter().filter(|o| o.copy.is_some()).count() as u64;
-                let m = outcomes.iter().map(|o| o.m).max().unwrap_or(0);
-                (hits, hi - lo, m, report)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let feed = ShardedFeed::partition(stream, threads);
+    let mut arena = RouterArena::new();
+    estimate_insertion_on_feed(pattern, &feed, trials, seed, &mut arena)
+}
 
-    let hits: u64 = results.iter().map(|r| r.0).sum();
-    let total: usize = results.iter().map(|r| r.1).sum();
-    let m = results.iter().map(|r| r.2).max().unwrap_or(0);
-    // Passes are logical (every shard reads the same 3 passes); space and
-    // queries add across shards.
-    let report = results
-        .iter()
-        .map(|r| r.3)
-        .fold(ExecReport::default(), |acc, r| acc.merged_with(&r));
-    let estimate = if total == 0 {
-        0.0
-    } else {
-        plan.rho().pow(2.0 * m as f64) * hits as f64 / total as f64
-    };
-    Some(CountEstimate {
-        estimate,
-        hits,
-        trials: total,
-        m,
-        rho: plan.rho(),
-        report,
-    })
+/// Turnstile sibling of [`estimate_insertion_threaded`]: sharded
+/// turnstile estimation with per-shard ℓ₀-banks merged exactly
+/// (Theorem 1's 3-pass structure, fanned out over `threads` shards).
+pub fn estimate_turnstile_threaded<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Option<CountEstimate> {
+    assert!(threads >= 1);
+    let feed = ShardedFeed::partition(stream, threads);
+    let mut arena = RouterArena::new();
+    estimate_turnstile_on_feed(pattern, &feed, trials, seed, &mut arena)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fgp::counter::estimate_insertion;
+    use crate::fgp::counter::{estimate_insertion, estimate_turnstile};
     use sgs_graph::{exact, gen};
-    use sgs_stream::InsertionStream;
+    use sgs_stream::{InsertionStream, TurnstileStream};
+
+    #[test]
+    fn threaded_is_byte_identical_to_single_stream() {
+        // Stronger than the old statistical check: sharding the stream
+        // merges back to the exact single-stream answers, so the whole
+        // estimate must match bit for bit at every shard count.
+        let g = gen::gnm(40, 220, 1);
+        let stream = InsertionStream::from_graph(&g, 2);
+        let single = estimate_insertion(&Pattern::triangle(), &stream, 4_000, 4).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let multi =
+                estimate_insertion_threaded(&Pattern::triangle(), &stream, 4_000, threads, 4)
+                    .unwrap();
+            assert_eq!(multi.hits, single.hits, "{threads} shards");
+            assert_eq!(multi.estimate, single.estimate, "{threads} shards");
+            assert_eq!(multi.m, single.m);
+            assert_eq!(multi.trials, 4_000);
+            assert_eq!(multi.report.passes, 3, "logical passes, not per-shard");
+        }
+    }
+
+    #[test]
+    fn turnstile_threaded_is_byte_identical_to_single_stream() {
+        let g = gen::gnm(24, 100, 31);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 0.5, 32);
+        let single = estimate_turnstile(&Pattern::triangle(), &tst, 800, 33).unwrap();
+        for threads in [1usize, 2, 4] {
+            let multi =
+                estimate_turnstile_threaded(&Pattern::triangle(), &tst, 800, threads, 33).unwrap();
+            assert_eq!(multi.hits, single.hits, "{threads} shards");
+            assert_eq!(multi.estimate, single.estimate, "{threads} shards");
+            assert!(multi.report.passes <= 3);
+        }
+    }
 
     #[test]
     fn threaded_matches_single_threaded_statistically() {
         let g = gen::gnm(40, 220, 1);
         let exact_t = exact::triangles::count_triangles(&g);
         let stream = InsertionStream::from_graph(&g, 2);
-        let single = estimate_insertion(&Pattern::triangle(), &stream, 24_000, 3).unwrap();
         let multi =
             estimate_insertion_threaded(&Pattern::triangle(), &stream, 24_000, 4, 4).unwrap();
         assert_eq!(multi.trials, 24_000);
         assert_eq!(multi.report.passes, 3);
-        let a = single.relative_error(exact_t);
-        let b = multi.relative_error(exact_t);
-        assert!(a < 0.25 && b < 0.25, "errors {a:.3} / {b:.3}");
+        let err = multi.relative_error(exact_t);
+        assert!(err < 0.25, "error {err:.3}");
     }
 
     #[test]
@@ -121,5 +159,32 @@ mod tests {
         let stream = InsertionStream::from_graph(&g, 8);
         let est = estimate_insertion_threaded(&Pattern::triangle(), &stream, 3, 8, 9).unwrap();
         assert_eq!(est.trials, 3);
+    }
+
+    #[test]
+    fn feed_and_arena_reuse_across_estimates() {
+        // The serving-loop shape: partition once, estimate repeatedly on
+        // a warm arena; results stay identical run over run and the
+        // arena stops allocating after the first.
+        let g = gen::gnm(30, 140, 11);
+        let stream = InsertionStream::from_graph(&g, 12);
+        let feed = ShardedFeed::partition(&stream, 4);
+        let mut arena = RouterArena::new();
+        let first =
+            estimate_insertion_on_feed(&Pattern::triangle(), &feed, 2_000, 13, &mut arena).unwrap();
+        assert!(arena.is_warm());
+        for _ in 0..2 {
+            let again =
+                estimate_insertion_on_feed(&Pattern::triangle(), &feed, 2_000, 13, &mut arena)
+                    .unwrap();
+            assert_eq!(again.hits, first.hits);
+            assert_eq!(again.estimate, first.estimate);
+        }
+        assert_eq!(
+            arena.growth_events_after_warmup(),
+            0,
+            "warm arena must not allocate per round"
+        );
+        assert_eq!(feed.logical_passes(), 9, "3 estimates × 3 logical passes");
     }
 }

@@ -25,30 +25,41 @@
 //! [`crate::reference`]; seeded equivalence tests pin the two
 //! byte-identical.
 //!
+//! `run_insertion`/`run_turnstile` are the **single-shard cases** of the
+//! sharded pipeline in [`crate::sharded`]: they partition the stream into
+//! one shard and run the same split/route/merge machinery an N-shard
+//! execution uses. The per-batch entry points
+//! [`answer_insertion_batch`] / [`answer_turnstile_batch`] keep the
+//! direct single-stream implementation — they are the seam benchmarks
+//! and sharded drivers merge through, and the baseline the sharded path
+//! is measured against.
+//!
 //! Executors never contribute algorithm randomness: the per-pass sketch
 //! seeds only decide *which* uniform sample each query receives, mirroring
 //! the oracle's own sampling coins.
 
 use crate::accounting::ExecReport;
+use crate::arena::RouterArena;
 use crate::oracle::GraphOracle;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
 use crate::router::{QueryRouter, RouterMode};
+use crate::sharded::{run_insertion_sharded, run_turnstile_sharded};
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
 use sgs_stream::reservoir::ReservoirSampler;
-use sgs_stream::{EdgeStream, SpaceUsage};
+use sgs_stream::{EdgeStream, ShardedFeed, SpaceUsage};
 
 /// Bytes charged per retained answer (Theorem 9's `O(q log n)` term).
-const ANSWER_BYTES: usize = 16;
+pub(crate) const ANSWER_BYTES: usize = 16;
 
 /// Sort `f1` position targets by `(position, slot)`. Positions live in
 /// `0..stream_len`, so when a counting table is affordable a two-pass
 /// bucket sort beats the comparison sort that dominates round-1 setup at
 /// large trial counts. Targets arrive slot-ascending, so bucketing is
 /// stable in exactly the comparison order.
-fn sort_targets(targets: &mut Vec<(u64, u32)>, stream_len: u64) {
+pub(crate) fn sort_targets(targets: &mut Vec<(u64, u32)>, stream_len: u64) {
     if targets.is_empty() {
         return;
     }
@@ -190,29 +201,28 @@ pub fn answer_insertion_batch(
 
 /// Execute as an insertion-only streaming algorithm: one pass per round
 /// (Theorem 9).
+///
+/// Since the sharded-pipeline refactor this is the thin single-shard case
+/// of [`crate::sharded::run_insertion_sharded`]: the stream is
+/// partitioned into one shard and each round is answered through the
+/// sharded driver (which at one shard replays the feed straight through
+/// [`answer_insertion_batch`], keeping the direct per-pass cost).
+///
+/// The partition buffers the stream's updates once (driver-side harness
+/// state, like the replayable stream object itself — *not* counted in
+/// `max_pass_space_bytes`, which keeps reporting only the Theorem-9
+/// pass-emulation state) and stores positions as `u32`. Callers that run
+/// many executions over one stream should partition once themselves and
+/// call [`crate::sharded::run_insertion_sharded`] with a shared feed and
+/// arena.
 pub fn run_insertion<A: RoundAdaptive>(
-    mut alg: A,
+    alg: A,
     stream: &impl EdgeStream,
     seed: u64,
 ) -> (A::Output, ExecReport) {
-    let mut report = ExecReport::default();
-    let mut answers: Vec<Answer> = Vec::new();
-    loop {
-        let batch = alg.next_round(&answers);
-        if batch.is_empty() {
-            break;
-        }
-        report.rounds += 1;
-        report.passes += 1;
-        report.queries += batch.len();
-        report.answer_bytes += batch.len() * ANSWER_BYTES;
-
-        let (a, space) =
-            answer_insertion_batch(&batch, stream, split_seed(seed, report.passes as u64));
-        report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
-        answers = a;
-    }
-    (alg.output(), report)
+    let feed = ShardedFeed::partition(stream, 1);
+    let mut arena = RouterArena::new();
+    run_insertion_sharded(alg, &feed, seed, &mut arena)
 }
 
 /// Per-pass state for the turnstile model: the shared router plus one
@@ -303,29 +313,17 @@ pub fn answer_turnstile_batch(
 
 /// Execute as a turnstile streaming algorithm: one pass per round
 /// (Theorem 11).
+///
+/// The thin single-shard case of
+/// [`crate::sharded::run_turnstile_sharded`]; see [`run_insertion`].
 pub fn run_turnstile<A: RoundAdaptive>(
-    mut alg: A,
+    alg: A,
     stream: &impl EdgeStream,
     seed: u64,
 ) -> (A::Output, ExecReport) {
-    let mut report = ExecReport::default();
-    let mut answers: Vec<Answer> = Vec::new();
-    loop {
-        let batch = alg.next_round(&answers);
-        if batch.is_empty() {
-            break;
-        }
-        report.rounds += 1;
-        report.passes += 1;
-        report.queries += batch.len();
-        report.answer_bytes += batch.len() * ANSWER_BYTES;
-
-        let (a, space) =
-            answer_turnstile_batch(&batch, stream, split_seed(seed, report.passes as u64));
-        report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
-        answers = a;
-    }
-    (alg.output(), report)
+    let feed = ShardedFeed::partition(stream, 1);
+    let mut arena = RouterArena::new();
+    run_turnstile_sharded(alg, &feed, seed, &mut arena)
 }
 
 #[cfg(test)]

@@ -14,6 +14,13 @@
 //!   flat hash-bucket indexes plus sorted position cursors over one
 //!   round's merged batch, so each stream update costs O(1 + hits)
 //!   regardless of how many parallel trials are pending,
+//! * [`arena`] — the [`arena::RouterArena`]: pooled per-shard routers and
+//!   batch scratch, built once and reset per pass (no per-round heap
+//!   growth after warm-up),
+//! * [`sharded`] — the sharded pipeline: per-shard routers over a
+//!   hash-partitioned [`sgs_stream::ShardedFeed`], merged back into
+//!   byte-identical single-stream answers; the single-stream executors
+//!   are its one-shard case,
 //! * [`exec`] — the three executors:
 //!   [`exec::run_on_oracle`] (query-access),
 //!   [`exec::run_insertion`] (Theorem 9: one pass per round, reservoir
@@ -26,6 +33,7 @@
 //!   triangle finder), used by tests and experiment E10.
 
 pub mod accounting;
+pub mod arena;
 pub mod exec;
 pub mod oracle;
 pub mod query;
@@ -33,11 +41,17 @@ pub mod reference;
 pub mod relaxed;
 pub mod round;
 pub mod router;
+pub mod sharded;
 pub mod triangle_finder;
 
 pub use accounting::ExecReport;
+pub use arena::RouterArena;
 pub use oracle::{ExactOracle, GraphOracle};
 pub use query::{Answer, Query};
 pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
 pub use router::{QueryRouter, RouterMode};
+pub use sharded::{
+    answer_insertion_batch_sharded, answer_turnstile_batch_sharded, run_insertion_sharded,
+    run_turnstile_sharded,
+};

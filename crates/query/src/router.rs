@@ -107,11 +107,59 @@ pub struct QueryRouter {
 
     /// Running edge count `m`.
     m: i64,
+
+    /// Rebuild scratch (grouping intermediates), retained across
+    /// [`QueryRouter::rebuild`] calls so an arena-pooled router reaches
+    /// zero per-round allocations after warm-up.
+    scratch_nbr: Vec<(u32, u32)>,
+    scratch_watch: Vec<(u32, (u64, u32))>,
+    scratch_sizes: Vec<u32>,
+}
+
+impl Default for QueryRouter {
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 impl QueryRouter {
+    /// An empty router holding no batch — the pooled starting point; fill
+    /// it with [`QueryRouter::rebuild`].
+    pub fn empty() -> Self {
+        QueryRouter {
+            batch_len: 0,
+            count_slots: Vec::new(),
+            edge_slots: Vec::new(),
+            vertices: FlatIndex::default(),
+            group_vertex: Vec::new(),
+            groups: Vec::new(),
+            deg_pairs: Vec::new(),
+            nbr_slots: Vec::new(),
+            watch_entries: Vec::new(),
+            watch_hits: Vec::new(),
+            pairs: FlatIndex::default(),
+            flag_present: Vec::new(),
+            flag_pairs: Vec::new(),
+            m: 0,
+            scratch_nbr: Vec::new(),
+            scratch_watch: Vec::new(),
+            scratch_sizes: Vec::new(),
+        }
+    }
+
     /// Ingest a batch and build the routing indexes.
     pub fn build(batch: &[Query], mode: RouterMode) -> Self {
+        let mut r = Self::empty();
+        r.rebuild(batch, mode);
+        r
+    }
+
+    /// Re-ingest a batch **in place**, reusing every allocation from the
+    /// previous round: the arena contract (ROADMAP "Indexed-pass build
+    /// cost"). After one warm-up round per batch shape, rebuilding
+    /// touches no heap — [`crate::arena::RouterArena`] counts growth
+    /// events to prove it.
+    pub fn rebuild(&mut self, batch: &[Query], mode: RouterMode) {
         // Counting prescan: exact capacities, no re-growth while
         // classifying tens of thousands of merged queries.
         let (mut n_count, mut n_edge, mut n_deg, mut n_nbr, mut n_watch, mut n_flag) =
@@ -126,8 +174,12 @@ impl QueryRouter {
                 Query::Adjacent(..) => n_flag += 1,
             }
         }
-        let mut count_slots = Vec::with_capacity(n_count);
-        let mut edge_slots = Vec::with_capacity(n_edge);
+        self.batch_len = batch.len();
+        self.m = 0;
+        self.count_slots.clear();
+        self.count_slots.reserve(n_count);
+        self.edge_slots.clear();
+        self.edge_slots.reserve(n_edge);
 
         // One shared vertex index across all vertex-keyed kinds: per
         // update, a single probe routes to degree counts, watchers, and
@@ -136,17 +188,28 @@ impl QueryRouter {
         // (thousands of trials ask about the same few hundred vertices),
         // so start small and let the index grow: a compact table stays
         // cache-resident on the per-update probe path.
-        let mut vertices = FlatIndex::with_capacity((n_deg + n_nbr + n_watch).min(2048));
-        let mut group_vertex: Vec<u32> = Vec::new();
-        let mut deg_pairs: Vec<(u32, u32)> = Vec::with_capacity(n_deg);
-        let mut nbr_grouped: Vec<(u32, u32)> = Vec::with_capacity(n_nbr);
-        let mut watch_grouped: Vec<(u32, (u64, u32))> = Vec::with_capacity(n_watch);
+        self.vertices.clear();
+        self.vertices.reserve((n_deg + n_nbr + n_watch).min(2048));
+        self.group_vertex.clear();
+        self.deg_pairs.clear();
+        self.deg_pairs.reserve(n_deg);
+        let mut nbr_grouped = std::mem::take(&mut self.scratch_nbr);
+        nbr_grouped.clear();
+        nbr_grouped.reserve(n_nbr);
+        let mut watch_grouped = std::mem::take(&mut self.scratch_watch);
+        watch_grouped.clear();
+        watch_grouped.reserve(n_watch);
         // Per-edge index for f4; distinct pairs are usually close to the
         // raw count (each trial probes its own sampled vertex set).
-        let mut pairs = FlatIndex::with_capacity(n_flag);
-        let mut flag_pairs: Vec<(u32, u32)> = Vec::with_capacity(n_flag);
+        self.pairs.clear();
+        self.pairs.reserve(n_flag);
+        self.flag_pairs.clear();
+        self.flag_pairs.reserve(n_flag);
+        self.watch_hits.clear();
 
         // Single classification pass: group keys as we see them.
+        let vertices = &mut self.vertices;
+        let group_vertex = &mut self.group_vertex;
         let vertex_group =
             |vertices: &mut FlatIndex, group_vertex: &mut Vec<u32>, v: VertexId| -> u32 {
                 let g = vertices.insert_or_get(v.0 as u64);
@@ -158,14 +221,14 @@ impl QueryRouter {
         for (i, q) in batch.iter().enumerate() {
             let slot = i as u32;
             match *q {
-                Query::EdgeCount => count_slots.push(slot),
-                Query::RandomEdge => edge_slots.push(slot),
+                Query::EdgeCount => self.count_slots.push(slot),
+                Query::RandomEdge => self.edge_slots.push(slot),
                 Query::Degree(v) => {
-                    let g = vertex_group(&mut vertices, &mut group_vertex, v);
-                    deg_pairs.push((g, slot));
+                    let g = vertex_group(vertices, group_vertex, v);
+                    self.deg_pairs.push((g, slot));
                 }
                 Query::RandomNeighbor(v) => {
-                    let g = vertex_group(&mut vertices, &mut group_vertex, v);
+                    let g = vertex_group(vertices, group_vertex, v);
                     nbr_grouped.push((g, slot));
                 }
                 Query::IthNeighbor(v, idx) => {
@@ -175,84 +238,102 @@ impl QueryRouter {
                              (Definition 10 replaces it with RandomNeighbor)"
                         );
                     }
-                    let g = vertex_group(&mut vertices, &mut group_vertex, v);
+                    let g = vertex_group(vertices, group_vertex, v);
                     watch_grouped.push((g, (idx, slot)));
                 }
                 Query::Adjacent(u, v) => {
-                    let g = pairs.insert_or_get(Edge::new(u, v).key());
-                    flag_pairs.push((g, slot));
+                    let g = self.pairs.insert_or_get(Edge::new(u, v).key());
+                    self.flag_pairs.push((g, slot));
                 }
             }
         }
-        let n_groups = group_vertex.len();
-        let pair_groups = pairs.len();
+        let n_groups = self.group_vertex.len();
+        let pair_groups = self.pairs.len();
 
-        let mut groups = vec![VertexGroup::default(); n_groups];
+        self.groups.clear();
+        self.groups.resize(n_groups, VertexGroup::default());
 
         // Relaxed-f3 sampler slots need CSR pooling: feed dispatches by
         // vertex group range.
-        let nbr_slots = {
-            let mut sizes = vec![0u32; n_groups];
+        {
+            let sizes = &mut self.scratch_sizes;
+            sizes.clear();
+            sizes.resize(n_groups, 0);
             for &(g, _) in &nbr_grouped {
                 sizes[g as usize] += 1;
             }
             let mut acc = 0u32;
-            for (st, &c) in groups.iter_mut().zip(&sizes) {
+            for (st, &c) in self.groups.iter_mut().zip(sizes.iter()) {
                 st.nbr_start = acc;
                 acc += c;
                 st.nbr_end = st.nbr_start;
             }
-            let mut pool = vec![0u32; nbr_grouped.len()];
+            self.nbr_slots.clear();
+            self.nbr_slots.resize(nbr_grouped.len(), 0);
             for &(g, s) in &nbr_grouped {
-                let st = &mut groups[g as usize];
-                pool[st.nbr_end as usize] = s;
+                let st = &mut self.groups[g as usize];
+                self.nbr_slots[st.nbr_end as usize] = s;
                 st.nbr_end += 1;
             }
-            pool
-        };
+        }
 
         // Watchers carry payloads; pool then sort each group descending
         // so the live tail is the next-due entry.
-        let watch_entries = {
-            let mut sizes = vec![0u32; n_groups];
+        {
+            let sizes = &mut self.scratch_sizes;
+            sizes.clear();
+            sizes.resize(n_groups, 0);
             for &(g, _) in &watch_grouped {
                 sizes[g as usize] += 1;
             }
             let mut acc = 0u32;
-            for (st, &c) in groups.iter_mut().zip(&sizes) {
+            for (st, &c) in self.groups.iter_mut().zip(sizes.iter()) {
                 st.watch_start = acc;
                 acc += c;
                 st.watch_live = st.watch_start;
             }
-            let mut pool = vec![(0u64, 0u32); watch_grouped.len()];
+            self.watch_entries.clear();
+            self.watch_entries.resize(watch_grouped.len(), (0, 0));
             for &(g, p) in &watch_grouped {
-                let st = &mut groups[g as usize];
-                pool[st.watch_live as usize] = p;
+                let st = &mut self.groups[g as usize];
+                self.watch_entries[st.watch_live as usize] = p;
                 st.watch_live += 1;
             }
-            for st in &groups {
-                pool[st.watch_start as usize..st.watch_live as usize]
+            for st in &self.groups {
+                self.watch_entries[st.watch_start as usize..st.watch_live as usize]
                     .sort_unstable_by(|a, b| b.cmp(a));
             }
-            pool
-        };
-
-        QueryRouter {
-            batch_len: batch.len(),
-            count_slots,
-            edge_slots,
-            vertices,
-            group_vertex,
-            groups,
-            deg_pairs,
-            nbr_slots,
-            watch_entries,
-            watch_hits: Vec::new(),
-            pairs,
-            flag_present: vec![false; pair_groups],
-            flag_pairs,
-            m: 0,
         }
+
+        self.flag_present.clear();
+        self.flag_present.resize(pair_groups, false);
+
+        self.scratch_nbr = nbr_grouped;
+        self.scratch_watch = watch_grouped;
+    }
+
+    /// Bytes of backing storage currently allocated across every pooled
+    /// buffer (capacities, not lengths): what the arena's
+    /// no-growth-after-warm-up accounting watches. Distinct from
+    /// [`QueryRouter::space_bytes`], which reports the *semantic*
+    /// footprint of Theorems 9/11.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.count_slots.capacity() * size_of::<u32>()
+            + self.edge_slots.capacity() * size_of::<u32>()
+            + self.vertices.heap_bytes()
+            + self.group_vertex.capacity() * size_of::<u32>()
+            + self.groups.capacity() * size_of::<VertexGroup>()
+            + self.deg_pairs.capacity() * size_of::<(u32, u32)>()
+            + self.nbr_slots.capacity() * size_of::<u32>()
+            + self.watch_entries.capacity() * size_of::<(u64, u32)>()
+            + self.watch_hits.capacity() * size_of::<(u32, VertexId)>()
+            + self.pairs.heap_bytes()
+            + self.flag_present.capacity()
+            + self.flag_pairs.capacity() * size_of::<(u32, u32)>()
+            + self.scratch_nbr.capacity() * size_of::<(u32, u32)>()
+            + self.scratch_watch.capacity() * size_of::<(u32, (u64, u32))>()
+            + self.scratch_sizes.capacity() * size_of::<u32>()
     }
 
     /// Number of queries in the routed batch.
@@ -441,6 +522,54 @@ mod tests {
         assert_eq!(answers[0], Answer::Neighbor(Some(v(6))));
         assert_eq!(answers[1], Answer::Neighbor(Some(v(6))));
         assert_eq!(answers[2], Answer::Neighbor(None));
+    }
+
+    #[test]
+    fn rebuild_reuses_allocations_and_matches_fresh_build() {
+        let big: Vec<Query> = (0..400u32)
+            .flat_map(|i| {
+                [
+                    Query::Degree(v(i % 40)),
+                    Query::RandomNeighbor(v(i % 37)),
+                    Query::Adjacent(v(i % 23), v(100 + i % 29)),
+                    Query::IthNeighbor(v(i % 31), (i as u64 % 5) + 1),
+                    Query::RandomEdge,
+                ]
+            })
+            .collect();
+        let small = vec![Query::EdgeCount, Query::Degree(v(3))];
+        // Warm-up cycle: one rebuild per shape the run will see.
+        let mut pooled = QueryRouter::build(&big, RouterMode::Insertion);
+        pooled.rebuild(&small, RouterMode::Insertion);
+        let warm = pooled.heap_bytes();
+        // Every later round over known shapes is allocation-stable.
+        for _ in 0..3 {
+            pooled.rebuild(&big, RouterMode::Insertion);
+            assert_eq!(pooled.heap_bytes(), warm, "big rebuild reallocated");
+            pooled.rebuild(&small, RouterMode::Insertion);
+            assert_eq!(pooled.heap_bytes(), warm, "small rebuild reallocated");
+        }
+        pooled.rebuild(&big, RouterMode::Insertion);
+
+        // The rebuilt router must behave exactly like a fresh build.
+        let mut fresh = QueryRouter::build(&big, RouterMode::Insertion);
+        let updates = [
+            EdgeUpdate::insert(Edge::from((3, 14))),
+            EdgeUpdate::insert(Edge::from((14, 23))),
+            EdgeUpdate::insert(Edge::from((2, 108))),
+            EdgeUpdate::delete(Edge::from((14, 23))),
+        ];
+        let (mut ha, mut hb) = (Vec::new(), Vec::new());
+        for u in updates {
+            pooled.feed(u, |i| ha.push(i));
+            fresh.feed(u, |i| hb.push(i));
+        }
+        assert_eq!(ha, hb);
+        let mut aa = vec![Answer::Edge(None); big.len()];
+        let mut ab = vec![Answer::Edge(None); big.len()];
+        pooled.distribute(&mut aa);
+        fresh.distribute(&mut ab);
+        assert_eq!(aa, ab);
     }
 
     #[test]

@@ -89,6 +89,46 @@ impl FlatIndex {
         }
     }
 
+    /// Grow the probe table (preserving entries) until `expected` keys
+    /// fit under the 2/3 load factor. Called by arena-pooled users right
+    /// after [`FlatIndex::clear`], when the key count of the incoming
+    /// batch is known: one resize instead of log-many grow-rehashes.
+    pub fn reserve(&mut self, expected: usize) {
+        let need = expected.max(self.len as usize) + 1;
+        if need * 3 <= self.slots.len() * 2 {
+            return;
+        }
+        let new_cap = (need * 3).div_ceil(2).next_power_of_two();
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap]);
+        self.mask = new_cap - 1;
+        for s in old {
+            if s.id == EMPTY {
+                continue;
+            }
+            let mut slot = splitmix64(s.key) as usize & self.mask;
+            while self.slots[slot].id != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = s;
+        }
+    }
+
+    /// Remove every key but keep the probe table's capacity: the reset
+    /// half of the arena contract (build once, reset per pass). O(table
+    /// capacity), but allocation-free — after warm-up an arena-pooled
+    /// index never touches the heap again.
+    pub fn clear(&mut self) {
+        self.slots.fill(VACANT);
+        self.len = 0;
+    }
+
+    /// Bytes of backing storage actually allocated (table capacity, not
+    /// semantic payload — see [`SpaceUsage`] for the latter). The arena's
+    /// no-growth-after-warm-up counter watches this.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+
     /// Dense id for `key`, or `None` if never inserted.
     #[inline]
     pub fn get(&self, key: u64) -> Option<u32> {
@@ -175,6 +215,41 @@ mod tests {
         assert!(ix.is_empty());
         assert_eq!(ix.get(42), None);
         assert_eq!(ix.space_bytes(), 0);
+    }
+
+    #[test]
+    fn reserve_satisfies_its_own_load_factor() {
+        // Boundary sizes: the reserved table must accept `expected` keys
+        // without a second grow-rehash (ceiling division matters:
+        // reserve(10) needs 32 slots, not 16).
+        for expected in 1..200usize {
+            let mut ix = FlatIndex::with_capacity(0);
+            ix.reserve(expected);
+            let cap = ix.heap_bytes();
+            for k in 0..expected as u64 {
+                ix.insert_or_get(k * 7 + 1);
+            }
+            assert_eq!(ix.heap_bytes(), cap, "reserve({expected}) regrew");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_ids() {
+        let mut ix = FlatIndex::with_capacity(4);
+        for k in 0..100u64 {
+            ix.insert_or_get(k);
+        }
+        let cap = ix.heap_bytes();
+        ix.clear();
+        assert!(ix.is_empty());
+        assert_eq!(ix.get(5), None);
+        assert_eq!(ix.heap_bytes(), cap, "clear must not shrink the table");
+        // Dense ids restart from 0 and reuse is allocation-stable.
+        assert_eq!(ix.insert_or_get(77), 0);
+        for k in 0..100u64 {
+            ix.insert_or_get(k);
+        }
+        assert_eq!(ix.heap_bytes(), cap, "same key count must not regrow");
     }
 
     #[test]

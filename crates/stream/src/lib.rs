@@ -11,6 +11,8 @@
 //! * [`l0`] — ℓ₀-samplers for turnstile streams (Lemma 7, Theorem 11),
 //! * [`counters`] — degree counters, i-th-neighbor watchers, adjacency
 //!   flags, edge counters (the `f2`–`f4` emulators),
+//! * [`sharded`] — hash-partitioned feed shards driving N consumers from
+//!   one logical pass (the sharded pipeline's stream side),
 //! * [`flat`] — open-addressed hash indexes backing the per-pass routing
 //!   structures (one SplitMix64 probe per update instead of SipHash),
 //! * [`space`] — measured space usage of every sketch, so the experiment
@@ -22,10 +24,12 @@ pub mod flat;
 pub mod hash;
 pub mod l0;
 pub mod reservoir;
+pub mod sharded;
 pub mod source;
 pub mod space;
 pub mod update;
 
+pub use sharded::{shard_of_vertex, ShardUpdate, ShardedFeed};
 pub use source::{EdgeStream, InsertionStream, PassCounter, TurnstileStream};
 pub use space::SpaceUsage;
 pub use update::EdgeUpdate;

@@ -1,0 +1,353 @@
+//! Hash-partitioned stream sharding: one logical pass, N feed shards.
+//!
+//! The pass emulators replay the same update sequence past thousands of
+//! independent sampler queries, and every per-update consumer is keyed by
+//! a vertex or an edge (degree counters, neighbor watchers and samplers,
+//! adjacency flags, position targets). [`ShardedFeed`] exploits that: it
+//! partitions the stream **once** by a stable vertex hash into per-shard
+//! buffers, so N workers can each drive the consumers registered on their
+//! own key range from one logical pass over the data.
+//!
+//! Delivery contract (what makes sharded execution *exactly* equivalent
+//! to a single-stream pass, not just statistically so):
+//!
+//! * an update on edge `{u, v}` is delivered to `shard_of(u)` and
+//!   `shard_of(v)` (once if they coincide), so a shard sees **every**
+//!   update incident to a vertex it owns, in stream order;
+//! * exactly one delivery — the one to `shard_of(e.u())`, the canonical
+//!   endpoint's shard — is flagged [`ShardUpdate::owned`]. Edge-keyed
+//!   state that must count each update once globally (the edge counter
+//!   `m`, merged ℓ₀-sketch banks) consumes only owned deliveries;
+//! * every delivery carries the update's **global stream position**, so
+//!   position-keyed `f1` sampling keeps its single-stream semantics.
+//!
+//! Pass accounting: replaying all N shard buffers is **one** logical pass
+//! over the stream, not N. A [`crate::PassCounter`] wrapped around the
+//! *source* observes exactly one replay (at partition time); afterwards
+//! the feed tracks [`ShardedFeed::logical_passes`] itself, incremented
+//! once per [`ShardedFeed::begin_pass`] regardless of shard count.
+
+use crate::source::EdgeStream;
+use crate::update::EdgeUpdate;
+use sgs_prng::splitmix64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Salt for the shard hash, fixed so shard assignment is stable across
+/// passes, processes, and the query-side routing in `sgs-query`.
+const SHARD_SALT: u64 = 0x5ead_ed5e_ed5e_a11a;
+
+/// The shard that owns vertex `v` under `num_shards`-way partitioning.
+///
+/// Both the feed (update delivery) and the query router (query
+/// assignment) must agree on this function; it is the *only* coupling
+/// between the two sides of the sharded pipeline.
+#[inline]
+pub fn shard_of_vertex(v: u32, num_shards: usize) -> usize {
+    debug_assert!(num_shards >= 1);
+    (splitmix64(v as u64 ^ SHARD_SALT) % num_shards as u64) as usize
+}
+
+/// One delivered stream element: the update, its global position in the
+/// source stream, and whether this shard is the canonical owner.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardUpdate {
+    /// Global position in the source stream (`0..stream_len`).
+    pub position: u32,
+    /// The update itself.
+    pub update: EdgeUpdate,
+    /// Whether this delivery is the canonical one (the shard of the
+    /// update's smaller endpoint). Exactly one delivery per update is
+    /// owned; consume it for globally-once state (edge counts, merged
+    /// ℓ₀ banks, position targets can ignore it — duplicate position
+    /// hits produce identical answers).
+    pub owned: bool,
+}
+
+/// A stream partitioned into per-shard buffers, built once and replayed
+/// shard-parallel on every logical pass. Shared by reference across the
+/// worker threads of a sharded executor (the pass counter is atomic).
+#[derive(Debug)]
+pub struct ShardedFeed {
+    n: usize,
+    stream_len: usize,
+    total_delta: i64,
+    shards: Vec<Vec<ShardUpdate>>,
+    logical_passes: AtomicUsize,
+}
+
+impl ShardedFeed {
+    /// Partition `stream` into `num_shards` buffers (one replay of the
+    /// source — the only time the source stream is read).
+    pub fn partition(stream: &impl EdgeStream, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(
+            stream.len() < u32::MAX as usize,
+            "stream positions are stored as u32"
+        );
+        let mut shards: Vec<Vec<ShardUpdate>> = vec![Vec::new(); num_shards];
+        // Pre-size: each shard receives ~len/N owned plus ~len/N foreign
+        // deliveries.
+        let expect = if num_shards == 1 {
+            stream.len()
+        } else {
+            2 * stream.len() / num_shards + 16
+        };
+        for buf in &mut shards {
+            buf.reserve(expect);
+        }
+        let mut total_delta = 0i64;
+        let mut position = 0u32;
+        stream.replay(&mut |update| {
+            let (u, v) = update.edge.endpoints();
+            let owner = shard_of_vertex(u.0, num_shards);
+            let other = shard_of_vertex(v.0, num_shards);
+            shards[owner].push(ShardUpdate {
+                position,
+                update,
+                owned: true,
+            });
+            if other != owner {
+                shards[other].push(ShardUpdate {
+                    position,
+                    update,
+                    owned: false,
+                });
+            }
+            total_delta += update.delta as i64;
+            position += 1;
+        });
+        ShardedFeed {
+            n: stream.num_vertices(),
+            stream_len: position as usize,
+            total_delta,
+            shards,
+            logical_passes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices `n` of the underlying graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Length of the *source* stream (global positions are `0..len`).
+    #[inline]
+    pub fn stream_len(&self) -> usize {
+        self.stream_len
+    }
+
+    /// Net edge count after all updates (`Σ delta`): what a single-stream
+    /// pass's edge counter reads at end of stream.
+    #[inline]
+    pub fn final_edge_count(&self) -> i64 {
+        self.total_delta
+    }
+
+    /// The delivery buffer of shard `i`, in global stream order.
+    #[inline]
+    pub fn shard(&self, i: usize) -> &[ShardUpdate] {
+        &self.shards[i]
+    }
+
+    /// Record the start of one logical pass. Replaying all N shard
+    /// buffers after this call is *one* pass over the data — callers
+    /// drive every shard exactly once per `begin_pass`.
+    pub fn begin_pass(&self) {
+        self.logical_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Logical passes performed so far (see [`ShardedFeed::begin_pass`]).
+    pub fn logical_passes(&self) -> usize {
+        self.logical_passes.load(Ordering::Relaxed)
+    }
+}
+
+/// A `ShardedFeed` is itself a replayable stream: replay merges the
+/// owned deliveries of all shards back into global position order,
+/// reconstructing the source stream exactly. Each such replay is one
+/// logical pass. This is what lets `run_insertion`/`run_turnstile`
+/// remain thin single-shard cases of the sharded path, and lets sharded
+/// and unsharded consumers be driven from the same feed.
+impl EdgeStream for ShardedFeed {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn replay(&self, sink: &mut dyn FnMut(EdgeUpdate)) {
+        self.begin_pass();
+        // K-way merge over the per-shard cursors: owned entries are
+        // position-sorted within each shard and globally disjoint.
+        let mut cursors = vec![0usize; self.shards.len()];
+        // Skip foreign deliveries up front and after each take.
+        for (c, buf) in cursors.iter_mut().zip(&self.shards) {
+            while *c < buf.len() && !buf[*c].owned {
+                *c += 1;
+            }
+        }
+        for _ in 0..self.stream_len {
+            let mut best: Option<usize> = None;
+            let mut best_pos = u32::MAX;
+            for (s, (&c, buf)) in cursors.iter().zip(&self.shards).enumerate() {
+                if c < buf.len() && buf[c].position < best_pos {
+                    best_pos = buf[c].position;
+                    best = Some(s);
+                }
+            }
+            let s = best.expect("owned deliveries cover every position");
+            sink(self.shards[s][cursors[s]].update);
+            cursors[s] += 1;
+            let buf = &self.shards[s];
+            while cursors[s] < buf.len() && !buf[cursors[s]].owned {
+                cursors[s] += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.stream_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{InsertionStream, PassCounter, TurnstileStream};
+    use sgs_graph::gen;
+
+    fn collect(stream: &impl EdgeStream) -> Vec<EdgeUpdate> {
+        let mut v = Vec::new();
+        stream.replay(&mut |u| v.push(u));
+        v
+    }
+
+    #[test]
+    fn every_position_owned_exactly_once() {
+        let g = gen::gnm(40, 200, 1);
+        let s = InsertionStream::from_graph(&g, 2);
+        for shards in [1usize, 2, 4, 7] {
+            let feed = ShardedFeed::partition(&s, shards);
+            let mut seen = vec![0u32; s.len()];
+            for i in 0..shards {
+                for su in feed.shard(i) {
+                    if su.owned {
+                        seen[su.position as usize] += 1;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{shards} shards: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn shards_see_every_incident_update_in_order() {
+        let g = gen::gnm(30, 150, 3);
+        let s = TurnstileStream::from_graph_with_churn(&g, 1.0, 4);
+        let source = collect(&s);
+        let shards = 4;
+        let feed = ShardedFeed::partition(&s, shards);
+        for i in 0..shards {
+            // Expected: the subsequence of source updates with an
+            // endpoint hashing to shard i.
+            let expected: Vec<EdgeUpdate> = source
+                .iter()
+                .copied()
+                .filter(|u| {
+                    let (a, b) = u.edge.endpoints();
+                    shard_of_vertex(a.0, shards) == i || shard_of_vertex(b.0, shards) == i
+                })
+                .collect();
+            let got: Vec<EdgeUpdate> = feed.shard(i).iter().map(|su| su.update).collect();
+            assert_eq!(got, expected, "shard {i}");
+            // Positions strictly increase (global order preserved).
+            assert!(feed
+                .shard(i)
+                .windows(2)
+                .all(|w| w[0].position < w[1].position));
+        }
+    }
+
+    #[test]
+    fn owner_is_canonical_endpoint_shard() {
+        let g = gen::gnm(25, 100, 5);
+        let s = InsertionStream::from_graph(&g, 6);
+        let shards = 3;
+        let feed = ShardedFeed::partition(&s, shards);
+        for i in 0..shards {
+            for su in feed.shard(i) {
+                let owner = shard_of_vertex(su.update.edge.u().0, shards);
+                assert_eq!(su.owned, owner == i, "{su:?} in shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_pass_over_n_shards_counts_once() {
+        // The PassCounter-semantics contract under sharding: partitioning
+        // reads the source once; after that, driving all N shard buffers
+        // is one logical pass — never N.
+        let g = gen::gnm(20, 80, 7);
+        let s = InsertionStream::from_graph(&g, 8);
+        let pc = PassCounter::new(&s);
+        let feed = ShardedFeed::partition(&pc, 7);
+        assert_eq!(pc.passes(), 1, "partitioning is the only source read");
+        assert_eq!(feed.logical_passes(), 0);
+        for _ in 0..3 {
+            feed.begin_pass();
+            for i in 0..feed.num_shards() {
+                // Touch every shard: this is what an executor's worker
+                // threads do, and it must not bump any pass counter.
+                let _ = feed.shard(i).len();
+            }
+        }
+        assert_eq!(feed.logical_passes(), 3, "3 logical passes, not 21");
+        assert_eq!(pc.passes(), 1, "shard replays never re-read the source");
+    }
+
+    #[test]
+    fn replay_reconstructs_source_order_and_counts_a_pass() {
+        let g = gen::gnm(35, 160, 9);
+        for shards in [1usize, 2, 5] {
+            let s = TurnstileStream::from_graph_with_churn(&g, 0.7, 10);
+            let feed = ShardedFeed::partition(&s, shards);
+            assert_eq!(collect(&feed), collect(&s), "{shards} shards");
+            assert_eq!(feed.logical_passes(), 1);
+            assert_eq!(feed.len(), s.len());
+            assert_eq!(feed.num_vertices(), s.num_vertices());
+        }
+    }
+
+    #[test]
+    fn final_edge_count_matches_stream() {
+        let g = gen::gnm(30, 120, 11);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 2.0, 12);
+        let feed = ShardedFeed::partition(&tst, 4);
+        assert_eq!(feed.final_edge_count(), 120);
+        let ins = InsertionStream::from_graph(&g, 13);
+        let feed = ShardedFeed::partition(&ins, 4);
+        assert_eq!(feed.final_edge_count(), 120);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_spread() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for v in 0..4096u32 {
+            let s = shard_of_vertex(v, shards);
+            assert_eq!(s, shard_of_vertex(v, shards));
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (300..=800).contains(&c),
+                "shard badly unbalanced: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N]
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
 //! sgs info    --edges FILE
@@ -147,23 +147,30 @@ fn main() {
             let default_trials =
                 sgs_core::fgp::practical_trials(m, plan.rho(), eps, 1.0).min(2_000_000);
             let trials: usize = args.num("trials", default_trials);
+            // --shards N fans the stream out over N hash-partitioned
+            // feed shards (one router + worker per shard); answers are
+            // merged exactly, so the estimate is bit-identical to the
+            // single-stream run with the same seed.
+            let shards: usize = args.num("shards", 1).max(1);
             let est = if args.has("turnstile") {
                 let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
-                sgs_core::fgp::estimate_turnstile(&pattern, &s, trials, seed)
+                sgs_core::fgp::estimate_turnstile_threaded(&pattern, &s, trials, shards, seed)
             } else {
                 let s = InsertionStream::from_graph(&g, seed ^ 0x77);
-                sgs_core::fgp::estimate_insertion(&pattern, &s, trials, seed)
+                sgs_core::fgp::estimate_insertion_threaded(&pattern, &s, trials, shards, seed)
             }
             .expect("plan validated above");
             println!(
-                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={})",
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{})",
                 pattern.name(),
                 est.estimate,
                 est.hits,
                 est.trials,
                 plan.rho(),
                 est.report.passes,
-                m
+                m,
+                shards,
+                if shards == 1 { "" } else { "s" }
             );
         }
         "search" => {

@@ -1,0 +1,202 @@
+//! Shard-count sweep equivalence: the sharded pipeline vs the frozen
+//! single-stream reference oracle.
+//!
+//! The sharded executors partition the update stream across N feed
+//! shards, run one private QueryRouter per shard, and merge the per-shard
+//! answers. These tests pin the whole pipeline — `ShardedFeed` delivery,
+//! per-shard routing, global-slot sampler seeding, central `f1` draws,
+//! ℓ₀-bank merging — against `sgs_query::reference` (the pre-router
+//! executors, the repo's equivalence oracle): for shard counts 1, 2, 4
+//! and 7, full `Parallel` sampler banks (triangle and 5-cycle) must
+//! produce **byte-identical** per-trial outcomes in both stream models,
+//! for every fixed seed tried.
+//!
+//! Also asserted here: a logical pass over N shards counts as one pass,
+//! and a warm `RouterArena` performs zero per-round heap growth across
+//! repeat runs (the no-allocation claim of the arena).
+
+use sgs_core::{SamplerMode, SamplerPlan, SubgraphSampler};
+use sgs_query::reference::{run_insertion_reference, run_turnstile_reference};
+use sgs_query::sharded::{run_insertion_sharded, run_turnstile_sharded};
+use sgs_query::{Parallel, RouterArena};
+use sgs_stream::hash::split_seed;
+use sgs_stream::{InsertionStream, ShardedFeed, TurnstileStream};
+use subgraph_streams::prelude::*;
+
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+fn bank(
+    pattern: &Pattern,
+    mode: SamplerMode,
+    trials: usize,
+    seed: u64,
+) -> Parallel<SubgraphSampler> {
+    let plan = SamplerPlan::new(pattern).unwrap();
+    Parallel::new(
+        (0..trials)
+            .map(|i| SubgraphSampler::new(plan.clone(), mode, split_seed(seed, i as u64)))
+            .collect(),
+    )
+}
+
+#[test]
+fn sharded_insertion_matches_reference_triangle() {
+    let g = sgs_graph::gen::gnm(30, 140, 42);
+    let ins = InsertionStream::from_graph(&g, 7);
+    for &shards in &SHARD_SWEEP {
+        let feed = ShardedFeed::partition(&ins, shards);
+        let mut arena = RouterArena::new();
+        for seed in 0..6u64 {
+            let (a, ra) = run_insertion_sharded(
+                bank(&Pattern::triangle(), SamplerMode::Indexed, 400, seed),
+                &feed,
+                seed ^ 0xaa,
+                &mut arena,
+            );
+            let (b, rb) = run_insertion_reference(
+                bank(&Pattern::triangle(), SamplerMode::Indexed, 400, seed),
+                &ins,
+                seed ^ 0xaa,
+            );
+            assert_eq!(a, b, "{shards} shards, seed {seed}: outcome mismatch");
+            assert_eq!(ra.passes, rb.passes, "logical passes must not scale with N");
+            assert_eq!(ra.rounds, rb.rounds);
+            assert_eq!(ra.queries, rb.queries);
+        }
+    }
+}
+
+#[test]
+fn sharded_insertion_matches_reference_five_cycle() {
+    let g = sgs_graph::gen::gnm(24, 110, 5);
+    let ins = InsertionStream::from_graph(&g, 6);
+    for &shards in &SHARD_SWEEP {
+        let feed = ShardedFeed::partition(&ins, shards);
+        let mut arena = RouterArena::new();
+        for seed in 0..4u64 {
+            let (a, _) = run_insertion_sharded(
+                bank(&Pattern::cycle(5), SamplerMode::Indexed, 300, seed),
+                &feed,
+                seed ^ 0xc5,
+                &mut arena,
+            );
+            let (b, _) = run_insertion_reference(
+                bank(&Pattern::cycle(5), SamplerMode::Indexed, 300, seed),
+                &ins,
+                seed ^ 0xc5,
+            );
+            assert_eq!(a, b, "{shards} shards, seed {seed}: outcome mismatch");
+        }
+    }
+}
+
+#[test]
+fn sharded_turnstile_matches_reference_triangle_and_five_cycle() {
+    let g = sgs_graph::gen::gnm(22, 90, 9);
+    let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 10);
+    for (pattern, trials) in [(Pattern::triangle(), 150), (Pattern::cycle(5), 100)] {
+        for &shards in &SHARD_SWEEP {
+            let feed = ShardedFeed::partition(&tst, shards);
+            let mut arena = RouterArena::new();
+            for seed in 0..3u64 {
+                let (a, _) = run_turnstile_sharded(
+                    bank(&pattern, SamplerMode::Relaxed, trials, seed),
+                    &feed,
+                    seed ^ 0x7,
+                    &mut arena,
+                );
+                let (b, _) = run_turnstile_reference(
+                    bank(&pattern, SamplerMode::Relaxed, trials, seed),
+                    &tst,
+                    seed ^ 0x7,
+                );
+                assert_eq!(
+                    a, b,
+                    "{pattern:?}, {shards} shards, seed {seed}: outcome mismatch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_estimates_match_single_stream_estimators() {
+    // End-to-end: the public estimator entry points agree bit for bit.
+    let g = sgs_graph::gen::gnm(30, 150, 21);
+    let ins = InsertionStream::from_graph(&g, 22);
+    let single = sgs_core::fgp::estimate_insertion(&Pattern::triangle(), &ins, 3_000, 23).unwrap();
+    for &shards in &SHARD_SWEEP[1..] {
+        let multi = sgs_core::fgp::estimate_insertion_threaded(
+            &Pattern::triangle(),
+            &ins,
+            3_000,
+            shards,
+            23,
+        )
+        .unwrap();
+        assert_eq!(multi.hits, single.hits, "{shards} shards");
+        assert_eq!(multi.estimate, single.estimate);
+        assert_eq!(multi.report.passes, 3);
+    }
+    let tst = TurnstileStream::from_graph_with_churn(&g, 0.5, 24);
+    let single_t = sgs_core::fgp::estimate_turnstile(&Pattern::triangle(), &tst, 400, 25).unwrap();
+    for &shards in &SHARD_SWEEP[1..] {
+        let multi =
+            sgs_core::fgp::estimate_turnstile_threaded(&Pattern::triangle(), &tst, 400, shards, 25)
+                .unwrap();
+        assert_eq!(multi.hits, single_t.hits, "{shards} shards");
+        assert_eq!(multi.estimate, single_t.estimate);
+    }
+}
+
+#[test]
+fn warm_arena_never_allocates_per_round() {
+    // The RouterArena contract: after one warm-up run, repeat runs of
+    // the same workload shape rebuild every per-shard router with zero
+    // heap growth — the per-round pair-index rebuild cost is amortized
+    // away.
+    let g = sgs_graph::gen::gnm(26, 120, 31);
+    let ins = InsertionStream::from_graph(&g, 32);
+    let feed = ShardedFeed::partition(&ins, 4);
+    let mut arena = RouterArena::new();
+    let (first, _) = run_insertion_sharded(
+        bank(&Pattern::triangle(), SamplerMode::Indexed, 500, 1),
+        &feed,
+        2,
+        &mut arena,
+    );
+    assert!(arena.is_warm());
+    let warmed = arena.heap_bytes();
+    assert!(warmed > 0);
+    for run in 0..3 {
+        let (again, _) = run_insertion_sharded(
+            bank(&Pattern::triangle(), SamplerMode::Indexed, 500, 1),
+            &feed,
+            2,
+            &mut arena,
+        );
+        assert_eq!(again, first, "run {run} diverged");
+    }
+    assert_eq!(
+        arena.growth_events_after_warmup(),
+        0,
+        "warm arena grew the heap mid-round"
+    );
+    assert_eq!(arena.heap_bytes(), warmed, "warm arena footprint drifted");
+}
+
+#[test]
+fn logical_pass_accounting_under_sharding() {
+    let g = sgs_graph::gen::gnm(20, 90, 41);
+    let ins = InsertionStream::from_graph(&g, 42);
+    let feed = ShardedFeed::partition(&ins, 7);
+    let mut arena = RouterArena::new();
+    let (_, report) = run_insertion_sharded(
+        bank(&Pattern::triangle(), SamplerMode::Indexed, 200, 3),
+        &feed,
+        4,
+        &mut arena,
+    );
+    assert_eq!(report.passes, 3, "3-pass estimator stays 3 logical passes");
+    assert_eq!(feed.logical_passes(), 3, "feed agrees: 3 passes, not 21");
+}
