@@ -95,11 +95,20 @@ struct ShardResult {
     wall_seq_ns: u64,
     critical_ns: u64,
     wall_auto_ns: u64,
+    /// Mean total feed nanos per shard over the timed iterations (from
+    /// `RouterArena::shard_pass_nanos`): the per-shard load histogram —
+    /// groundwork for shard-aware trial placement.
+    shard_load_ns: Vec<u64>,
 }
 
 /// Time `iters` full 3-round answer sets through the sharded path,
-/// returning (best wall ns, best critical-path ns over timed iters).
-fn run_sharded(batches: &[(Vec<Query>, u64)], feed: &ShardedFeed, samples: usize) -> (u64, u64) {
+/// returning (best wall ns, best critical-path ns over timed iters, and
+/// the mean per-shard total feed nanos — the shard load histogram).
+fn run_sharded(
+    batches: &[(Vec<Query>, u64)],
+    feed: &ShardedFeed,
+    samples: usize,
+) -> (u64, u64, Vec<u64>) {
     let mut arena = RouterArena::new();
     // Warm-up: allocator growth and page faults land here.
     for _ in 0..2 {
@@ -134,7 +143,11 @@ fn run_sharded(batches: &[(Vec<Query>, u64)], feed: &ShardedFeed, samples: usize
                 .sum()
         })
         .collect();
-    (best(walls), best(criticals))
+    let shard_load_ns: Vec<u64> = nanos
+        .iter()
+        .map(|s| s.iter().sum::<u64>() / samples as u64)
+        .collect();
+    (best(walls), best(criticals), shard_load_ns)
 }
 
 fn main() {
@@ -183,9 +196,9 @@ fn main() {
     for &shards in shard_counts {
         let feed = ShardedFeed::partition(&stream, shards);
         std::env::set_var("SGS_SHARD_THREADS", "0");
-        let (wall_seq_ns, critical_ns) = run_sharded(&batches, &feed, samples);
+        let (wall_seq_ns, critical_ns, shard_load_ns) = run_sharded(&batches, &feed, samples);
         std::env::remove_var("SGS_SHARD_THREADS");
-        let (wall_auto_ns, _) = run_sharded(&batches, &feed, samples);
+        let (wall_auto_ns, _, _) = run_sharded(&batches, &feed, samples);
         println!(
             "{:<28} wall/seq {:>10}  critical {:>10} ({:.2}x)  wall/auto {:>10} ({:.2}x)",
             format!("sharded/{shards}"),
@@ -200,6 +213,7 @@ fn main() {
             wall_seq_ns,
             critical_ns,
             wall_auto_ns,
+            shard_load_ns,
         });
     }
 
@@ -221,19 +235,20 @@ fn main() {
         let mut rows = String::new();
         for r in &results {
             rows.push_str(&format!(
-                "    {{\"shards\": {}, \"wall_seq_ns\": {}, \"critical_path_ns\": {}, \"wall_auto_ns\": {}, \"speedup_critical_vs_baseline\": {:.2}, \"speedup_wall_auto_vs_baseline\": {:.2}}},\n",
+                "    {{\"shards\": {}, \"wall_seq_ns\": {}, \"critical_path_ns\": {}, \"wall_auto_ns\": {}, \"speedup_critical_vs_baseline\": {:.2}, \"speedup_wall_auto_vs_baseline\": {:.2}, \"shard_load_ns\": {:?}}},\n",
                 r.shards,
                 r.wall_seq_ns,
                 r.critical_ns,
                 r.wall_auto_ns,
                 baseline_ns as f64 / r.critical_ns as f64,
                 baseline_ns as f64 / r.wall_auto_ns as f64,
+                r.shard_load_ns,
             ));
         }
         rows.pop();
         rows.pop(); // trailing ",\n"
         let json = format!(
-            "{{\n  \"description\": \"Sharded stream pipeline (per-shard QueryRouters over a hash-partitioned ShardedFeed) vs the PR-1 single-router baseline (answer_insertion_batch), relaxed-f3 insertion workload. critical_path_ns = sum over passes of the slowest shard's isolated feed time = pass latency of a one-core-per-shard deployment; wall_auto_ns = actual wall clock under the default execution policy on this host. Regenerate: SGS_BENCH_JSON=<path> cargo bench -p sgs-bench --bench sharded\",\n  \"workload\": \"triangle bank, Relaxed f3, {trials} trials, gnm(800, 12000), 3 captured rounds, {updates} stream updates per answer set\",\n  \"host_cores\": {cores},\n  \"samples\": {samples}, \"statistic\": \"min over samples (additive scheduler noise on this box)\",\n  \"baseline_pr1_router_ns\": {baseline_ns},\n  \"sharded\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"description\": \"Sharded stream pipeline (per-shard QueryRouters over a hash-partitioned ShardedFeed) vs the PR-1 single-router baseline (answer_insertion_batch), relaxed-f3 insertion workload. critical_path_ns = sum over passes of the slowest shard's isolated feed time = pass latency of a one-core-per-shard deployment; wall_auto_ns = actual wall clock under the default execution policy on this host. shard_load_ns = mean total feed nanos per shard over the timed iterations (RouterArena::shard_pass_nanos) - the per-shard load histogram behind the shard-aware-placement roadmap item. Regenerate: SGS_BENCH_JSON=<path> cargo bench -p sgs-bench --bench sharded\",\n  \"workload\": \"triangle bank, Relaxed f3, {trials} trials, gnm(800, 12000), 3 captured rounds, {updates} stream updates per answer set\",\n  \"host_cores\": {cores},\n  \"samples\": {samples}, \"statistic\": \"min over samples (additive scheduler noise on this box)\",\n  \"baseline_pr1_router_ns\": {baseline_ns},\n  \"sharded\": [\n{rows}\n  ]\n}}\n",
             trials = trials,
             updates = updates_per_set,
             cores = cores,

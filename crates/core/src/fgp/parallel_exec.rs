@@ -24,7 +24,8 @@ use crate::fgp::counter::{build_parallel, CountEstimate};
 use crate::fgp::plan::SamplerPlan;
 use crate::fgp::sampler::SamplerMode;
 use sgs_graph::Pattern;
-use sgs_query::sharded::{run_insertion_sharded, run_turnstile_sharded};
+use sgs_query::exec::DEFAULT_BLOCK;
+use sgs_query::sharded::{run_insertion_sharded_with_block, run_turnstile_sharded_with_block};
 use sgs_query::RouterArena;
 use sgs_stream::hash::split_seed;
 use sgs_stream::{EdgeStream, ShardedFeed};
@@ -39,9 +40,26 @@ pub fn estimate_insertion_on_feed(
     seed: u64,
     arena: &mut RouterArena,
 ) -> Option<CountEstimate> {
+    estimate_insertion_on_feed_with_block(pattern, feed, trials, seed, arena, DEFAULT_BLOCK)
+}
+
+/// [`estimate_insertion_on_feed`] with an explicit feed block size:
+/// `block <= 1` replays every pass through the scalar per-update path,
+/// larger values feed the routers in blocks of `block` updates (batched
+/// index probes, ℓ₀ lane loops). The estimate is bit-identical for any
+/// value — `sgs count --block N` threads the knob through here.
+pub fn estimate_insertion_on_feed_with_block(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+) -> Option<CountEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, SamplerMode::Indexed, trials, seed);
-    let (outcomes, report) = run_insertion_sharded(par, feed, split_seed(seed, u64::MAX), arena);
+    let (outcomes, report) =
+        run_insertion_sharded_with_block(par, feed, split_seed(seed, u64::MAX), arena, block);
     Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
 }
 
@@ -53,9 +71,22 @@ pub fn estimate_turnstile_on_feed(
     seed: u64,
     arena: &mut RouterArena,
 ) -> Option<CountEstimate> {
+    estimate_turnstile_on_feed_with_block(pattern, feed, trials, seed, arena, DEFAULT_BLOCK)
+}
+
+/// Turnstile sibling of [`estimate_insertion_on_feed_with_block`].
+pub fn estimate_turnstile_on_feed_with_block(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+) -> Option<CountEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, SamplerMode::Relaxed, trials, seed);
-    let (outcomes, report) = run_turnstile_sharded(par, feed, split_seed(seed, u64::MAX), arena);
+    let (outcomes, report) =
+        run_turnstile_sharded_with_block(par, feed, split_seed(seed, u64::MAX), arena, block);
     Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
 }
 
@@ -69,10 +100,24 @@ pub fn estimate_insertion_threaded<S: EdgeStream + Sync>(
     threads: usize,
     seed: u64,
 ) -> Option<CountEstimate> {
+    estimate_insertion_threaded_with_block(pattern, stream, trials, threads, seed, DEFAULT_BLOCK)
+}
+
+/// [`estimate_insertion_threaded`] with an explicit feed block size —
+/// the one-shot partition/estimate entry `sgs count --shards N --block B`
+/// routes through.
+pub fn estimate_insertion_threaded_with_block<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+    block: usize,
+) -> Option<CountEstimate> {
     assert!(threads >= 1);
     let feed = ShardedFeed::partition(stream, threads);
     let mut arena = RouterArena::new();
-    estimate_insertion_on_feed(pattern, &feed, trials, seed, &mut arena)
+    estimate_insertion_on_feed_with_block(pattern, &feed, trials, seed, &mut arena, block)
 }
 
 /// Turnstile sibling of [`estimate_insertion_threaded`]: sharded
@@ -85,10 +130,22 @@ pub fn estimate_turnstile_threaded<S: EdgeStream + Sync>(
     threads: usize,
     seed: u64,
 ) -> Option<CountEstimate> {
+    estimate_turnstile_threaded_with_block(pattern, stream, trials, threads, seed, DEFAULT_BLOCK)
+}
+
+/// Turnstile sibling of [`estimate_insertion_threaded_with_block`].
+pub fn estimate_turnstile_threaded_with_block<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+    block: usize,
+) -> Option<CountEstimate> {
     assert!(threads >= 1);
     let feed = ShardedFeed::partition(stream, threads);
     let mut arena = RouterArena::new();
-    estimate_turnstile_on_feed(pattern, &feed, trials, seed, &mut arena)
+    estimate_turnstile_on_feed_with_block(pattern, &feed, trials, seed, &mut arena, block)
 }
 
 #[cfg(test)]

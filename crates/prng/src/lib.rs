@@ -57,6 +57,18 @@ impl SeededHash {
         splitmix64(self.seed ^ splitmix64(key))
     }
 
+    /// Hash a block of keys into `out` (truncating to the shorter of the
+    /// two slices). One independent SplitMix64 chain per lane, so the
+    /// loop has no cross-iteration dependency and autovectorizes — the
+    /// blocked feed path uses this to hash a whole update block before
+    /// touching any table or sketch.
+    #[inline]
+    pub fn hash64_batch(&self, keys: &[u64], out: &mut [u64]) {
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.hash64(k);
+        }
+    }
+
     /// Hash to a level in `0..=max_level`: level `l` with probability
     /// `2^-(l+1)` (geometric), clamped to `max_level`. Used by the
     /// ℓ₀-sampler's subsampling hierarchy: item `i` "survives to level l"

@@ -54,6 +54,51 @@ use sgs_stream::{EdgeStream, ShardedFeed, SpaceUsage};
 /// Bytes charged per retained answer (Theorem 9's `O(q log n)` term).
 pub(crate) const ANSWER_BYTES: usize = 16;
 
+/// Default feed block size for the blocked (batched-probe, lane-loop)
+/// hot path. Big enough to amortize the per-block staging (two batched
+/// index probes, one ℓ₀ base-hash chunk walk) and keep ~8-lane pipelines
+/// full past remainder effects, small enough that per-block scratch
+/// (3 keys + 3 group ids per update) stays L1-resident. `0` (or `1`)
+/// selects the scalar per-update path — `BENCH_feedpath.json` records
+/// both, and `sgs count --block N` exposes the knob end to end.
+pub const DEFAULT_BLOCK: usize = 128;
+
+/// A pass-emulation state that can absorb the stream either per update
+/// (scalar) or per block (batched probes / lane loops) — the two
+/// byte-identical feed paths [`replay_blocked`] switches between.
+pub(crate) trait BlockFeed {
+    fn feed(&mut self, u: sgs_stream::EdgeUpdate);
+    fn feed_block(&mut self, block: &[sgs_stream::EdgeUpdate]);
+}
+
+/// Drive a replayable stream through a pass state in blocks of `block`
+/// updates (remainder block included); `block <= 1` is the scalar path.
+/// Sources that expose their update buffer are chunked in place (zero
+/// copies); everything else is buffered through the replay callback.
+pub(crate) fn replay_blocked(stream: &impl EdgeStream, block: usize, pass: &mut impl BlockFeed) {
+    if block <= 1 {
+        stream.replay(&mut |u| pass.feed(u));
+        return;
+    }
+    if let Some(updates) = stream.as_updates() {
+        for chunk in updates.chunks(block) {
+            pass.feed_block(chunk);
+        }
+        return;
+    }
+    let mut buf: Vec<sgs_stream::EdgeUpdate> = Vec::with_capacity(block.min(stream.len()));
+    stream.replay(&mut |u| {
+        buf.push(u);
+        if buf.len() == block {
+            pass.feed_block(&buf);
+            buf.clear();
+        }
+    });
+    if !buf.is_empty() {
+        pass.feed_block(&buf);
+    }
+}
+
 /// Sort `f1` position targets by `(position, slot)`. Positions live in
 /// `0..stream_len`, so when a counting table is affordable a two-pass
 /// bucket sort beats the comparison sort that dominates round-1 setup at
@@ -161,10 +206,42 @@ impl InsertionPass {
         self.router.feed(u, |i| reservoirs[i].offer(edge));
     }
 
+    /// Blocked sibling of [`InsertionPass::feed`]: position targets are
+    /// matched per update (they are position-keyed, not probe-keyed),
+    /// then the whole block goes through the router's batched-probe
+    /// path. Reservoir offer sequences are unchanged — the router drains
+    /// blocks in stream order.
+    fn feed_block(&mut self, block: &[sgs_stream::EdgeUpdate]) {
+        for u in block {
+            debug_assert!(u.is_insert(), "insertion executor fed a deletion");
+            while self.cursor < self.targets.len() && self.targets[self.cursor].0 == self.update_idx
+            {
+                self.edge_hits.push((self.targets[self.cursor].1, u.edge));
+                self.cursor += 1;
+            }
+            self.update_idx += 1;
+        }
+        let reservoirs = &mut self.reservoirs;
+        self.router
+            .feed_block(block, |j, i| reservoirs[i].offer(block[j].edge));
+    }
+
     fn space_bytes(&self) -> usize {
         self.router.space_bytes() + self.targets.len() * 16 + self.reservoirs.len() * 24
     }
+}
 
+impl BlockFeed for InsertionPass {
+    fn feed(&mut self, u: sgs_stream::EdgeUpdate) {
+        InsertionPass::feed(self, u);
+    }
+
+    fn feed_block(&mut self, block: &[sgs_stream::EdgeUpdate]) {
+        InsertionPass::feed_block(self, block);
+    }
+}
+
+impl InsertionPass {
     fn into_answers(self) -> Vec<Answer> {
         let mut answers = vec![Answer::Edge(None); self.router.batch_len()];
         for &(slot, e) in &self.edge_hits {
@@ -193,8 +270,21 @@ pub fn answer_insertion_batch(
     stream: &impl EdgeStream,
     pass_seed: u64,
 ) -> (Vec<Answer>, usize) {
+    answer_insertion_batch_with_block(batch, stream, pass_seed, DEFAULT_BLOCK)
+}
+
+/// [`answer_insertion_batch`] with an explicit feed block size:
+/// `block <= 1` replays the scalar per-update path, anything larger
+/// feeds the pass in blocks of `block` updates (batched index probes,
+/// remainder block included). Answers are byte-identical either way.
+pub fn answer_insertion_batch_with_block(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+    block: usize,
+) -> (Vec<Answer>, usize) {
     let mut pass = InsertionPass::build(batch, stream.len() as u64, pass_seed);
-    stream.replay(&mut |u| pass.feed(u));
+    replay_blocked(stream, block, &mut pass);
     let space = pass.space_bytes();
     (pass.into_answers(), space)
 }
@@ -233,6 +323,9 @@ struct TurnstilePass {
     nbr_samplers: Vec<L0Sampler>,
     /// The vertex each pooled neighbor sampler listens on.
     nbr_verts: Vec<VertexId>,
+    /// Blocked-feed scratch: the current block as `(edge key, delta)`
+    /// pairs, fed to each `f1` ℓ₀-bank sampler-hot.
+    kd_scratch: Vec<(u64, i64)>,
 }
 
 impl TurnstilePass {
@@ -254,6 +347,7 @@ impl TurnstilePass {
             edge_samplers,
             nbr_samplers,
             nbr_verts,
+            kd_scratch: Vec::new(),
         }
     }
 
@@ -274,6 +368,27 @@ impl TurnstilePass {
         });
     }
 
+    /// Blocked sibling of [`TurnstilePass::feed`]: the `f1` bank absorbs
+    /// the block *samplers outer, updates inner* — each ℓ₀-bank's SoA
+    /// planes stay cache-hot across the whole block instead of every
+    /// bank cycling through cache per update. Detector fields are
+    /// additive, so the reordering is bit-identical, not just
+    /// distributionally so.
+    fn feed_block(&mut self, block: &[sgs_stream::EdgeUpdate]) {
+        self.kd_scratch.clear();
+        self.kd_scratch
+            .extend(block.iter().map(|u| (u.edge.key(), u.delta as i64)));
+        for s in &mut self.edge_samplers {
+            s.update_batch(&self.kd_scratch);
+        }
+        let nbr_samplers = &mut self.nbr_samplers;
+        let nbr_verts = &self.nbr_verts;
+        self.router.feed_block(block, |j, i| {
+            let u = block[j];
+            nbr_samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+        });
+    }
+
     fn space_bytes(&self) -> usize {
         self.router.space_bytes()
             + self
@@ -282,8 +397,23 @@ impl TurnstilePass {
                 .chain(&self.nbr_samplers)
                 .map(|s| s.space_bytes())
                 .sum::<usize>()
+            // Blocked-feed scratch is real pass state: one (key, delta)
+            // pair per update of the current block.
+            + self.kd_scratch.capacity() * std::mem::size_of::<(u64, i64)>()
+    }
+}
+
+impl BlockFeed for TurnstilePass {
+    fn feed(&mut self, u: sgs_stream::EdgeUpdate) {
+        TurnstilePass::feed(self, u);
     }
 
+    fn feed_block(&mut self, block: &[sgs_stream::EdgeUpdate]) {
+        TurnstilePass::feed_block(self, block);
+    }
+}
+
+impl TurnstilePass {
     fn into_answers(self) -> Vec<Answer> {
         let mut answers = vec![Answer::Edge(None); self.router.batch_len()];
         for (&slot, s) in self.router.edge_slots().iter().zip(&self.edge_samplers) {
@@ -305,8 +435,19 @@ pub fn answer_turnstile_batch(
     stream: &impl EdgeStream,
     pass_seed: u64,
 ) -> (Vec<Answer>, usize) {
+    answer_turnstile_batch_with_block(batch, stream, pass_seed, DEFAULT_BLOCK)
+}
+
+/// [`answer_turnstile_batch`] with an explicit feed block size; see
+/// [`answer_insertion_batch_with_block`].
+pub fn answer_turnstile_batch_with_block(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+    block: usize,
+) -> (Vec<Answer>, usize) {
     let mut pass = TurnstilePass::build(batch, stream.num_vertices(), pass_seed);
-    stream.replay(&mut |u| pass.feed(u));
+    replay_blocked(stream, block, &mut pass);
     let space = pass.space_bytes();
     (pass.into_answers(), space)
 }

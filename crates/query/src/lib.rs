@@ -52,6 +52,8 @@ pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
 pub use router::{QueryRouter, RouterMode};
 pub use sharded::{
-    answer_insertion_batch_sharded, answer_turnstile_batch_sharded, run_insertion_sharded,
-    run_turnstile_sharded,
+    answer_insertion_batch_sharded, answer_insertion_batch_sharded_with_block,
+    answer_turnstile_batch_sharded, answer_turnstile_batch_sharded_with_block,
+    run_insertion_sharded, run_insertion_sharded_with_block, run_turnstile_sharded,
+    run_turnstile_sharded_with_block,
 };

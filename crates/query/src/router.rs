@@ -32,7 +32,7 @@
 
 use crate::query::{Answer, Query};
 use sgs_graph::{Edge, VertexId};
-use sgs_stream::flat::FlatIndex;
+use sgs_stream::flat::{FlatIndex, ABSENT};
 use sgs_stream::EdgeUpdate;
 
 /// Which streaming model the batch is routed for.
@@ -363,6 +363,42 @@ impl QueryRouter {
             })
     }
 
+    /// Deliver one matched endpoint to its vertex group: degree, watcher
+    /// clock, and pooled neighbor-sampler hits. Shared verbatim by the
+    /// scalar [`QueryRouter::feed`] and the blocked
+    /// [`QueryRouter::feed_block`] so the two paths cannot drift.
+    #[inline]
+    fn deliver_endpoint(
+        groups: &mut [VertexGroup],
+        watch_entries: &[(u64, u32)],
+        watch_hits: &mut Vec<(u32, VertexId)>,
+        g: u32,
+        other: VertexId,
+        delta: i64,
+        mut on_neighbor_hit: impl FnMut(usize),
+    ) {
+        let st = &mut groups[g as usize];
+        st.deg += delta;
+        // Indexed f3 watchers (insertion mode only populates them).
+        st.seen += 1;
+        while st.watch_live > st.watch_start {
+            let (idx, slot) = watch_entries[st.watch_live as usize - 1];
+            if idx == st.seen {
+                watch_hits.push((slot, other));
+                st.watch_live -= 1;
+            } else if idx < st.seen {
+                // Index 0 or duplicates already consumed.
+                st.watch_live -= 1;
+            } else {
+                break;
+            }
+        }
+        // Relaxed f3 samplers owned by the executor.
+        for i in st.nbr_start as usize..st.nbr_end as usize {
+            on_neighbor_hit(i);
+        }
+    }
+
     /// Deliver one stream update to every routed structure except the
     /// model-specific `f1`/`f3` samplers; for those, `on_neighbor_hit`
     /// receives each pooled neighbor-sampler index registered on an
@@ -373,32 +409,80 @@ impl QueryRouter {
         let (a, b) = u.edge.endpoints();
         for (endpoint, other) in [(a, b), (b, a)] {
             if let Some(g) = self.vertices.get(endpoint.0 as u64) {
-                let st = &mut self.groups[g as usize];
-                st.deg += delta;
-                // Indexed f3 watchers (insertion mode only populates them).
-                st.seen += 1;
-                while st.watch_live > st.watch_start {
-                    let (idx, slot) = self.watch_entries[st.watch_live as usize - 1];
-                    if idx == st.seen {
-                        self.watch_hits.push((slot, other));
-                        st.watch_live -= 1;
-                    } else if idx < st.seen {
-                        // Index 0 or duplicates already consumed.
-                        st.watch_live -= 1;
-                    } else {
-                        break;
-                    }
-                }
-                // Relaxed f3 samplers owned by the executor.
-                for i in st.nbr_start as usize..st.nbr_end as usize {
-                    on_neighbor_hit(i);
-                }
+                Self::deliver_endpoint(
+                    &mut self.groups,
+                    &self.watch_entries,
+                    &mut self.watch_hits,
+                    g,
+                    other,
+                    delta,
+                    &mut on_neighbor_hit,
+                );
             }
         }
         if let Some(g) = self.pairs.get(u.edge.key()) {
             self.flag_present[g as usize] = u.is_insert();
         }
         self.m += delta;
+    }
+
+    /// Deliver a block of stream updates: for each chunk of 8 updates,
+    /// resolve all 16 endpoint probes and 8 edge-key probes through the
+    /// software-pipelined [`FlatIndex::probe_array`] (keys staged in
+    /// registers, hash-ahead loads), then drain the chunk in stream
+    /// order against the resolved groups. Byte-identical to feeding each
+    /// update through [`QueryRouter::feed`] — the pipelining changes
+    /// *when* keys are hashed, never what is delivered or in which
+    /// order. `on_neighbor_hit(j, i)` receives the update's index within
+    /// the block alongside the pooled sampler index, so executors can
+    /// recover the offered edge.
+    pub fn feed_block(
+        &mut self,
+        block: &[EdgeUpdate],
+        mut on_neighbor_hit: impl FnMut(usize, usize),
+    ) {
+        const B: usize = 8;
+        let mut vkeys = [0u64; 2 * B];
+        let mut ekeys = [0u64; B];
+        let mut vgroups = [ABSENT; 2 * B];
+        let mut egroups = [ABSENT; B];
+        for (c, chunk) in block.chunks(B).enumerate() {
+            for (t, u) in chunk.iter().enumerate() {
+                let (a, b) = u.edge.endpoints();
+                vkeys[2 * t] = a.0 as u64;
+                vkeys[2 * t + 1] = b.0 as u64;
+                ekeys[t] = u.edge.key();
+            }
+            // Remainder chunks probe a few stale lanes; the results are
+            // never read, and a wasted probe is cheaper than a second
+            // remainder code path.
+            self.vertices.probe_array(&vkeys, &mut vgroups);
+            self.pairs.probe_array(&ekeys, &mut egroups);
+            for (t, u) in chunk.iter().enumerate() {
+                let j = c * B + t;
+                let delta = u.delta as i64;
+                let (a, b) = u.edge.endpoints();
+                for (key_idx, other) in [(2 * t, b), (2 * t + 1, a)] {
+                    let g = vgroups[key_idx];
+                    if g != ABSENT {
+                        Self::deliver_endpoint(
+                            &mut self.groups,
+                            &self.watch_entries,
+                            &mut self.watch_hits,
+                            g,
+                            other,
+                            delta,
+                            |i| on_neighbor_hit(j, i),
+                        );
+                    }
+                }
+                let ge = egroups[t];
+                if ge != ABSENT {
+                    self.flag_present[ge as usize] = u.is_insert();
+                }
+                self.m += delta;
+            }
+        }
     }
 
     /// Distribute the router-owned answers (`EdgeCount`, `f2`, indexed
@@ -570,6 +654,56 @@ mod tests {
         pooled.distribute(&mut aa);
         fresh.distribute(&mut ab);
         assert_eq!(aa, ab);
+    }
+
+    #[test]
+    fn feed_block_matches_scalar_feed_at_every_block_size() {
+        // Mixed batch, turnstile-style update sequence with deletions and
+        // unmatched endpoints; the blocked path must produce identical
+        // router state, identical neighbor-hit sequences (per update, in
+        // order), and identical answers for every block size including
+        // remainder blocks and the empty block.
+        let batch: Vec<Query> = (0..60u32)
+            .flat_map(|i| {
+                [
+                    Query::Degree(v(i % 9)),
+                    Query::RandomNeighbor(v(i % 11)),
+                    Query::Adjacent(v(i % 5), v(20 + i % 7)),
+                    Query::IthNeighbor(v(i % 6), (i as u64 % 3) + 1),
+                ]
+            })
+            .chain([Query::EdgeCount])
+            .collect();
+        let updates: Vec<EdgeUpdate> = (0..97u32)
+            .map(|i| {
+                let e = Edge::from((i % 13, 13 + i % 17));
+                if i % 5 == 4 {
+                    EdgeUpdate::delete(e)
+                } else {
+                    EdgeUpdate::insert(e)
+                }
+            })
+            .collect();
+        let mut scalar = QueryRouter::build(&batch, RouterMode::Insertion);
+        let mut scalar_hits = Vec::new();
+        for (j, &u) in updates.iter().enumerate() {
+            scalar.feed(u, |i| scalar_hits.push((j, i)));
+        }
+        let mut scalar_answers = vec![Answer::Edge(None); batch.len()];
+        scalar.distribute(&mut scalar_answers);
+
+        for block in [1usize, 2, 7, 16, 64, 97, 200] {
+            let mut blocked = QueryRouter::build(&batch, RouterMode::Insertion);
+            let mut blocked_hits = Vec::new();
+            for (c, chunk) in updates.chunks(block).enumerate() {
+                blocked.feed_block(chunk, |j, i| blocked_hits.push((c * block + j, i)));
+            }
+            blocked.feed_block(&[], |_, _| panic!("empty block delivered a hit"));
+            assert_eq!(blocked_hits, scalar_hits, "block {block}");
+            let mut answers = vec![Answer::Edge(None); batch.len()];
+            blocked.distribute(&mut answers);
+            assert_eq!(answers, scalar_answers, "block {block}");
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
-use crate::exec::{sort_targets, ANSWER_BYTES};
+use crate::exec::{sort_targets, ANSWER_BYTES, DEFAULT_BLOCK};
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
 use crate::router::RouterMode;
@@ -51,6 +51,7 @@ use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
 use sgs_stream::reservoir::ReservoirSampler;
 use sgs_stream::sharded::{shard_of_vertex, ShardedFeed};
+use sgs_stream::EdgeUpdate;
 use std::time::Instant;
 
 /// What one shard reports back to the merge step.
@@ -131,6 +132,7 @@ fn run_insertion_shard(
     shard_id: usize,
     targets: &[(u64, u32)],
     pass_seed: u64,
+    block: usize,
 ) -> ShardOutcome {
     let t0 = Instant::now();
     slot.router.rebuild(&slot.sub_batch, RouterMode::Insertion);
@@ -144,21 +146,48 @@ fn run_insertion_shard(
         .collect();
     let mut edge_hits: Vec<(u32, Edge)> = Vec::new();
     let mut cursor = 0usize;
-    for su in feed.shard(shard_id) {
-        debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
-        let pos = su.position as u64;
-        // Skip targets whose position lives in another shard's buffer,
-        // then record hits at this delivery's global position.
-        while cursor < targets.len() && targets[cursor].0 < pos {
-            cursor += 1;
+    let deliveries = feed.shard(shard_id);
+    if block <= 1 {
+        for su in deliveries {
+            debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
+            let pos = su.position as u64;
+            // Skip targets whose position lives in another shard's buffer,
+            // then record hits at this delivery's global position.
+            while cursor < targets.len() && targets[cursor].0 < pos {
+                cursor += 1;
+            }
+            while cursor < targets.len() && targets[cursor].0 == pos {
+                edge_hits.push((targets[cursor].1, su.update.edge));
+                cursor += 1;
+            }
+            let edge = su.update.edge;
+            let res = &mut reservoirs;
+            slot.router.feed(su.update, |i| res[i].offer(edge));
         }
-        while cursor < targets.len() && targets[cursor].0 == pos {
-            edge_hits.push((targets[cursor].1, su.update.edge));
-            cursor += 1;
+    } else {
+        // Blocked path: position targets are matched per delivery (they
+        // carry global positions), then each block goes through the
+        // router's batched-probe drain. The shard buffer is already in
+        // memory, so blocks are slices-with-copy of it.
+        let mut buf: Vec<EdgeUpdate> = Vec::with_capacity(block.min(deliveries.len()));
+        for chunk in deliveries.chunks(block.max(1)) {
+            buf.clear();
+            for su in chunk {
+                debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
+                let pos = su.position as u64;
+                while cursor < targets.len() && targets[cursor].0 < pos {
+                    cursor += 1;
+                }
+                while cursor < targets.len() && targets[cursor].0 == pos {
+                    edge_hits.push((targets[cursor].1, su.update.edge));
+                    cursor += 1;
+                }
+                buf.push(su.update);
+            }
+            let res = &mut reservoirs;
+            slot.router
+                .feed_block(&buf, |j, i| res[i].offer(buf[j].edge));
         }
-        let edge = su.update.edge;
-        let res = &mut reservoirs;
-        slot.router.feed(su.update, |i| res[i].offer(edge));
     }
     let space_bytes = slot.router.space_bytes() + reservoirs.len() * 24;
 
@@ -190,6 +219,7 @@ fn run_turnstile_shard(
     shard_id: usize,
     f1_slots: &[u32],
     pass_seed: u64,
+    block: usize,
 ) -> ShardOutcome {
     let t0 = Instant::now();
     let n = feed.num_vertices();
@@ -211,19 +241,47 @@ fn run_turnstile_shard(
         })
         .collect();
     let nbr_verts: Vec<VertexId> = slot.router.neighbor_vertices().collect();
-    for su in feed.shard(shard_id) {
-        let d = su.update.delta as i64;
-        if su.owned {
-            let key = su.update.edge.key();
-            for s in &mut f1_bank {
-                s.update(key, d);
+    let deliveries = feed.shard(shard_id);
+    if block <= 1 {
+        for su in deliveries {
+            let d = su.update.delta as i64;
+            if su.owned {
+                let key = su.update.edge.key();
+                for s in &mut f1_bank {
+                    s.update(key, d);
+                }
             }
+            let edge = su.update.edge;
+            let samplers = &mut nbr_samplers;
+            slot.router.feed(su.update, |i| {
+                samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+            });
         }
-        let edge = su.update.edge;
-        let samplers = &mut nbr_samplers;
-        slot.router.feed(su.update, |i| {
-            samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
-        });
+    } else {
+        // Blocked path: the f1 bank absorbs each block's *owned* updates
+        // samplers outer, updates inner (ℓ₀ planes cache-hot per bank;
+        // bit-identical because detector fields are additive), and the
+        // router drains the full block through its batched probes.
+        let mut buf: Vec<EdgeUpdate> = Vec::with_capacity(block.min(deliveries.len()));
+        let mut owned_kd: Vec<(u64, i64)> = Vec::with_capacity(block.min(deliveries.len()));
+        for chunk in deliveries.chunks(block.max(1)) {
+            buf.clear();
+            owned_kd.clear();
+            for su in chunk {
+                if su.owned {
+                    owned_kd.push((su.update.edge.key(), su.update.delta as i64));
+                }
+                buf.push(su.update);
+            }
+            for s in &mut f1_bank {
+                s.update_batch(&owned_kd);
+            }
+            let samplers = &mut nbr_samplers;
+            slot.router.feed_block(&buf, |j, i| {
+                let u = buf[j];
+                samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+            });
+        }
     }
     let space_bytes = slot.router.space_bytes()
         + f1_bank
@@ -328,6 +386,18 @@ pub fn answer_insertion_batch_sharded(
     pass_seed: u64,
     arena: &mut RouterArena,
 ) -> (Vec<Answer>, usize) {
+    answer_insertion_batch_sharded_with_block(batch, feed, pass_seed, arena, DEFAULT_BLOCK)
+}
+
+/// [`answer_insertion_batch_sharded`] with an explicit feed block size
+/// (`block <= 1` = scalar per-update path on every shard).
+pub fn answer_insertion_batch_sharded_with_block(
+    batch: &[Query],
+    feed: &ShardedFeed,
+    pass_seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
     if shards == 1 {
         // Single shard: skip the split/scatter machinery and run the
@@ -336,7 +406,7 @@ pub fn answer_insertion_batch_sharded(
         // existing single-stream callers keep the PR-1 per-pass cost.
         arena.ensure_shards(1);
         let t0 = Instant::now();
-        let out = crate::exec::answer_insertion_batch(batch, feed, pass_seed);
+        let out = crate::exec::answer_insertion_batch_with_block(batch, feed, pass_seed, block);
         arena.slots[0]
             .pass_nanos
             .push(t0.elapsed().as_nanos() as u64);
@@ -347,7 +417,7 @@ pub fn answer_insertion_batch_sharded(
     let mut targets = std::mem::take(&mut arena.scratch_targets);
     draw_targets(batch, feed.stream_len() as u64, pass_seed, &mut targets);
     let outcomes = run_shards(&mut arena.slots[..shards], |i, slot| {
-        run_insertion_shard(slot, feed, i, &targets, pass_seed)
+        run_insertion_shard(slot, feed, i, &targets, pass_seed, block)
     });
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>() + targets.len() * 16;
     arena.scratch_targets = targets;
@@ -364,12 +434,24 @@ pub fn answer_turnstile_batch_sharded(
     pass_seed: u64,
     arena: &mut RouterArena,
 ) -> (Vec<Answer>, usize) {
+    answer_turnstile_batch_sharded_with_block(batch, feed, pass_seed, arena, DEFAULT_BLOCK)
+}
+
+/// [`answer_turnstile_batch_sharded`] with an explicit feed block size
+/// (`block <= 1` = scalar per-update path on every shard).
+pub fn answer_turnstile_batch_sharded_with_block(
+    batch: &[Query],
+    feed: &ShardedFeed,
+    pass_seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
     if shards == 1 {
         // See answer_insertion_batch_sharded: direct pass over the feed.
         arena.ensure_shards(1);
         let t0 = Instant::now();
-        let out = crate::exec::answer_turnstile_batch(batch, feed, pass_seed);
+        let out = crate::exec::answer_turnstile_batch_with_block(batch, feed, pass_seed, block);
         arena.slots[0]
             .pass_nanos
             .push(t0.elapsed().as_nanos() as u64);
@@ -379,7 +461,7 @@ pub fn answer_turnstile_batch_sharded(
     split_batch(batch, RouterMode::Turnstile, shards, arena);
     let f1_slots = std::mem::take(&mut arena.scratch_edge);
     let mut outcomes = run_shards(&mut arena.slots[..shards], |i, slot| {
-        run_turnstile_shard(slot, feed, i, &f1_slots, pass_seed)
+        run_turnstile_shard(slot, feed, i, &f1_slots, pass_seed, block)
     });
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>();
     // Merge the per-shard f1 banks into shard 0's (linear sketches):
@@ -403,10 +485,21 @@ pub fn answer_turnstile_batch_sharded(
 /// the feed's shards. With one shard this **is** the single-stream
 /// executor ([`crate::exec::run_insertion`] is exactly this call).
 pub fn run_insertion_sharded<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+) -> (A::Output, ExecReport) {
+    run_insertion_sharded_with_block(alg, feed, seed, arena, DEFAULT_BLOCK)
+}
+
+/// [`run_insertion_sharded`] with an explicit feed block size.
+pub fn run_insertion_sharded_with_block<A: RoundAdaptive>(
     mut alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
+    block: usize,
 ) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
@@ -420,11 +513,12 @@ pub fn run_insertion_sharded<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
-        let (a, space) = answer_insertion_batch_sharded(
+        let (a, space) = answer_insertion_batch_sharded_with_block(
             &batch,
             feed,
             split_seed(seed, report.passes as u64),
             arena,
+            block,
         );
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;
@@ -438,10 +532,21 @@ pub fn run_insertion_sharded<A: RoundAdaptive>(
 /// algorithm: one logical pass per round over N shards. With one shard
 /// this is [`crate::exec::run_turnstile`].
 pub fn run_turnstile_sharded<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+) -> (A::Output, ExecReport) {
+    run_turnstile_sharded_with_block(alg, feed, seed, arena, DEFAULT_BLOCK)
+}
+
+/// [`run_turnstile_sharded`] with an explicit feed block size.
+pub fn run_turnstile_sharded_with_block<A: RoundAdaptive>(
     mut alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
+    block: usize,
 ) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
@@ -455,11 +560,12 @@ pub fn run_turnstile_sharded<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
-        let (a, space) = answer_turnstile_batch_sharded(
+        let (a, space) = answer_turnstile_batch_sharded_with_block(
             &batch,
             feed,
             split_seed(seed, report.passes as u64),
             arena,
+            block,
         );
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;

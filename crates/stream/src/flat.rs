@@ -19,6 +19,11 @@ use sgs_prng::splitmix64;
 
 const EMPTY: u32 = u32::MAX;
 
+/// Sentinel returned by [`FlatIndex::probe_batch`] for keys that were
+/// never inserted. Dense ids are assigned from 0 upward, so `u32::MAX`
+/// can never collide with a real id.
+pub const ABSENT: u32 = u32::MAX;
+
 /// One table slot: key plus dense id, interleaved so a probe touches a
 /// single cache line (the dominant cost of bulk index construction is
 /// memory traffic, not hashing).
@@ -48,8 +53,15 @@ impl Default for FlatIndex {
 impl FlatIndex {
     /// An index expecting about `expected` distinct keys (load factor
     /// ≤ 2/3 if the estimate holds; the table grows past it regardless).
+    ///
+    /// The sizing uses the same ceiling division as [`FlatIndex::reserve`]:
+    /// the earlier truncating `expected * 3 / 2` under-sized the table at
+    /// exact load-factor boundaries (e.g. `with_capacity(11)` produced a
+    /// 16-slot table that holds only 10 keys before `insert_or_get`'s 2/3
+    /// check forces a rebuild mid-fill — precisely the mid-pass rehash
+    /// this constructor exists to avoid).
     pub fn with_capacity(expected: usize) -> Self {
-        let cap = (expected.max(4) * 3 / 2).next_power_of_two();
+        let cap = ((expected.max(4) + 1) * 3).div_ceil(2).next_power_of_two();
         FlatIndex {
             slots: vec![VACANT; cap],
             mask: cap - 1,
@@ -132,16 +144,84 @@ impl FlatIndex {
     /// Dense id for `key`, or `None` if never inserted.
     #[inline]
     pub fn get(&self, key: u64) -> Option<u32> {
-        let mut slot = splitmix64(key) as usize & self.mask;
+        let slot = splitmix64(key) as usize & self.mask;
+        let s = self.slots[slot];
+        if s.id == EMPTY {
+            return None;
+        }
+        if s.key == key {
+            return Some(s.id);
+        }
+        match self.probe_from(slot, key) {
+            ABSENT => None,
+            id => Some(id),
+        }
+    }
+
+    /// Continue a linear probe past an occupied non-matching `slot`.
+    fn probe_from(&self, mut slot: usize, key: u64) -> u32 {
         loop {
+            slot = (slot + 1) & self.mask;
             let s = self.slots[slot];
             if s.id == EMPTY {
-                return None;
+                return ABSENT;
             }
             if s.key == key {
-                return Some(s.id);
+                return s.id;
             }
-            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Probe a whole block of keys, pushing one id (or [`ABSENT`]) per
+    /// key onto `out` in input order.
+    ///
+    /// Same answers as [`FlatIndex::get`] per key; the difference is
+    /// instruction scheduling. The scalar probe is a serial
+    /// hash→load→compare chain per key, so the load latency is fully
+    /// exposed. Here each 8-lane chunk is software-pipelined: all eight
+    /// hashes are computed first (an autovectorizable lane loop), then
+    /// the eight first-slot loads issue back to back — by the time a
+    /// lane's compare runs, its cache line is already in flight. Only
+    /// colliding lanes (rare at ≤ 2/3 load) fall back to the serial walk.
+    pub fn probe_batch(&self, keys: &[u64], out: &mut Vec<u32>) {
+        const LANES: usize = 8;
+        out.clear();
+        out.reserve(keys.len());
+        let mut chunks = keys.chunks_exact(LANES);
+        let mut ids = [0u32; LANES];
+        for chunk in &mut chunks {
+            let lanes: &[u64; LANES] = chunk.try_into().expect("chunks_exact yields full chunks");
+            self.probe_array(lanes, &mut ids);
+            out.extend_from_slice(&ids);
+        }
+        for &k in chunks.remainder() {
+            out.push(self.get(k).unwrap_or(ABSENT));
+        }
+    }
+
+    /// Stack-resident sibling of [`FlatIndex::probe_batch`]: probe `N`
+    /// keys with the same hash-ahead pipeline, writing ids (or
+    /// [`ABSENT`]) into `out`. For fused hot loops that stage a fixed
+    /// chunk of keys in registers instead of round-tripping block-sized
+    /// heap scratch.
+    #[inline]
+    pub fn probe_array<const N: usize>(&self, keys: &[u64; N], out: &mut [u32; N]) {
+        let mut idx = [0usize; N];
+        for (s, &k) in idx.iter_mut().zip(keys) {
+            *s = splitmix64(k) as usize & self.mask;
+        }
+        let mut first = [VACANT; N];
+        for (f, &s) in first.iter_mut().zip(&idx) {
+            *f = self.slots[s];
+        }
+        for (o, ((&k, &s), f)) in out.iter_mut().zip(keys.iter().zip(&idx).zip(first)) {
+            *o = if f.id == EMPTY {
+                ABSENT
+            } else if f.key == k {
+                f.id
+            } else {
+                self.probe_from(s, k)
+            };
         }
     }
 
@@ -250,6 +330,74 @@ mod tests {
             ix.insert_or_get(k);
         }
         assert_eq!(ix.heap_bytes(), cap, "same key count must not regrow");
+    }
+
+    #[test]
+    fn with_capacity_satisfies_its_own_load_factor() {
+        // Regression for the truncating-division boundary: a table built
+        // for exactly `expected` keys must absorb all of them without a
+        // mid-fill rebuild, including at exact power-of-two load-factor
+        // boundaries (expected = 11 → 32 slots, not 16).
+        for expected in 1..200usize {
+            let ix = FlatIndex::with_capacity(expected);
+            let cap = ix.heap_bytes();
+            let mut ix = ix;
+            for k in 0..expected as u64 {
+                ix.insert_or_get(k * 11 + 3);
+            }
+            assert_eq!(ix.heap_bytes(), cap, "with_capacity({expected}) regrew");
+        }
+    }
+
+    #[test]
+    fn probe_batch_matches_scalar_gets() {
+        // Mixed hit/miss workloads at every remainder length, against an
+        // index with plenty of collisions.
+        let mut ix = FlatIndex::with_capacity(64);
+        for k in 0..500u64 {
+            ix.insert_or_get(k * 3 + 1);
+        }
+        let mut out = Vec::new();
+        for len in [0usize, 1, 5, 7, 8, 9, 16, 33, 100] {
+            let keys: Vec<u64> = (0..len as u64).map(|i| i * 2 + 1).collect();
+            ix.probe_batch(&keys, &mut out);
+            assert_eq!(out.len(), len);
+            for (&k, &id) in keys.iter().zip(&out) {
+                match ix.get(k) {
+                    Some(want) => assert_eq!(id, want, "key {k}"),
+                    None => assert_eq!(id, ABSENT, "key {k}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_batch_on_empty_index_is_all_absent() {
+        let ix = FlatIndex::with_capacity(0);
+        let keys: Vec<u64> = (0..20).collect();
+        let mut out = vec![123; 3]; // stale contents must be cleared
+        ix.probe_batch(&keys, &mut out);
+        assert_eq!(out, vec![ABSENT; 20]);
+    }
+
+    #[test]
+    fn probe_batch_resolves_adversarial_collisions() {
+        // Keys congruent mod the table size pile into one neighborhood;
+        // the batched fallback walk must resolve them like the scalar one.
+        let mut ix = FlatIndex::with_capacity(8);
+        let cap = 16u64;
+        let keys: Vec<u64> = (0..12).map(|i| i * cap).collect();
+        for &k in &keys {
+            ix.insert_or_get(k);
+        }
+        let mut probe: Vec<u64> = keys.clone();
+        probe.push(13 * cap); // absent, same neighborhood
+        let mut out = Vec::new();
+        ix.probe_batch(&probe, &mut out);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(out[i], ix.get(k).unwrap());
+        }
+        assert_eq!(*out.last().unwrap(), ABSENT);
     }
 
     #[test]

@@ -36,4 +36,17 @@ mod tests {
         let mut b = sgs_prng::FastRng::seed_from_u64(3);
         assert_eq!(a.next_u64(), b.next_u64());
     }
+
+    #[test]
+    fn batched_hash_matches_scalar_hash() {
+        // The blocked feed path hashes whole update blocks through
+        // hash64_batch; lane results must equal per-key hash64 calls.
+        let h = SeededHash::new(0xfeed);
+        let keys: Vec<u64> = (0..37u64).map(|i| i * 0x9e37 + 5).collect();
+        let mut out = vec![0u64; keys.len()];
+        h.hash64_batch(&keys, &mut out);
+        for (&k, &o) in keys.iter().zip(&out) {
+            assert_eq!(o, h.hash64(k));
+        }
+    }
 }

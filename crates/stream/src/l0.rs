@@ -21,7 +21,7 @@
 //! *interface contract* — uniform support element or explicit failure — is
 //! what downstream algorithms rely on).
 //!
-//! Two engineering properties the sharded pipeline leans on:
+//! Three engineering properties the sharded / blocked pipeline leans on:
 //!
 //! * **Shared geometric draw** — one base hash per update feeds the whole
 //!   repetition bank: each repetition derives its level and fingerprint
@@ -33,120 +33,31 @@
 //!   The `shared_draw_distribution_matches_independent_draws` test pins
 //!   the output distribution and failure rate against the independent
 //!   per-repetition scheme it replaced.
+//! * **Struct-of-arrays bank** — the detectors live in three contiguous
+//!   *planes* (`count`, `key_sum`, `fingerprint`), level-major, so all
+//!   `R` detectors of one level are adjacent in memory. An update becomes
+//!   a handful of lane loops over repetitions (level remix, fingerprint
+//!   remix, then one predicated add per plane per touched level) that the
+//!   stable-Rust autovectorizer turns into SIMD; the old
+//!   `Vec<Repetition>` array-of-structs walked a branchy per-repetition
+//!   inner loop over scattered level vectors. The
+//!   `soa_bank_is_bit_identical_to_aos_bank` test pins the new layout
+//!   against a replica of the old one detector for detector.
 //! * **Linearity** — every detector field is additive, so
 //!   [`L0Sampler::merge`] of identically-seeded samplers that absorbed
 //!   disjoint update subsets is *bit-identical* to one sampler that
-//!   absorbed them all: per-shard sketch banks merge exactly.
+//!   absorbed them all: per-shard sketch banks merge exactly, and
+//!   [`L0Sampler::update_batch`] may apply a block of updates sampler-hot
+//!   without changing a single output bit (addition commutes).
 
 use crate::hash::{split_seed, splitmix64, SeededHash};
 use crate::space::SpaceUsage;
 
-/// A 1-sparse detector: decides whether the updates it absorbed form a
-/// single key with net weight exactly `+1` (strict-turnstile simple-graph
-/// semantics), and if so recovers that key.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-struct OneSparse {
-    count: i64,
-    key_sum: i128,
-    fingerprint: u64,
-}
-
-impl OneSparse {
-    /// `fp` must be the fingerprint hash of `key` (hoisted by the caller
-    /// so the level hierarchy hashes each update once, not once per
-    /// level).
-    #[inline]
-    fn update(&mut self, key: u64, delta: i64, fp: u64) {
-        self.count += delta;
-        self.key_sum += key as i128 * delta as i128;
-        // fingerprint += delta · fp over Z/2^64: two's-complement wrapping
-        // multiplication makes negative deltas subtract, so the
-        // accumulation is O(1) in |delta| (the old loop added/subtracted
-        // `fp` once per unit of delta).
-        self.fingerprint = self
-            .fingerprint
-            .wrapping_add((delta as u64).wrapping_mul(fp));
-    }
-
-    /// Returns the unique key if the detector is exactly 1-sparse with
-    /// weight +1. `fp_of` maps a key to this repetition's fingerprint.
-    #[inline]
-    fn recover(&self, fp_of: impl Fn(u64) -> u64) -> Option<u64> {
-        if self.count != 1 {
-            return None;
-        }
-        if self.key_sum < 0 || self.key_sum > u64::MAX as i128 {
-            return None;
-        }
-        let key = self.key_sum as u64;
-        if fp_of(key) == self.fingerprint {
-            Some(key)
-        } else {
-            None
-        }
-    }
-
-    /// Absorb another detector's state (linearity: fields are additive).
-    #[inline]
-    fn absorb(&mut self, other: &OneSparse) {
-        self.count += other.count;
-        self.key_sum += other.key_sum;
-        self.fingerprint = self.fingerprint.wrapping_add(other.fingerprint);
-    }
-
-    #[inline]
-    fn is_zero(&self) -> bool {
-        self.count == 0 && self.key_sum == 0 && self.fingerprint == 0
-    }
-}
-
-/// One repetition: a level hierarchy whose level and fingerprint draws
-/// are one-SplitMix64 remixes of the bank's shared base draw.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Repetition {
-    level_salt: u64,
-    fp_salt: u64,
-    levels: Vec<OneSparse>,
-}
-
-impl Repetition {
-    fn new(max_level: u32, seed: u64) -> Self {
-        Repetition {
-            level_salt: split_seed(seed, 0),
-            fp_salt: split_seed(seed, 1),
-            levels: vec![OneSparse::default(); max_level as usize + 1],
-        }
-    }
-
-    /// `base` is the bank-shared hash of the key (computed once per
-    /// update); each repetition remixes it with its own salts, giving a
-    /// decorrelated geometric level and fingerprint for one SplitMix64
-    /// step each instead of a full keyed double-hash.
-    #[inline]
-    fn update(&mut self, key: u64, delta: i64, base: u64) {
-        let max = (self.levels.len() - 1) as u32;
-        let lvl = splitmix64(base ^ self.level_salt).trailing_zeros().min(max);
-        let fp = splitmix64(base ^ self.fp_salt);
-        // Nested levels: the item lives in levels 0..=lvl.
-        for l in 0..=lvl as usize {
-            self.levels[l].update(key, delta, fp);
-        }
-    }
-
-    fn sample(&self, base_hash: &SeededHash) -> Option<u64> {
-        // Deepest exactly-1-sparse level wins: its survivor has the
-        // (unique) maximum subsampling depth, uniform over the support.
-        for l in (0..self.levels.len()).rev() {
-            if self.levels[l].is_zero() {
-                continue;
-            }
-            return self.levels[l].recover(|key| splitmix64(base_hash.hash64(key) ^ self.fp_salt));
-        }
-        None
-    }
-}
-
 /// A turnstile ℓ₀-sampler over `u64` keys.
+///
+/// Detector state is stored as a struct-of-arrays bank: three planes
+/// indexed by `(level, repetition)` with repetition minor, so the
+/// per-update lane loops run over contiguous memory.
 #[derive(Clone, Debug)]
 pub struct L0Sampler {
     /// Shared per-update draw feeding every repetition.
@@ -154,7 +65,29 @@ pub struct L0Sampler {
     /// The construction seed, retained so [`L0Sampler::merge`] can verify
     /// both banks share one hash family.
     seed: u64,
-    reps: Vec<Repetition>,
+    /// Number of repetitions `R` (the lane count).
+    reps: usize,
+    /// Levels per repetition (`max_level + 1`).
+    levels: usize,
+    /// Per-repetition level-draw salts, one lane each.
+    level_salt: Vec<u64>,
+    /// Per-repetition fingerprint salts, one lane each.
+    fp_salt: Vec<u64>,
+    /// Detector plane: net weight, `[level * reps + rep]`.
+    count: Vec<i64>,
+    /// Detector planes: `Σ key · delta`, an exact 128-bit two's-complement
+    /// accumulator split into low/high 64-bit halves with explicit carry —
+    /// bit-identical to an `i128` add, but every lane op is 64-bit so the
+    /// plane vectorizes like the others (a scalar `i128` plane pinned the
+    /// whole level row to scalar code).
+    key_sum_lo: Vec<u64>,
+    key_sum_hi: Vec<u64>,
+    /// Detector plane: `Σ fp(key) · delta` over `Z/2^64`.
+    fingerprint: Vec<u64>,
+    /// Per-update lane scratch: this update's level draw per repetition.
+    lvl_scratch: Vec<u32>,
+    /// Per-update lane scratch: this update's fingerprint per repetition.
+    fp_scratch: Vec<u64>,
     updates_absorbed: u64,
 }
 
@@ -167,12 +100,28 @@ impl L0Sampler {
     /// `log2(support size)`; 40 comfortably covers every workload here.
     pub fn new(max_level: u32, reps: usize, seed: u64) -> Self {
         assert!(reps >= 1);
+        let levels = max_level as usize + 1;
+        let (mut level_salt, mut fp_salt) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+        for i in 0..reps {
+            // Identical salt derivation to the old per-`Repetition`
+            // construction: the SoA re-layout moves bytes, not coins.
+            let rep_seed = split_seed(seed, 100 + i as u64);
+            level_salt.push(split_seed(rep_seed, 0));
+            fp_salt.push(split_seed(rep_seed, 1));
+        }
         L0Sampler {
             base_hash: SeededHash::new(split_seed(seed, 99)),
             seed,
-            reps: (0..reps)
-                .map(|i| Repetition::new(max_level, split_seed(seed, 100 + i as u64)))
-                .collect(),
+            reps,
+            levels,
+            level_salt,
+            fp_salt,
+            count: vec![0; levels * reps],
+            key_sum_lo: vec![0; levels * reps],
+            key_sum_hi: vec![0; levels * reps],
+            fingerprint: vec![0; levels * reps],
+            lvl_scratch: vec![0; reps],
+            fp_scratch: vec![0; reps],
             updates_absorbed: 0,
         }
     }
@@ -184,50 +133,196 @@ impl L0Sampler {
         Self::new((2 * bits + 4).min(62), DEFAULT_REPS, seed)
     }
 
+    /// Number of repetitions.
+    #[inline]
+    pub fn num_reps(&self) -> usize {
+        self.reps
+    }
+
+    /// Absorb one update whose shared base draw is already computed.
+    ///
+    /// The body is lane loops over repetitions: one SplitMix64 remix per
+    /// lane for the level draw, one for the per-lane fingerprint delta
+    /// `delta · fp(key)` (hoisted — the old layout recomputed the product
+    /// on every level), then plane-row adds. Level 0 holds every key, so
+    /// its row is three unconditional lane adds; deeper rows predicate
+    /// each lane with a sign-extended mask AND (`x & -(active)`), which is
+    /// branch-free and cheap even on the `i128` plane where a
+    /// multiply-by-predicate is not. Levels above the per-update maximum
+    /// (geometric, so `E[max] ≈ log2 R + 1`) are never touched, and each
+    /// plane gets its own homogeneous loop so mixed-width arithmetic
+    /// (`i64` / `i128` / `u64`) cannot pin the whole body to scalar code.
+    #[inline]
+    fn absorb(&mut self, key: u64, delta: i64, base: u64) {
+        let reps = self.reps;
+        let max = (self.levels - 1) as u32;
+        for (l, &salt) in self.lvl_scratch.iter_mut().zip(&self.level_salt) {
+            *l = splitmix64(base ^ salt).trailing_zeros().min(max);
+        }
+        let du = delta as u64;
+        for (f, &salt) in self.fp_scratch.iter_mut().zip(&self.fp_salt) {
+            // fingerprint += delta · fp over Z/2^64: two's-complement
+            // wrapping multiplication makes negative deltas subtract, so
+            // the accumulation is O(1) in |delta|.
+            *f = du.wrapping_mul(splitmix64(base ^ salt));
+        }
+        let kd = key as i128 * delta as i128;
+        let (kd_lo, kd_hi) = (kd as u64, (kd >> 64) as u64);
+        // Level 0: every lane participates, no predication.
+        for c in &mut self.count[..reps] {
+            *c += delta;
+        }
+        for (f, &d) in self.fingerprint[..reps].iter_mut().zip(&self.fp_scratch) {
+            *f = f.wrapping_add(d);
+        }
+        for (lo, hi) in self.key_sum_lo[..reps]
+            .iter_mut()
+            .zip(&mut self.key_sum_hi[..reps])
+        {
+            let nl = lo.wrapping_add(kd_lo);
+            *hi = hi.wrapping_add(kd_hi).wrapping_add((nl < kd_lo) as u64);
+            *lo = nl;
+        }
+        // Deeper levels: predicated lane adds up to the deepest draw.
+        let deepest = self.lvl_scratch.iter().copied().max().unwrap_or(0) as usize;
+        for level in 1..=deepest {
+            let lv = level as u32;
+            let row = level * reps;
+            let counts = &mut self.count[row..row + reps];
+            for (c, &l) in counts.iter_mut().zip(&self.lvl_scratch) {
+                *c += delta & -((l >= lv) as i64);
+            }
+            let fps = &mut self.fingerprint[row..row + reps];
+            for (f, (&l, &d)) in fps
+                .iter_mut()
+                .zip(self.lvl_scratch.iter().zip(&self.fp_scratch))
+            {
+                *f = f.wrapping_add(d & (-((l >= lv) as i64) as u64));
+            }
+            let lows = &mut self.key_sum_lo[row..row + reps];
+            let highs = &mut self.key_sum_hi[row..row + reps];
+            for ((lo, hi), &l) in lows.iter_mut().zip(highs.iter_mut()).zip(&self.lvl_scratch) {
+                let m = -((l >= lv) as i64) as u64;
+                let (x_lo, x_hi) = (kd_lo & m, kd_hi & m);
+                let nl = lo.wrapping_add(x_lo);
+                *hi = hi.wrapping_add(x_hi).wrapping_add((nl < x_lo) as u64);
+                *lo = nl;
+            }
+        }
+    }
+
     /// Absorb an update: `delta` is `+1`/`-1` in strict turnstile streams.
     #[inline]
     pub fn update(&mut self, key: u64, delta: i64) {
         self.updates_absorbed += 1;
         // One hash of the key feeds the whole repetition bank.
         let base = self.base_hash.hash64(key);
-        for r in &mut self.reps {
-            r.update(key, delta, base);
+        self.absorb(key, delta, base);
+    }
+
+    /// Absorb a block of `(key, delta)` updates.
+    ///
+    /// Bit-identical to calling [`L0Sampler::update`] once per element
+    /// (same draws, same additions, same order); the point is memory
+    /// shape: base hashes are computed a chunk ahead (breaking the
+    /// hash→update dependency chain), and a caller iterating *samplers
+    /// outer, block inner* keeps one bank's planes cache-hot across the
+    /// whole block instead of cycling every bank through cache per
+    /// update — the access pattern of the turnstile executors, whose `f1`
+    /// banks all absorb every update.
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        const CHUNK: usize = 16;
+        let mut keys = [0u64; CHUNK];
+        let mut bases = [0u64; CHUNK];
+        for chunk in updates.chunks(CHUNK) {
+            for (k, &(key, _)) in keys.iter_mut().zip(chunk) {
+                *k = key;
+            }
+            self.base_hash
+                .hash64_batch(&keys[..chunk.len()], &mut bases[..chunk.len()]);
+            for (&(key, delta), &base) in chunk.iter().zip(&bases) {
+                self.absorb(key, delta, base);
+            }
         }
+        self.updates_absorbed += updates.len() as u64;
+    }
+
+    /// The 128-bit key-sum accumulator of detector `i`, reassembled from
+    /// its split planes (bit-exact two's complement).
+    #[inline]
+    fn key_sum_at(&self, i: usize) -> i128 {
+        (((self.key_sum_hi[i] as u128) << 64) | self.key_sum_lo[i] as u128) as i128
+    }
+
+    /// One repetition's query: walk its levels deepest-first and recover
+    /// from the first non-empty one.
+    fn sample_rep(&self, rep: usize) -> Option<u64> {
+        for level in (0..self.levels).rev() {
+            let i = level * self.reps + rep;
+            let key_sum = self.key_sum_at(i);
+            if self.count[i] == 0 && key_sum == 0 && self.fingerprint[i] == 0 {
+                continue;
+            }
+            // Deepest non-empty level: exactly-1-sparse with weight +1
+            // (strict-turnstile simple-graph semantics) or failure.
+            if self.count[i] != 1 {
+                return None;
+            }
+            if !(0..=u64::MAX as i128).contains(&key_sum) {
+                return None;
+            }
+            let key = key_sum as u64;
+            let fp = splitmix64(self.base_hash.hash64(key) ^ self.fp_salt[rep]);
+            return (fp == self.fingerprint[i]).then_some(key);
+        }
+        None
     }
 
     /// Query: a uniform support element, or `None` on failure (all
     /// repetitions had ties) or empty support.
     pub fn sample(&self) -> Option<u64> {
-        self.reps.iter().find_map(|r| r.sample(&self.base_hash))
+        (0..self.reps).find_map(|rep| self.sample_rep(rep))
     }
 
     /// Absorb the state of an identically-seeded sampler that saw a
     /// *disjoint* update subset. Every detector field is linear, so the
     /// merged state is bit-identical to a single sampler that absorbed
     /// both subsets in any order — the property the sharded turnstile
-    /// executor uses to split one stream across feed shards.
+    /// executor uses to split one stream across feed shards. On the SoA
+    /// bank the merge is three plane-wide lane loops.
     ///
     /// Panics if the samplers were built with different seeds or shapes
     /// (their hash families would disagree and the merge would be
     /// meaningless).
     pub fn merge(&mut self, other: &L0Sampler) {
         assert_eq!(self.seed, other.seed, "merging differently-seeded samplers");
-        assert_eq!(self.reps.len(), other.reps.len(), "repetition mismatch");
-        for (a, b) in self.reps.iter_mut().zip(&other.reps) {
-            debug_assert_eq!(a.level_salt, b.level_salt);
-            assert_eq!(a.levels.len(), b.levels.len(), "level-count mismatch");
-            for (la, lb) in a.levels.iter_mut().zip(&b.levels) {
-                la.absorb(lb);
-            }
+        assert_eq!(self.reps, other.reps, "repetition mismatch");
+        assert_eq!(self.levels, other.levels, "level-count mismatch");
+        debug_assert_eq!(self.level_salt, other.level_salt);
+        for (a, b) in self.count.iter_mut().zip(&other.count) {
+            *a += b;
+        }
+        for ((lo, hi), (&b_lo, &b_hi)) in self
+            .key_sum_lo
+            .iter_mut()
+            .zip(self.key_sum_hi.iter_mut())
+            .zip(other.key_sum_lo.iter().zip(&other.key_sum_hi))
+        {
+            let nl = lo.wrapping_add(b_lo);
+            *hi = hi.wrapping_add(b_hi).wrapping_add((nl < b_lo) as u64);
+            *lo = nl;
+        }
+        for (a, b) in self.fingerprint.iter_mut().zip(&other.fingerprint) {
+            *a = a.wrapping_add(*b);
         }
         self.updates_absorbed += other.updates_absorbed;
     }
 
     /// Whether the first repetition's level 0 is empty — i.e. the absorbed
     /// updates cancel completely. Exact for strict streams (level 0 holds
-    /// every key).
+    /// every key). Index 0 of the count plane is `(level 0, repetition 0)`.
     pub fn support_is_empty(&self) -> bool {
-        self.reps[0].levels[0].count == 0
+        self.count[0] == 0
     }
 
     /// Total updates absorbed (diagnostics).
@@ -238,10 +333,13 @@ impl L0Sampler {
 
 impl SpaceUsage for L0Sampler {
     fn space_bytes(&self) -> usize {
-        let per_detector = std::mem::size_of::<OneSparse>();
-        let levels: usize = self.reps.iter().map(|r| r.levels.len()).sum();
-        levels * per_detector
-            + self.reps.len() * 2 * std::mem::size_of::<u64>() // per-rep salts
+        // One detector = count + key_sum + fingerprint (the 4-word record
+        // of the old array-of-structs layout, minus its padding).
+        let per_detector =
+            std::mem::size_of::<i64>() + std::mem::size_of::<i128>() + std::mem::size_of::<u64>();
+        self.count.len() * per_detector
+            + self.reps * 2 * std::mem::size_of::<u64>() // per-rep salts
+            + self.reps * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>()) // lane scratch
             + std::mem::size_of::<SeededHash>() // shared base hash
     }
 }
@@ -250,6 +348,177 @@ impl SpaceUsage for L0Sampler {
 mod tests {
     use super::*;
     use std::collections::HashMap;
+
+    /// The pre-SoA 1-sparse detector, kept verbatim as the reference for
+    /// the layout-equivalence tests below.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    struct OneSparse {
+        count: i64,
+        key_sum: i128,
+        fingerprint: u64,
+    }
+
+    impl OneSparse {
+        fn update(&mut self, key: u64, delta: i64, fp: u64) {
+            self.count += delta;
+            self.key_sum += key as i128 * delta as i128;
+            self.fingerprint = self
+                .fingerprint
+                .wrapping_add((delta as u64).wrapping_mul(fp));
+        }
+
+        fn recover(&self, fp_of: impl Fn(u64) -> u64) -> Option<u64> {
+            if self.count != 1 {
+                return None;
+            }
+            if self.key_sum < 0 || self.key_sum > u64::MAX as i128 {
+                return None;
+            }
+            let key = self.key_sum as u64;
+            (fp_of(key) == self.fingerprint).then_some(key)
+        }
+
+        fn is_zero(&self) -> bool {
+            self.count == 0 && self.key_sum == 0 && self.fingerprint == 0
+        }
+    }
+
+    /// Replica of the pre-SoA array-of-structs bank (shared base draw,
+    /// per-repetition `Vec<OneSparse>` level hierarchy): the oracle the
+    /// SoA re-layout must match bit for bit.
+    struct AosSampler {
+        base_hash: SeededHash,
+        reps: Vec<(u64, u64, Vec<OneSparse>)>, // (level_salt, fp_salt, levels)
+    }
+
+    impl AosSampler {
+        fn new(max_level: u32, reps: usize, seed: u64) -> Self {
+            AosSampler {
+                base_hash: SeededHash::new(split_seed(seed, 99)),
+                reps: (0..reps)
+                    .map(|i| {
+                        let s = split_seed(seed, 100 + i as u64);
+                        (
+                            split_seed(s, 0),
+                            split_seed(s, 1),
+                            vec![OneSparse::default(); max_level as usize + 1],
+                        )
+                    })
+                    .collect(),
+            }
+        }
+
+        fn update(&mut self, key: u64, delta: i64) {
+            let base = self.base_hash.hash64(key);
+            for (level_salt, fp_salt, levels) in &mut self.reps {
+                let max = (levels.len() - 1) as u32;
+                let lvl = splitmix64(base ^ *level_salt).trailing_zeros().min(max);
+                let fp = splitmix64(base ^ *fp_salt);
+                for level in levels.iter_mut().take(lvl as usize + 1) {
+                    level.update(key, delta, fp);
+                }
+            }
+        }
+
+        fn sample(&self) -> Option<u64> {
+            let base_hash = &self.base_hash;
+            self.reps.iter().find_map(|(_, fp_salt, levels)| {
+                for l in (0..levels.len()).rev() {
+                    if levels[l].is_zero() {
+                        continue;
+                    }
+                    return levels[l].recover(|key| splitmix64(base_hash.hash64(key) ^ fp_salt));
+                }
+                None
+            })
+        }
+    }
+
+    /// A deterministic mixed update sequence (inserts, deletes, repeated
+    /// keys, larger deltas) for the equivalence tests.
+    fn mixed_updates(seed: u64, len: usize) -> Vec<(u64, i64)> {
+        (0..len as u64)
+            .map(|i| {
+                let k = splitmix64(seed ^ i) % 97 + 1;
+                let d = match i % 7 {
+                    0..=3 => 1,
+                    4 => -1,
+                    5 => 3,
+                    _ => -2,
+                };
+                (k, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soa_bank_is_bit_identical_to_aos_bank() {
+        // The tentpole claim: the SoA re-layout changes the memory walk,
+        // not one bit of detector state. Every detector of every
+        // repetition must match the array-of-structs replica, via both
+        // the scalar and the batched update path, across lane counts
+        // (including non-multiples of the vector width).
+        for &reps in &[1usize, 3, 4, 8, 16, 31] {
+            let updates = mixed_updates(0x50a ^ reps as u64, 300);
+            let max_level = 24u32;
+            let seed = 0xabc0 + reps as u64;
+            let mut aos = AosSampler::new(max_level, reps, seed);
+            let mut soa = L0Sampler::new(max_level, reps, seed);
+            let mut soa_blocked = L0Sampler::new(max_level, reps, seed);
+            for &(k, d) in &updates {
+                aos.update(k, d);
+                soa.update(k, d);
+            }
+            for block in updates.chunks(13) {
+                soa_blocked.update_batch(block);
+            }
+            for rep in 0..reps {
+                let (_, _, levels) = &aos.reps[rep];
+                for (level, det) in levels.iter().enumerate() {
+                    let i = level * reps + rep;
+                    assert_eq!(soa.count[i], det.count, "reps {reps} rep {rep} lvl {level}");
+                    assert_eq!(
+                        soa.key_sum_at(i),
+                        det.key_sum,
+                        "reps {reps} rep {rep} lvl {level}"
+                    );
+                    assert_eq!(
+                        soa.fingerprint[i], det.fingerprint,
+                        "reps {reps} rep {rep} lvl {level}"
+                    );
+                }
+            }
+            assert_eq!(soa_blocked.count, soa.count);
+            assert_eq!(soa_blocked.key_sum_lo, soa.key_sum_lo);
+            assert_eq!(soa_blocked.key_sum_hi, soa.key_sum_hi);
+            assert_eq!(soa_blocked.fingerprint, soa.fingerprint);
+            assert_eq!(soa.sample(), aos.sample(), "reps {reps}");
+            assert_eq!(soa_blocked.sample(), aos.sample(), "reps {reps}");
+            assert_eq!(soa_blocked.updates_absorbed(), updates.len() as u64);
+        }
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_updates_at_every_block_size() {
+        let updates = mixed_updates(0xb10c, 157);
+        let mut scalar = L0Sampler::new(30, DEFAULT_REPS, 5);
+        for &(k, d) in &updates {
+            scalar.update(k, d);
+        }
+        for block in [1usize, 2, 7, 16, 64, 157, 400] {
+            let mut batched = L0Sampler::new(30, DEFAULT_REPS, 5);
+            for chunk in updates.chunks(block) {
+                batched.update_batch(chunk);
+            }
+            batched.update_batch(&[]); // empty block is a no-op
+            assert_eq!(batched.count, scalar.count, "block {block}");
+            assert_eq!(batched.key_sum_lo, scalar.key_sum_lo, "block {block}");
+            assert_eq!(batched.key_sum_hi, scalar.key_sum_hi, "block {block}");
+            assert_eq!(batched.fingerprint, scalar.fingerprint, "block {block}");
+            assert_eq!(batched.updates_absorbed(), scalar.updates_absorbed());
+            assert_eq!(batched.sample(), scalar.sample(), "block {block}");
+        }
+    }
 
     #[test]
     fn empty_sampler_returns_none() {
@@ -364,7 +633,7 @@ mod tests {
     #[test]
     fn merge_is_bit_identical_to_sequential_absorption() {
         // Split a strict update sequence across two identically-seeded
-        // samplers and merge: every detector must match the single
+        // samplers and merge: every detector plane must match the single
         // sampler bit for bit (linearity), for every split point.
         for seed in 0..10u64 {
             let updates: Vec<(u64, i64)> = (0..60u64)
@@ -385,7 +654,13 @@ mod tests {
                     b.update(k, d);
                 }
                 a.merge(&b);
-                assert_eq!(a.reps, whole.reps, "seed {seed} split {split}");
+                assert_eq!(a.count, whole.count, "seed {seed} split {split}");
+                assert_eq!(a.key_sum_lo, whole.key_sum_lo, "seed {seed} split {split}");
+                assert_eq!(a.key_sum_hi, whole.key_sum_hi, "seed {seed} split {split}");
+                assert_eq!(
+                    a.fingerprint, whole.fingerprint,
+                    "seed {seed} split {split}"
+                );
                 assert_eq!(a.updates_absorbed(), whole.updates_absorbed());
                 assert_eq!(a.sample(), whole.sample());
             }

@@ -26,6 +26,16 @@ pub trait EdgeStream {
     /// Number of updates in the stream (stream length, not `m`).
     fn len(&self) -> usize;
 
+    /// The whole stream as one contiguous slice, when the source
+    /// materializes it that way. Blocked consumers chunk this directly
+    /// (zero copies, no per-update callback); sources that synthesize
+    /// updates on the fly, count passes on replay, or merge buffers
+    /// (`PassCounter`, `ShardedFeed`) return `None` and are buffered by
+    /// the caller through [`EdgeStream::replay`].
+    fn as_updates(&self) -> Option<&[EdgeUpdate]> {
+        None
+    }
+
     /// Whether the stream carries no updates.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -91,6 +101,10 @@ impl EdgeStream for InsertionStream {
 
     fn len(&self) -> usize {
         self.updates.len()
+    }
+
+    fn as_updates(&self) -> Option<&[EdgeUpdate]> {
+        Some(&self.updates)
     }
 }
 
@@ -210,6 +224,10 @@ impl EdgeStream for TurnstileStream {
 
     fn len(&self) -> usize {
         self.updates.len()
+    }
+
+    fn as_updates(&self) -> Option<&[EdgeUpdate]> {
+        Some(&self.updates)
     }
 }
 

@@ -1,7 +1,7 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B]
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
 //! sgs info    --edges FILE
@@ -152,16 +152,25 @@ fn main() {
             // merged exactly, so the estimate is bit-identical to the
             // single-stream run with the same seed.
             let shards: usize = args.num("shards", 1).max(1);
+            // --block B feeds each pass in blocks of B updates (batched
+            // index probes, ℓ₀ lane loops); 0 forces the scalar
+            // per-update path. Bit-identical either way — the knob only
+            // changes throughput. Default: sgs_query::exec::DEFAULT_BLOCK.
+            let block: usize = args.num("block", sgs_query::exec::DEFAULT_BLOCK);
             let est = if args.has("turnstile") {
                 let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
-                sgs_core::fgp::estimate_turnstile_threaded(&pattern, &s, trials, shards, seed)
+                sgs_core::fgp::estimate_turnstile_threaded_with_block(
+                    &pattern, &s, trials, shards, seed, block,
+                )
             } else {
                 let s = InsertionStream::from_graph(&g, seed ^ 0x77);
-                sgs_core::fgp::estimate_insertion_threaded(&pattern, &s, trials, shards, seed)
+                sgs_core::fgp::estimate_insertion_threaded_with_block(
+                    &pattern, &s, trials, shards, seed, block,
+                )
             }
             .expect("plan validated above");
             println!(
-                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{})",
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, block {})",
                 pattern.name(),
                 est.estimate,
                 est.hits,
@@ -170,7 +179,12 @@ fn main() {
                 est.report.passes,
                 m,
                 shards,
-                if shards == 1 { "" } else { "s" }
+                if shards == 1 { "" } else { "s" },
+                if block <= 1 {
+                    "scalar".to_string()
+                } else {
+                    block.to_string()
+                }
             );
         }
         "search" => {
