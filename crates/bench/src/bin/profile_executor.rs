@@ -62,7 +62,7 @@ fn main() {
             let t = Instant::now();
             let mut r = QueryRouter::build(&batch, RouterMode::Insertion);
             let mut h = 0u64;
-            stream.replay(&mut |u| r.feed(u, |_| h += 1));
+            stream.replay(&mut |u| r.feed(u, |s, e| h += (e - s) as u64));
             black_box(h);
             feed_time = feed_time.min(t.elapsed());
         }

@@ -11,9 +11,26 @@
 //! stream length, and one pass. Its accuracy collapses when triangles
 //! are rare relative to `m²/capacity²`, which is the regime comparison
 //! E9 probes against Theorem 1's `m^{3/2}/#T` trade-off.
+//!
+//! Like the executors' relaxed-`f3` reservoirs, the offer loop supports
+//! two acceptance schemes ([`ReservoirMode`]): the textbook per-offer
+//! test (`gen_range(0..t) < capacity`, one draw per edge — the
+//! statistical oracle) and a skip-ahead scheme in the style of Li's
+//! **Algorithm L** — the next accepted arrival index is precomputed from
+//! the running key-threshold `W` (`W ← W·u^{1/capacity}` per acceptance,
+//! geometric jump `floor(ln u' / ln(1-W))`), so the per-edge cost drops
+//! to a counter compare and RNG draws scale with *acceptances*
+//! (`O(capacity · log(m/capacity))`), not edges. Both schemes maintain
+//! the same reservoir process law (a uniform `capacity`-subset of every
+//! prefix, uniform victim on acceptance), so the estimator stays
+//! unbiased; the default is skip-ahead, and the distribution test below
+//! pins the two modes' means against each other and the exact count.
+//! Triangle *counting* (`closing_count`) still touches every edge —
+//! inherent to the estimator, not the sampler.
 
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::FastRng;
+use sgs_stream::reservoir::ReservoirMode;
 use sgs_stream::EdgeStream;
 use std::collections::{HashMap, HashSet};
 
@@ -33,14 +50,36 @@ pub struct TriestEstimate {
 /// Reservoir state with adjacency index for fast triangle closing.
 struct Reservoir {
     capacity: usize,
+    mode: ReservoirMode,
+    /// Skip mode: Algorithm L's running key threshold `W ∈ (0, 1)`.
+    w: f64,
+    /// Skip mode: 1-based arrival index of the next acceptance.
+    next_accept: u64,
     edges: Vec<Edge>,
     adj: HashMap<VertexId, HashSet<VertexId>>,
 }
 
+/// Algorithm L's geometric jump: losing arrivals before the next
+/// acceptance, `floor(ln u / ln(1-W))`. Guards: `u ∈ (0,1)` structurally,
+/// and `1-W` is clamped to the smallest positive normal so a threshold
+/// rounding to 1.0 degrades to per-arrival acceptance instead of a NaN.
+fn algorithm_l_jump(rng: &mut FastRng, w: f64) -> u64 {
+    let denom = (1.0 - w).max(f64::MIN_POSITIVE).ln();
+    let g = (rng.gen_unit_f64().ln() / denom).floor();
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
+    }
+}
+
 impl Reservoir {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, mode: ReservoirMode) -> Self {
         Reservoir {
             capacity,
+            mode,
+            w: 0.0,
+            next_accept: u64::MAX,
             edges: Vec::with_capacity(capacity),
             adj: HashMap::new(),
         }
@@ -73,27 +112,70 @@ impl Reservoir {
         small.iter().filter(|w| large.contains(w)).count()
     }
 
+    /// Advance the skip-ahead schedule after an acceptance (or the fill)
+    /// at arrival `t`: tighten the threshold and jump to the next winner.
+    fn reschedule(&mut self, t: u64, rng: &mut FastRng) {
+        self.w *= rng.gen_unit_f64().powf(1.0 / self.capacity as f64);
+        self.next_accept = t
+            .saturating_add(algorithm_l_jump(rng, self.w))
+            .saturating_add(1);
+    }
+
+    /// Replace a uniformly random slot with `e`.
+    fn replace(&mut self, e: Edge, rng: &mut FastRng) {
+        let victim = rng.gen_range(0..self.edges.len());
+        let old = self.edges[victim];
+        self.unlink(old);
+        self.edges[victim] = e;
+        self.link(e);
+    }
+
     /// Standard reservoir insertion of the `t`-th element (1-based).
     fn offer(&mut self, e: Edge, t: u64, rng: &mut FastRng) {
         if self.edges.len() < self.capacity {
             self.edges.push(e);
             self.link(e);
-        } else if rng.gen_range(0..t) < self.capacity as u64 {
-            let victim = rng.gen_range(0..self.edges.len());
-            let old = self.edges[victim];
-            self.unlink(old);
-            self.edges[victim] = e;
-            self.link(e);
+            if self.mode == ReservoirMode::Skip && self.edges.len() == self.capacity {
+                // Reservoir just filled: start Algorithm L's schedule
+                // (W = u^{1/capacity}, then the first geometric jump).
+                self.w = 1.0;
+                self.reschedule(t, rng);
+            }
+            return;
+        }
+        match self.mode {
+            ReservoirMode::Offer => {
+                if rng.gen_range(0..t) < self.capacity as u64 {
+                    self.replace(e, rng);
+                }
+            }
+            ReservoirMode::Skip => {
+                if t == self.next_accept {
+                    self.replace(e, rng);
+                    self.reschedule(t, rng);
+                }
+            }
         }
     }
 }
 
 /// Run the estimator over an insertion-only stream with the given edge
-/// budget.
+/// budget (skip-ahead reservoir; see [`estimate_triest_with_mode`]).
 pub fn estimate_triest(stream: &impl EdgeStream, capacity: usize, seed: u64) -> TriestEstimate {
+    estimate_triest_with_mode(stream, capacity, seed, ReservoirMode::default())
+}
+
+/// [`estimate_triest`] with an explicit reservoir acceptance scheme —
+/// [`ReservoirMode::Offer`] is the per-edge-draw statistical oracle.
+pub fn estimate_triest_with_mode(
+    stream: &impl EdgeStream,
+    capacity: usize,
+    seed: u64,
+    mode: ReservoirMode,
+) -> TriestEstimate {
     assert!(capacity >= 2, "need at least two reservoir slots");
     let mut rng = FastRng::seed_from_u64(seed);
-    let mut res = Reservoir::new(capacity);
+    let mut res = Reservoir::new(capacity, mode);
     let mut t: u64 = 0;
     let mut estimate = 0.0f64;
     let cap = capacity as f64;
@@ -164,5 +246,42 @@ mod tests {
         let stream = InsertionStream::from_graph(&g, 10);
         let res = estimate_triest(&stream, 30, 11);
         assert_eq!(res.estimate, 0.0);
+    }
+
+    #[test]
+    fn skip_and_offer_modes_agree_in_distribution() {
+        // The two acceptance schemes draw different coins but drive the
+        // same reservoir process law, so their estimate distributions
+        // must match; compare both means against the exact count.
+        let g = gen::gnm(50, 500, 14);
+        let exact_t = exact::triangles::count_triangles(&g) as f64;
+        let stream = InsertionStream::from_graph(&g, 15);
+        let runs = 80;
+        let mean = |mode| {
+            (0..runs)
+                .map(|s| estimate_triest_with_mode(&stream, 150, split_seed(16, s), mode).estimate)
+                .sum::<f64>()
+                / runs as f64
+        };
+        let offer = mean(ReservoirMode::Offer);
+        let skip = mean(ReservoirMode::Skip);
+        assert!((offer - exact_t).abs() / exact_t < 0.2, "offer {offer}");
+        assert!((skip - exact_t).abs() / exact_t < 0.2, "skip {skip}");
+        assert!(
+            (offer - skip).abs() / exact_t < 0.25,
+            "modes diverged: offer {offer} vs skip {skip}"
+        );
+    }
+
+    #[test]
+    fn skip_mode_exact_when_capacity_covers_stream() {
+        // Capacity ≥ m: the schedule never fires, every edge is stored,
+        // the estimate is exact — the fill path must be mode-agnostic.
+        let g = gen::gnm(30, 120, 17);
+        let exact_t = exact::triangles::count_triangles(&g);
+        let stream = InsertionStream::from_graph(&g, 18);
+        let res = estimate_triest_with_mode(&stream, 200, 19, ReservoirMode::Skip);
+        assert_eq!(res.estimate, exact_t as f64);
+        assert_eq!(res.reservoir_edges, 120);
     }
 }

@@ -20,9 +20,10 @@ pub use counter::{
     CountEstimate,
 };
 pub use parallel_exec::{
-    estimate_insertion_on_feed, estimate_insertion_on_feed_with_block, estimate_insertion_threaded,
-    estimate_insertion_threaded_with_block, estimate_turnstile_on_feed,
-    estimate_turnstile_on_feed_with_block, estimate_turnstile_threaded,
+    estimate_insertion_on_feed, estimate_insertion_on_feed_with_block,
+    estimate_insertion_on_feed_with_opts, estimate_insertion_threaded,
+    estimate_insertion_threaded_with_block, estimate_insertion_threaded_with_opts,
+    estimate_turnstile_on_feed, estimate_turnstile_on_feed_with_block, estimate_turnstile_threaded,
     estimate_turnstile_threaded_with_block,
 };
 pub use plan::SamplerPlan;

@@ -24,8 +24,8 @@ use crate::fgp::counter::{build_parallel, CountEstimate};
 use crate::fgp::plan::SamplerPlan;
 use crate::fgp::sampler::SamplerMode;
 use sgs_graph::Pattern;
-use sgs_query::exec::DEFAULT_BLOCK;
-use sgs_query::sharded::{run_insertion_sharded_with_block, run_turnstile_sharded_with_block};
+use sgs_query::exec::{PassOpts, DEFAULT_BLOCK};
+use sgs_query::sharded::{run_insertion_sharded_with_opts, run_turnstile_sharded_with_block};
 use sgs_query::RouterArena;
 use sgs_stream::hash::split_seed;
 use sgs_stream::{EdgeStream, ShardedFeed};
@@ -56,10 +56,40 @@ pub fn estimate_insertion_on_feed_with_block(
     arena: &mut RouterArena,
     block: usize,
 ) -> Option<CountEstimate> {
+    estimate_insertion_on_feed_with_opts(
+        pattern,
+        feed,
+        trials,
+        seed,
+        arena,
+        PassOpts::with_block(block),
+        SamplerMode::Indexed,
+    )
+}
+
+/// [`estimate_insertion_on_feed`] with full feed-path options plus an
+/// explicit sampler mode. `opts.reservoir` picks the relaxed-`f3`
+/// reservoir acceptance scheme (skip-ahead default vs the per-offer
+/// statistical oracle; `sgs count --reservoir {offer,skip}` threads the
+/// knob through here), and `sampler` picks which Theorem-9 query mix the
+/// trials ask: [`SamplerMode::Indexed`] uses arrival-order watchers
+/// (reservoir-free), [`SamplerMode::Relaxed`] asks `RandomNeighbor` and
+/// exercises the reservoir bank on every pass — the workload the
+/// skip-ahead rework accelerates.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_insertion_on_feed_with_opts(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    sampler: SamplerMode,
+) -> Option<CountEstimate> {
     let plan = SamplerPlan::new(pattern)?;
-    let par = build_parallel(&plan, SamplerMode::Indexed, trials, seed);
+    let par = build_parallel(&plan, sampler, trials, seed);
     let (outcomes, report) =
-        run_insertion_sharded_with_block(par, feed, split_seed(seed, u64::MAX), arena, block);
+        run_insertion_sharded_with_opts(par, feed, split_seed(seed, u64::MAX), arena, opts);
     Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
 }
 
@@ -114,10 +144,34 @@ pub fn estimate_insertion_threaded_with_block<S: EdgeStream + Sync>(
     seed: u64,
     block: usize,
 ) -> Option<CountEstimate> {
+    estimate_insertion_threaded_with_opts(
+        pattern,
+        stream,
+        trials,
+        threads,
+        seed,
+        PassOpts::with_block(block),
+        SamplerMode::Indexed,
+    )
+}
+
+/// [`estimate_insertion_threaded`] with full feed-path options and an
+/// explicit sampler mode — the one-shot entry
+/// `sgs count --shards N --block B --reservoir M [--relaxed]` routes
+/// through; see [`estimate_insertion_on_feed_with_opts`].
+pub fn estimate_insertion_threaded_with_opts<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+    opts: PassOpts,
+    sampler: SamplerMode,
+) -> Option<CountEstimate> {
     assert!(threads >= 1);
     let feed = ShardedFeed::partition(stream, threads);
     let mut arena = RouterArena::new();
-    estimate_insertion_on_feed_with_block(pattern, &feed, trials, seed, &mut arena, block)
+    estimate_insertion_on_feed_with_opts(pattern, &feed, trials, seed, &mut arena, opts, sampler)
 }
 
 /// Turnstile sibling of [`estimate_insertion_threaded`]: sharded

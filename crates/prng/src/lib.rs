@@ -140,6 +140,30 @@ impl FastRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Uniform `f64` in the **open** interval `(0, 1)`: the top 53 bits
+    /// offset by half an ulp, so neither endpoint is reachable. Inverse
+    /// transforms divide by (or take the log of) the draw — the skip-ahead
+    /// reservoir gap `floor(t/u) - t` and Algorithm-L jumps both need
+    /// `u != 0`, and this guarantees it structurally instead of by
+    /// rejection.
+    #[inline]
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fill `out` with independent open-interval `(0, 1)` draws (one
+    /// [`FastRng::gen_unit_f64`] per slot, same stream order as calling it
+    /// in a loop). The loop body is a handful of xor/rotate/add ops plus
+    /// one convert per lane with no memory traffic besides the store, so
+    /// batched consumers (gap redraws staged per block, bench baselines)
+    /// get their coins at close to the generator's raw throughput.
+    #[inline]
+    pub fn fill_unit_f64(&mut self, out: &mut [f64]) {
+        for o in out {
+            *o = self.gen_unit_f64();
+        }
+    }
+
     /// Bernoulli draw: `true` with probability `p`.
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
@@ -147,10 +171,24 @@ impl FastRng {
         self.gen_f64() < p
     }
 
-    /// Uniform draw from `0..n` via Lemire's widening multiply. The
-    /// modulo bias is at most `n / 2^64` — unobservable at any scale this
-    /// workspace reaches — in exchange for a branch-free constant-time
-    /// draw.
+    /// Uniform draw from `0..n` via Lemire's widening multiply, without a
+    /// rejection loop — a branch-free constant-time draw.
+    ///
+    /// **Bias audit** (the reservoir offer path draws `gen_range(0..seen)`
+    /// once per offer, so `n` here reaches the stream length): the
+    /// multiply partitions the 2^64 raw values into `n` buckets of size
+    /// `floor(2^64/n)` or `ceil(2^64/n)`, so any outcome's probability
+    /// deviates from `1/n` by less than `2^-64` absolute, i.e. less than
+    /// `n/2^64` *relative*. At the largest `seen` this workspace reaches
+    /// (streams well under 2^40 updates) that is a relative distortion
+    /// below 2^-24 on a per-offer acceptance test — more than 30 bits
+    /// beneath the Monte-Carlo noise floor of any estimate built from
+    /// thousands of trials, and far below what a chi-square test at our
+    /// scales can resolve (the distribution-equivalence suite in
+    /// `tests/reservoir_equivalence.rs` runs exactly such tests and sees
+    /// nothing). A rejection loop would remove the bias entirely but puts
+    /// an unpredictable branch on every sketch-update draw; documented
+    /// trade, deliberately kept.
     #[inline]
     pub fn gen_index(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0, "empty range");
@@ -277,6 +315,40 @@ mod tests {
         }
         let mean = sum / 10_000.0;
         assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn unit_f64_is_open_interval_and_uniform() {
+        let mut r = FastRng::seed_from_u64(6);
+        let mut sum = 0.0;
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for _ in 0..50_000 {
+            let x = r.gen_unit_f64();
+            assert!(x > 0.0 && x < 1.0, "x = {x} escaped (0,1)");
+            sum += x;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let mean = sum / 50_000.0;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+        // 50k draws should press close to both (open) endpoints.
+        assert!(min < 1e-3 && max > 1.0 - 1e-3, "min {min} max {max}");
+        // The smallest representable draw is half an ulp above zero, so
+        // even the worst case divides safely.
+        let floor = 0.5 * (1.0 / (1u64 << 53) as f64);
+        assert!(min >= floor);
+    }
+
+    #[test]
+    fn fill_unit_matches_scalar_draw_sequence() {
+        let mut a = FastRng::seed_from_u64(11);
+        let mut b = FastRng::seed_from_u64(11);
+        let mut buf = [0.0f64; 37];
+        a.fill_unit_f64(&mut buf);
+        for (i, &x) in buf.iter().enumerate() {
+            assert_eq!(x, b.gen_unit_f64(), "lane {i} diverged");
+        }
     }
 
     #[test]

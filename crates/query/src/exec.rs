@@ -9,8 +9,10 @@
 //!   position sampling for `f1` (distributionally identical to a size-1
 //!   reservoir over a fixed-length pass, but O(1) per update), per-vertex
 //!   incident-edge reservoirs for relaxed `f3` (exactly uniform in a
-//!   simple graph), arrival-order watchers for indexed `f3`, and
-//!   counters/flags for `f2`/`f4` — the proof of Theorem 9;
+//!   simple graph; an SoA [`ReservoirBank`] whose acceptance scheme —
+//!   skip-ahead default vs the per-offer oracle — is picked by
+//!   [`PassOpts::reservoir`]), arrival-order watchers for indexed `f3`,
+//!   and counters/flags for `f2`/`f4` — the proof of Theorem 9;
 //! * [`run_turnstile`] answers each batch with **one pass** using
 //!   ℓ₀-samplers for `f1` and relaxed `f3`, and deletion-aware counters
 //!   and flags for `f2`/`f4` — the proof of Theorem 11. Indexed `f3`
@@ -44,11 +46,11 @@ use crate::oracle::GraphOracle;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
 use crate::router::{QueryRouter, RouterMode};
-use crate::sharded::{run_insertion_sharded, run_turnstile_sharded};
+use crate::sharded::run_turnstile_sharded;
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
-use sgs_stream::reservoir::ReservoirSampler;
+use sgs_stream::reservoir::{ReservoirBank, ReservoirMode};
 use sgs_stream::{EdgeStream, ShardedFeed, SpaceUsage};
 
 /// Bytes charged per retained answer (Theorem 9's `O(q log n)` term).
@@ -62,6 +64,67 @@ pub(crate) const ANSWER_BYTES: usize = 16;
 /// selects the scalar per-update path — `BENCH_feedpath.json` records
 /// both, and `sgs count --block N` exposes the knob end to end.
 pub const DEFAULT_BLOCK: usize = 128;
+
+/// Feed-path tuning knobs threaded through every insertion executor
+/// entry point (`*_with_opts`), the sharded drivers, `sgs-core`'s
+/// estimators, and `sgs count`.
+///
+/// `block` is the PR-3 feed block size (`<= 1` = scalar per-update
+/// path; byte-identical either way). `reservoir` picks the relaxed-`f3`
+/// sampler's acceptance scheme: [`ReservoirMode::Skip`] (default) does
+/// one RNG draw per *acceptance* via the exact skip-ahead inverse
+/// transform — `O(k + accepts)` per delivery block instead of one draw
+/// per sampler per offer — while [`ReservoirMode::Offer`] replays the
+/// per-offer scalar oracle (byte-identical to the frozen
+/// `crate::reference` executors, kept as the distribution-equivalence
+/// baseline). The two modes consume different coins, so they are
+/// distribution-equivalent, not byte-identical; `seen()` accounting and
+/// every non-sampler answer are exact in both.
+#[derive(Clone, Copy, Debug)]
+pub struct PassOpts {
+    /// Feed block size; `<= 1` selects the scalar per-update path.
+    pub block: usize,
+    /// Relaxed-`f3` reservoir acceptance scheme (insertion model only —
+    /// turnstile `f3` runs on ℓ₀-samplers and ignores this).
+    pub reservoir: ReservoirMode,
+}
+
+impl Default for PassOpts {
+    fn default() -> Self {
+        PassOpts {
+            block: DEFAULT_BLOCK,
+            reservoir: ReservoirMode::default(),
+        }
+    }
+}
+
+impl PassOpts {
+    /// Default opts with an explicit feed block size.
+    pub fn with_block(block: usize) -> Self {
+        PassOpts {
+            block,
+            ..Default::default()
+        }
+    }
+
+    /// Default opts with an explicit reservoir mode.
+    pub fn with_reservoir(reservoir: ReservoirMode) -> Self {
+        PassOpts {
+            reservoir,
+            ..Default::default()
+        }
+    }
+
+    /// The statistical-oracle configuration: scalar feed, per-offer
+    /// reservoirs — the exact coin sequence of the frozen reference
+    /// executors.
+    pub fn oracle() -> Self {
+        PassOpts {
+            block: 0,
+            reservoir: ReservoirMode::Offer,
+        }
+    }
+}
 
 /// A pass-emulation state that can absorb the stream either per update
 /// (scalar) or per block (batched probes / lane loops) — the two
@@ -159,13 +222,16 @@ struct InsertionPass {
     cursor: usize,
     update_idx: u64,
     edge_hits: Vec<(u32, Edge)>,
-    /// Relaxed `f3`: one reservoir per pooled neighbor slot, aligned with
-    /// [`QueryRouter::neighbor_slots`].
-    reservoirs: Vec<ReservoirSampler<Edge>>,
+    /// Relaxed `f3`: an SoA reservoir bank, one lane per pooled neighbor
+    /// slot, aligned with [`QueryRouter::neighbor_slots`]. Router
+    /// deliveries hand the bank contiguous lane ranges, so skip mode
+    /// pays a countdown compare per pooled sampler instead of an RNG
+    /// draw per offer.
+    reservoirs: ReservoirBank<Edge>,
 }
 
 impl InsertionPass {
-    fn build(batch: &[Query], stream_len: u64, pass_seed: u64) -> Self {
+    fn build(batch: &[Query], stream_len: u64, pass_seed: u64, reservoir: ReservoirMode) -> Self {
         let router = QueryRouter::build(batch, RouterMode::Insertion);
         // f1 position draws are consumed in batch order from the pass rng
         // (`edge_slots` preserves batch order), matching the reference
@@ -178,11 +244,17 @@ impl InsertionPass {
             }
         }
         sort_targets(&mut targets, stream_len);
-        let reservoirs = router
-            .neighbor_slots()
-            .iter()
-            .map(|&slot| ReservoirSampler::new(split_seed(pass_seed, slot as u64)))
-            .collect();
+        let mut reservoirs = ReservoirBank::from_seeds(
+            router
+                .neighbor_slots()
+                .iter()
+                .map(|&slot| split_seed(pass_seed, slot as u64)),
+            reservoir,
+        );
+        // Each pooled vertex group is a cohort: its lanes always receive
+        // offers together, so a skip-mode delivery is one clock-vs-min
+        // compare instead of a per-lane plane walk.
+        reservoirs.bind_cohorts(router.neighbor_group_ranges());
         InsertionPass {
             router,
             targets,
@@ -203,7 +275,9 @@ impl InsertionPass {
         self.update_idx += 1;
         let edge = u.edge;
         let reservoirs = &mut self.reservoirs;
-        self.router.feed(u, |i| reservoirs[i].offer(edge));
+        self.router.feed(u, |s, e| {
+            reservoirs.offer_cohort(s as usize, e as usize, edge)
+        });
     }
 
     /// Blocked sibling of [`InsertionPass::feed`]: position targets are
@@ -222,12 +296,13 @@ impl InsertionPass {
             self.update_idx += 1;
         }
         let reservoirs = &mut self.reservoirs;
-        self.router
-            .feed_block(block, |j, i| reservoirs[i].offer(block[j].edge));
+        self.router.feed_block(block, |j, s, e| {
+            reservoirs.offer_cohort(s as usize, e as usize, block[j].edge)
+        });
     }
 
     fn space_bytes(&self) -> usize {
-        self.router.space_bytes() + self.targets.len() * 16 + self.reservoirs.len() * 24
+        self.router.space_bytes() + self.targets.len() * 16 + self.reservoirs.space_bytes()
     }
 }
 
@@ -252,9 +327,9 @@ impl InsertionPass {
             .neighbor_slots()
             .iter()
             .zip(self.router.neighbor_vertices())
-            .zip(&self.reservoirs)
+            .zip(self.reservoirs.samples_iter())
         {
-            answers[slot as usize] = Answer::Neighbor(res.sample().map(|e| e.other(v)));
+            answers[slot as usize] = Answer::Neighbor(res.map(|e| e.other(v)));
         }
         self.router.distribute(&mut answers);
         answers
@@ -270,23 +345,52 @@ pub fn answer_insertion_batch(
     stream: &impl EdgeStream,
     pass_seed: u64,
 ) -> (Vec<Answer>, usize) {
-    answer_insertion_batch_with_block(batch, stream, pass_seed, DEFAULT_BLOCK)
+    answer_insertion_batch_with_opts(batch, stream, pass_seed, PassOpts::default())
 }
 
 /// [`answer_insertion_batch`] with an explicit feed block size:
 /// `block <= 1` replays the scalar per-update path, anything larger
 /// feeds the pass in blocks of `block` updates (batched index probes,
-/// remainder block included). Answers are byte-identical either way.
+/// remainder block included). Answers are byte-identical either way
+/// (the reservoir mode stays the default for every block size).
 pub fn answer_insertion_batch_with_block(
     batch: &[Query],
     stream: &impl EdgeStream,
     pass_seed: u64,
     block: usize,
 ) -> (Vec<Answer>, usize) {
-    let mut pass = InsertionPass::build(batch, stream.len() as u64, pass_seed);
-    replay_blocked(stream, block, &mut pass);
+    answer_insertion_batch_with_opts(batch, stream, pass_seed, PassOpts::with_block(block))
+}
+
+/// [`answer_insertion_batch`] with full feed-path options: block size
+/// plus the relaxed-`f3` reservoir mode (see [`PassOpts`]).
+pub fn answer_insertion_batch_with_opts(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+    opts: PassOpts,
+) -> (Vec<Answer>, usize) {
+    let mut pass = InsertionPass::build(batch, stream.len() as u64, pass_seed, opts.reservoir);
+    replay_blocked(stream, opts.block, &mut pass);
     let space = pass.space_bytes();
     (pass.into_answers(), space)
+}
+
+/// Diagnostic twin of [`answer_insertion_batch_with_opts`]: run the same
+/// pass and report how many RNG draws the relaxed-`f3` reservoir bank
+/// consumed. The acceptance criteria for the skip-ahead rework are
+/// stated in *counted* draws per pass (`Θ(k·m)` per-offer vs
+/// `O(k·log m)` skip-ahead); `benches/reservoir.rs` records both modes
+/// through this seam.
+pub fn insertion_pass_reservoir_draws(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+    opts: PassOpts,
+) -> u64 {
+    let mut pass = InsertionPass::build(batch, stream.len() as u64, pass_seed, opts.reservoir);
+    replay_blocked(stream, opts.block, &mut pass);
+    pass.reservoirs.rng_draws()
 }
 
 /// Execute as an insertion-only streaming algorithm: one pass per round
@@ -310,9 +414,21 @@ pub fn run_insertion<A: RoundAdaptive>(
     stream: &impl EdgeStream,
     seed: u64,
 ) -> (A::Output, ExecReport) {
+    run_insertion_with_opts(alg, stream, seed, PassOpts::default())
+}
+
+/// [`run_insertion`] with explicit feed-path options — the seam the
+/// distribution-equivalence suite uses to replay the per-offer oracle
+/// (`PassOpts::oracle()`) against the skip-ahead default.
+pub fn run_insertion_with_opts<A: RoundAdaptive>(
+    alg: A,
+    stream: &impl EdgeStream,
+    seed: u64,
+    opts: PassOpts,
+) -> (A::Output, ExecReport) {
     let feed = ShardedFeed::partition(stream, 1);
     let mut arena = RouterArena::new();
-    run_insertion_sharded(alg, &feed, seed, &mut arena)
+    crate::sharded::run_insertion_sharded_with_opts(alg, &feed, seed, &mut arena, opts)
 }
 
 /// Per-pass state for the turnstile model: the shared router plus one
@@ -363,8 +479,10 @@ impl TurnstilePass {
         let edge = u.edge;
         let nbr_samplers = &mut self.nbr_samplers;
         let nbr_verts = &self.nbr_verts;
-        self.router.feed(u, |i| {
-            nbr_samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+        self.router.feed(u, |s, e| {
+            for i in s as usize..e as usize {
+                nbr_samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+            }
         });
     }
 
@@ -383,9 +501,11 @@ impl TurnstilePass {
         }
         let nbr_samplers = &mut self.nbr_samplers;
         let nbr_verts = &self.nbr_verts;
-        self.router.feed_block(block, |j, i| {
+        self.router.feed_block(block, |j, s, e| {
             let u = block[j];
-            nbr_samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+            for i in s as usize..e as usize {
+                nbr_samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+            }
         });
     }
 
@@ -802,6 +922,11 @@ mod tests {
 
     #[test]
     fn router_matches_reference_on_mixed_insertion_batches() {
+        // Byte-identity vs the frozen reference requires the per-offer
+        // reservoir oracle (skip mode consumes a different coin
+        // sequence by design; its equivalence is distributional and
+        // pinned in tests/reservoir_equivalence.rs). The blocked feed
+        // path is byte-identical within a mode, so run it blocked.
         let g = gen::gnm(25, 90, 17);
         let ins = InsertionStream::from_graph(&g, 18);
         for seed in 0..30u64 {
@@ -815,7 +940,12 @@ mod tests {
                 asked: false,
                 got: vec![],
             };
-            let (a, ra) = run_insertion(new, &ins, seed);
+            let (a, ra) = run_insertion_with_opts(
+                new,
+                &ins,
+                seed,
+                PassOpts::with_reservoir(ReservoirMode::Offer),
+            );
             let (b, rb) = run_insertion_reference(old, &ins, seed);
             assert_eq!(a, b, "seed {seed}");
             assert_eq!(ra.queries, rb.queries);

@@ -46,14 +46,17 @@ pub mod triangle_finder;
 
 pub use accounting::ExecReport;
 pub use arena::RouterArena;
+pub use exec::PassOpts;
 pub use oracle::{ExactOracle, GraphOracle};
 pub use query::{Answer, Query};
 pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
 pub use router::{QueryRouter, RouterMode};
+pub use sgs_stream::reservoir::ReservoirMode;
 pub use sharded::{
     answer_insertion_batch_sharded, answer_insertion_batch_sharded_with_block,
-    answer_turnstile_batch_sharded, answer_turnstile_batch_sharded_with_block,
-    run_insertion_sharded, run_insertion_sharded_with_block, run_turnstile_sharded,
+    answer_insertion_batch_sharded_with_opts, answer_turnstile_batch_sharded,
+    answer_turnstile_batch_sharded_with_block, run_insertion_sharded,
+    run_insertion_sharded_with_block, run_insertion_sharded_with_opts, run_turnstile_sharded,
     run_turnstile_sharded_with_block,
 };

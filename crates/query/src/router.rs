@@ -353,6 +353,18 @@ impl QueryRouter {
         &self.nbr_slots
     }
 
+    /// The pooled neighbor-sampler range of every vertex group that has
+    /// one, in ascending lane order — the cohort map for a skip-ahead
+    /// reservoir bank (`ReservoirBank::bind_cohorts`): each range is
+    /// exactly the lane set a feed delivery hands to `on_neighbor_range`,
+    /// so all lanes of a range always advance together.
+    pub fn neighbor_group_ranges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.groups
+            .iter()
+            .filter(|st| st.nbr_end > st.nbr_start)
+            .map(|st| (st.nbr_start, st.nbr_end))
+    }
+
     /// The vertex each pooled neighbor-sampler entry listens on.
     pub fn neighbor_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.groups
@@ -375,7 +387,7 @@ impl QueryRouter {
         g: u32,
         other: VertexId,
         delta: i64,
-        mut on_neighbor_hit: impl FnMut(usize),
+        mut on_neighbor_range: impl FnMut(u32, u32),
     ) {
         let st = &mut groups[g as usize];
         st.deg += delta;
@@ -393,18 +405,23 @@ impl QueryRouter {
                 break;
             }
         }
-        // Relaxed f3 samplers owned by the executor.
-        for i in st.nbr_start as usize..st.nbr_end as usize {
-            on_neighbor_hit(i);
+        // Relaxed f3 samplers owned by the executor: delivered as the
+        // pooled range, not lane by lane, so a skip-ahead reservoir bank
+        // can run its countdown compares over the contiguous lanes in one
+        // call (and an ℓ₀ consumer just loops the range — same order the
+        // old per-lane callback walked).
+        if st.nbr_end > st.nbr_start {
+            on_neighbor_range(st.nbr_start, st.nbr_end);
         }
     }
 
     /// Deliver one stream update to every routed structure except the
-    /// model-specific `f1`/`f3` samplers; for those, `on_neighbor_hit`
-    /// receives each pooled neighbor-sampler index registered on an
+    /// model-specific `f1`/`f3` samplers; for those, `on_neighbor_range`
+    /// receives the contiguous pooled sampler range `start..end`
+    /// (aligned with [`QueryRouter::neighbor_slots`]) registered on an
     /// endpoint of the update.
     #[inline]
-    pub fn feed(&mut self, u: EdgeUpdate, mut on_neighbor_hit: impl FnMut(usize)) {
+    pub fn feed(&mut self, u: EdgeUpdate, mut on_neighbor_range: impl FnMut(u32, u32)) {
         let delta = u.delta as i64;
         let (a, b) = u.edge.endpoints();
         for (endpoint, other) in [(a, b), (b, a)] {
@@ -416,7 +433,7 @@ impl QueryRouter {
                     g,
                     other,
                     delta,
-                    &mut on_neighbor_hit,
+                    &mut on_neighbor_range,
                 );
             }
         }
@@ -433,13 +450,14 @@ impl QueryRouter {
     /// order against the resolved groups. Byte-identical to feeding each
     /// update through [`QueryRouter::feed`] — the pipelining changes
     /// *when* keys are hashed, never what is delivered or in which
-    /// order. `on_neighbor_hit(j, i)` receives the update's index within
-    /// the block alongside the pooled sampler index, so executors can
-    /// recover the offered edge.
+    /// order. `on_neighbor_range(j, start, end)` receives the update's
+    /// index within the block alongside the pooled sampler range, so
+    /// executors can recover the offered edge and hand the whole
+    /// contiguous lane range to their sampler bank.
     pub fn feed_block(
         &mut self,
         block: &[EdgeUpdate],
-        mut on_neighbor_hit: impl FnMut(usize, usize),
+        mut on_neighbor_range: impl FnMut(usize, u32, u32),
     ) {
         const B: usize = 8;
         let mut vkeys = [0u64; 2 * B];
@@ -472,7 +490,7 @@ impl QueryRouter {
                             g,
                             other,
                             delta,
-                            |i| on_neighbor_hit(j, i),
+                            |s, e| on_neighbor_range(j, s, e),
                         );
                     }
                 }
@@ -553,9 +571,26 @@ mod tests {
         assert_eq!(nbr_verts, vec![v(2)]);
 
         let mut nbr_hits = Vec::new();
-        r.feed(EdgeUpdate::insert(Edge::from((1, 2))), |i| nbr_hits.push(i));
-        r.feed(EdgeUpdate::insert(Edge::from((2, 3))), |i| nbr_hits.push(i));
-        r.feed(EdgeUpdate::insert(Edge::from((4, 5))), |i| nbr_hits.push(i));
+        let collect = |hits: &mut Vec<usize>, r: &mut QueryRouter, u: EdgeUpdate| {
+            let mut local = Vec::new();
+            r.feed(u, |s, e| local.extend(s as usize..e as usize));
+            hits.extend(local);
+        };
+        collect(
+            &mut nbr_hits,
+            &mut r,
+            EdgeUpdate::insert(Edge::from((1, 2))),
+        );
+        collect(
+            &mut nbr_hits,
+            &mut r,
+            EdgeUpdate::insert(Edge::from((2, 3))),
+        );
+        collect(
+            &mut nbr_hits,
+            &mut r,
+            EdgeUpdate::insert(Edge::from((4, 5))),
+        );
         assert_eq!(nbr_hits, vec![0, 0]); // vertex 2 touched twice
 
         let mut answers = vec![Answer::Edge(None); batch.len()];
@@ -577,8 +612,8 @@ mod tests {
         let batch = vec![Query::Degree(v(0)), Query::Adjacent(v(0), v(1))];
         let mut r = QueryRouter::build(&batch, RouterMode::Turnstile);
         let e = Edge::from((0, 1));
-        r.feed(EdgeUpdate::insert(e), |_| {});
-        r.feed(EdgeUpdate::delete(e), |_| {});
+        r.feed(EdgeUpdate::insert(e), |_, _| {});
+        r.feed(EdgeUpdate::delete(e), |_, _| {});
         let mut answers = vec![Answer::Edge(None); 2];
         r.distribute(&mut answers);
         assert_eq!(answers[0], Answer::Degree(0));
@@ -599,8 +634,8 @@ mod tests {
             Query::IthNeighbor(v(0), 9),
         ];
         let mut r = QueryRouter::build(&batch, RouterMode::Insertion);
-        r.feed(EdgeUpdate::insert(Edge::from((0, 5))), |_| {});
-        r.feed(EdgeUpdate::insert(Edge::from((0, 6))), |_| {});
+        r.feed(EdgeUpdate::insert(Edge::from((0, 5))), |_, _| {});
+        r.feed(EdgeUpdate::insert(Edge::from((0, 6))), |_, _| {});
         let mut answers = vec![Answer::Edge(None); 3];
         r.distribute(&mut answers);
         assert_eq!(answers[0], Answer::Neighbor(Some(v(6))));
@@ -645,8 +680,8 @@ mod tests {
         ];
         let (mut ha, mut hb) = (Vec::new(), Vec::new());
         for u in updates {
-            pooled.feed(u, |i| ha.push(i));
-            fresh.feed(u, |i| hb.push(i));
+            pooled.feed(u, |s, e| ha.extend(s..e));
+            fresh.feed(u, |s, e| hb.extend(s..e));
         }
         assert_eq!(ha, hb);
         let mut aa = vec![Answer::Edge(None); big.len()];
@@ -687,7 +722,7 @@ mod tests {
         let mut scalar = QueryRouter::build(&batch, RouterMode::Insertion);
         let mut scalar_hits = Vec::new();
         for (j, &u) in updates.iter().enumerate() {
-            scalar.feed(u, |i| scalar_hits.push((j, i)));
+            scalar.feed(u, |s, e| scalar_hits.extend((s..e).map(|i| (j, i))));
         }
         let mut scalar_answers = vec![Answer::Edge(None); batch.len()];
         scalar.distribute(&mut scalar_answers);
@@ -696,9 +731,11 @@ mod tests {
             let mut blocked = QueryRouter::build(&batch, RouterMode::Insertion);
             let mut blocked_hits = Vec::new();
             for (c, chunk) in updates.chunks(block).enumerate() {
-                blocked.feed_block(chunk, |j, i| blocked_hits.push((c * block + j, i)));
+                blocked.feed_block(chunk, |j, s, e| {
+                    blocked_hits.extend((s..e).map(|i| (c * block + j, i)))
+                });
             }
-            blocked.feed_block(&[], |_, _| panic!("empty block delivered a hit"));
+            blocked.feed_block(&[], |_, _, _| panic!("empty block delivered a hit"));
             assert_eq!(blocked_hits, scalar_hits, "block {block}");
             let mut answers = vec![Answer::Edge(None); batch.len()];
             blocked.distribute(&mut answers);

@@ -42,14 +42,14 @@
 
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
-use crate::exec::{sort_targets, ANSWER_BYTES, DEFAULT_BLOCK};
+use crate::exec::{sort_targets, PassOpts, ANSWER_BYTES, DEFAULT_BLOCK};
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
 use crate::router::RouterMode;
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
-use sgs_stream::reservoir::ReservoirSampler;
+use sgs_stream::reservoir::ReservoirBank;
 use sgs_stream::sharded::{shard_of_vertex, ShardedFeed};
 use sgs_stream::EdgeUpdate;
 use std::time::Instant;
@@ -132,18 +132,24 @@ fn run_insertion_shard(
     shard_id: usize,
     targets: &[(u64, u32)],
     pass_seed: u64,
-    block: usize,
+    opts: PassOpts,
 ) -> ShardOutcome {
+    let block = opts.block;
     let t0 = Instant::now();
     slot.router.rebuild(&slot.sub_batch, RouterMode::Insertion);
-    // Relaxed-f3 reservoirs aligned with the shard router's pooled slots,
-    // seeded by *global* batch slot — the single-stream coins.
-    let mut reservoirs: Vec<ReservoirSampler<Edge>> = slot
-        .router
-        .neighbor_slots()
-        .iter()
-        .map(|&ls| ReservoirSampler::new(split_seed(pass_seed, slot.slot_map[ls as usize] as u64)))
-        .collect();
+    // Relaxed-f3 reservoir bank aligned with the shard router's pooled
+    // slots, seeded by *global* batch slot — the single-stream coins. A
+    // neighbor sampler's vertex lives entirely in this shard, so its
+    // offer (and therefore draw) sequence is exactly the single-stream
+    // one in either reservoir mode.
+    let mut reservoirs: ReservoirBank<Edge> = ReservoirBank::from_seeds(
+        slot.router
+            .neighbor_slots()
+            .iter()
+            .map(|&ls| split_seed(pass_seed, slot.slot_map[ls as usize] as u64)),
+        opts.reservoir,
+    );
+    reservoirs.bind_cohorts(slot.router.neighbor_group_ranges());
     let mut edge_hits: Vec<(u32, Edge)> = Vec::new();
     let mut cursor = 0usize;
     let deliveries = feed.shard(shard_id);
@@ -162,7 +168,9 @@ fn run_insertion_shard(
             }
             let edge = su.update.edge;
             let res = &mut reservoirs;
-            slot.router.feed(su.update, |i| res[i].offer(edge));
+            slot.router.feed(su.update, |s, e| {
+                res.offer_cohort(s as usize, e as usize, edge)
+            });
         }
     } else {
         // Blocked path: position targets are matched per delivery (they
@@ -185,11 +193,12 @@ fn run_insertion_shard(
                 buf.push(su.update);
             }
             let res = &mut reservoirs;
-            slot.router
-                .feed_block(&buf, |j, i| res[i].offer(buf[j].edge));
+            slot.router.feed_block(&buf, |j, s, e| {
+                res.offer_cohort(s as usize, e as usize, buf[j].edge)
+            });
         }
     }
-    let space_bytes = slot.router.space_bytes() + reservoirs.len() * 24;
+    let space_bytes = slot.router.space_bytes() + reservoirs.space_bytes();
 
     slot.answers.clear();
     slot.answers
@@ -199,9 +208,9 @@ fn run_insertion_shard(
         .neighbor_slots()
         .iter()
         .zip(slot.router.neighbor_vertices())
-        .zip(&reservoirs)
+        .zip(reservoirs.samples_iter())
     {
-        slot.answers[ls as usize] = Answer::Neighbor(res.sample().map(|e| e.other(v)));
+        slot.answers[ls as usize] = Answer::Neighbor(res.map(|e| e.other(v)));
     }
     slot.router.distribute(&mut slot.answers);
     slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
@@ -253,8 +262,10 @@ fn run_turnstile_shard(
             }
             let edge = su.update.edge;
             let samplers = &mut nbr_samplers;
-            slot.router.feed(su.update, |i| {
-                samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+            slot.router.feed(su.update, |s, e| {
+                for i in s as usize..e as usize {
+                    samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+                }
             });
         }
     } else {
@@ -277,9 +288,11 @@ fn run_turnstile_shard(
                 s.update_batch(&owned_kd);
             }
             let samplers = &mut nbr_samplers;
-            slot.router.feed_block(&buf, |j, i| {
+            slot.router.feed_block(&buf, |j, s, e| {
                 let u = buf[j];
-                samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+                for i in s as usize..e as usize {
+                    samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+                }
             });
         }
     }
@@ -386,7 +399,7 @@ pub fn answer_insertion_batch_sharded(
     pass_seed: u64,
     arena: &mut RouterArena,
 ) -> (Vec<Answer>, usize) {
-    answer_insertion_batch_sharded_with_block(batch, feed, pass_seed, arena, DEFAULT_BLOCK)
+    answer_insertion_batch_sharded_with_opts(batch, feed, pass_seed, arena, PassOpts::default())
 }
 
 /// [`answer_insertion_batch_sharded`] with an explicit feed block size
@@ -398,6 +411,28 @@ pub fn answer_insertion_batch_sharded_with_block(
     arena: &mut RouterArena,
     block: usize,
 ) -> (Vec<Answer>, usize) {
+    answer_insertion_batch_sharded_with_opts(
+        batch,
+        feed,
+        pass_seed,
+        arena,
+        PassOpts::with_block(block),
+    )
+}
+
+/// [`answer_insertion_batch_sharded`] with full feed-path options
+/// ([`PassOpts`]: block size + relaxed-`f3` reservoir mode). For a fixed
+/// mode the sharded answers stay byte-identical to the single-stream
+/// pass at any shard count — a neighbor sampler's vertex lives entirely
+/// in one shard, so its offer/draw sequence is unchanged whichever
+/// acceptance scheme runs it.
+pub fn answer_insertion_batch_sharded_with_opts(
+    batch: &[Query],
+    feed: &ShardedFeed,
+    pass_seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
     if shards == 1 {
         // Single shard: skip the split/scatter machinery and run the
@@ -406,7 +441,7 @@ pub fn answer_insertion_batch_sharded_with_block(
         // existing single-stream callers keep the PR-1 per-pass cost.
         arena.ensure_shards(1);
         let t0 = Instant::now();
-        let out = crate::exec::answer_insertion_batch_with_block(batch, feed, pass_seed, block);
+        let out = crate::exec::answer_insertion_batch_with_opts(batch, feed, pass_seed, opts);
         arena.slots[0]
             .pass_nanos
             .push(t0.elapsed().as_nanos() as u64);
@@ -417,7 +452,7 @@ pub fn answer_insertion_batch_sharded_with_block(
     let mut targets = std::mem::take(&mut arena.scratch_targets);
     draw_targets(batch, feed.stream_len() as u64, pass_seed, &mut targets);
     let outcomes = run_shards(&mut arena.slots[..shards], |i, slot| {
-        run_insertion_shard(slot, feed, i, &targets, pass_seed, block)
+        run_insertion_shard(slot, feed, i, &targets, pass_seed, opts)
     });
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>() + targets.len() * 16;
     arena.scratch_targets = targets;
@@ -490,16 +525,27 @@ pub fn run_insertion_sharded<A: RoundAdaptive>(
     seed: u64,
     arena: &mut RouterArena,
 ) -> (A::Output, ExecReport) {
-    run_insertion_sharded_with_block(alg, feed, seed, arena, DEFAULT_BLOCK)
+    run_insertion_sharded_with_opts(alg, feed, seed, arena, PassOpts::default())
 }
 
 /// [`run_insertion_sharded`] with an explicit feed block size.
 pub fn run_insertion_sharded_with_block<A: RoundAdaptive>(
-    mut alg: A,
+    alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
     block: usize,
+) -> (A::Output, ExecReport) {
+    run_insertion_sharded_with_opts(alg, feed, seed, arena, PassOpts::with_block(block))
+}
+
+/// [`run_insertion_sharded`] with full feed-path options ([`PassOpts`]).
+pub fn run_insertion_sharded_with_opts<A: RoundAdaptive>(
+    mut alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
 ) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
@@ -513,12 +559,12 @@ pub fn run_insertion_sharded_with_block<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
-        let (a, space) = answer_insertion_batch_sharded_with_block(
+        let (a, space) = answer_insertion_batch_sharded_with_opts(
             &batch,
             feed,
             split_seed(seed, report.passes as u64),
             arena,
-            block,
+            opts,
         );
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;
@@ -580,6 +626,7 @@ mod tests {
     use super::*;
     use crate::exec::{answer_insertion_batch, answer_turnstile_batch};
     use sgs_graph::gen;
+    use sgs_stream::reservoir::ReservoirMode;
     use sgs_stream::{InsertionStream, TurnstileStream};
 
     fn mixed_insertion_batch() -> Vec<Query> {
@@ -596,16 +643,25 @@ mod tests {
 
     #[test]
     fn sharded_insertion_batch_matches_unsharded_all_shard_counts() {
+        // Swept over both reservoir modes: sharding must preserve the
+        // exact coin sequence of whichever acceptance scheme is active.
         let g = gen::gnm(25, 90, 17);
         let ins = InsertionStream::from_graph(&g, 18);
         let batch = mixed_insertion_batch();
-        for shards in [1usize, 2, 4, 7] {
-            let feed = ShardedFeed::partition(&ins, shards);
-            let mut arena = RouterArena::new();
-            for pass_seed in 0..20u64 {
-                let (a, _) = answer_insertion_batch(&batch, &ins, pass_seed);
-                let (b, _) = answer_insertion_batch_sharded(&batch, &feed, pass_seed, &mut arena);
-                assert_eq!(a, b, "{shards} shards, pass seed {pass_seed}");
+        for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+            let opts = PassOpts::with_reservoir(mode);
+            for shards in [1usize, 2, 4, 7] {
+                let feed = ShardedFeed::partition(&ins, shards);
+                let mut arena = RouterArena::new();
+                for pass_seed in 0..20u64 {
+                    let (a, _) = crate::exec::answer_insertion_batch_with_opts(
+                        &batch, &ins, pass_seed, opts,
+                    );
+                    let (b, _) = answer_insertion_batch_sharded_with_opts(
+                        &batch, &feed, pass_seed, &mut arena, opts,
+                    );
+                    assert_eq!(a, b, "{mode:?}, {shards} shards, pass seed {pass_seed}");
+                }
             }
         }
     }

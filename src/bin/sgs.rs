@@ -1,7 +1,7 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--reservoir offer|skip] [--relaxed]
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
 //! sgs info    --edges FILE
@@ -157,20 +157,61 @@ fn main() {
             // per-update path. Bit-identical either way — the knob only
             // changes throughput. Default: sgs_query::exec::DEFAULT_BLOCK.
             let block: usize = args.num("block", sgs_query::exec::DEFAULT_BLOCK);
+            // --reservoir {offer,skip} picks the relaxed-f3 reservoir
+            // acceptance scheme on insertion passes: `skip` (default)
+            // draws one coin per acceptance via the exact skip-ahead
+            // inverse transform, `offer` replays the per-offer scalar
+            // oracle. Distribution-equivalent, not byte-identical.
+            let reservoir = match args.get("reservoir").unwrap_or("skip") {
+                "offer" => sgs_query::ReservoirMode::Offer,
+                "skip" | "" => sgs_query::ReservoirMode::Skip,
+                other => {
+                    eprintln!("error: --reservoir must be 'offer' or 'skip', got '{other}'");
+                    exit(2);
+                }
+            };
+            // --relaxed runs the insertion trials on the relaxed query
+            // mix (RandomNeighbor instead of arrival-order watchers) —
+            // the workload whose passes the reservoir knob accelerates.
+            let sampler = if args.has("relaxed") {
+                SamplerMode::Relaxed
+            } else {
+                SamplerMode::Indexed
+            };
+            let opts = sgs_query::PassOpts { block, reservoir };
             let est = if args.has("turnstile") {
+                // Turnstile trials always run the relaxed query mix on
+                // ℓ₀-samplers (Definition 10 has no indexed f3 and no
+                // reservoirs), so --relaxed and --reservoir would
+                // silently change nothing the flags promise: reject
+                // them loudly rather than drop them.
+                if args.has("relaxed") {
+                    eprintln!(
+                        "error: --relaxed only applies to insertion runs \
+                         (turnstile trials are always relaxed, on ℓ₀-samplers)"
+                    );
+                    exit(2);
+                }
+                if args.has("reservoir") {
+                    eprintln!(
+                        "error: --reservoir only applies to insertion runs \
+                         (turnstile f3 is answered by ℓ₀-samplers, not reservoirs)"
+                    );
+                    exit(2);
+                }
                 let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
                 sgs_core::fgp::estimate_turnstile_threaded_with_block(
                     &pattern, &s, trials, shards, seed, block,
                 )
             } else {
                 let s = InsertionStream::from_graph(&g, seed ^ 0x77);
-                sgs_core::fgp::estimate_insertion_threaded_with_block(
-                    &pattern, &s, trials, shards, seed, block,
+                sgs_core::fgp::estimate_insertion_threaded_with_opts(
+                    &pattern, &s, trials, shards, seed, opts, sampler,
                 )
             }
             .expect("plan validated above");
             println!(
-                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, block {})",
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, block {}, reservoir {})",
                 pattern.name(),
                 est.estimate,
                 est.hits,
@@ -184,6 +225,11 @@ fn main() {
                     "scalar".to_string()
                 } else {
                     block.to_string()
+                },
+                if args.has("turnstile") {
+                    "l0".to_string()
+                } else {
+                    format!("{reservoir:?}").to_lowercase()
                 }
             );
         }

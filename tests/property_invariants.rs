@@ -152,6 +152,59 @@ fn sampler_soundness() {
     }
 }
 
+/// Skip-ahead reservoir bank vs the per-offer oracle over randomized
+/// offer patterns: `seen()` identical at every prefix, samples always
+/// drawn from the offered set, and single-offer lanes always keep their
+/// one item — in both modes, including duplicate-heavy patterns.
+#[test]
+fn reservoir_modes_agree_on_accounting_and_support() {
+    use sgs_stream::reservoir::{ReservoirBank, ReservoirMode};
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5e5, case);
+        let lanes = rng.gen_range(1usize..24);
+        let n_offers = rng.gen_range(1usize..400);
+        let dup_mod = rng.gen_range(1u32..8); // small modulus = duplicate-heavy
+        let seed = rng.next_u64();
+        let mut offer: ReservoirBank<u32> =
+            ReservoirBank::with_mode(lanes, seed, ReservoirMode::Offer);
+        let mut skip: ReservoirBank<u32> =
+            ReservoirBank::with_mode(lanes, seed, ReservoirMode::Skip);
+        let mut offered: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); lanes];
+        for i in 0..n_offers {
+            let item = (i as u32) % dup_mod;
+            let a = rng.gen_range(0usize..lanes);
+            let b = rng.gen_range(a..lanes) + 1;
+            offer.offer_range(a, b, item);
+            skip.offer_range(a, b, item);
+            for set in offered[a..b].iter_mut() {
+                set.insert(item);
+            }
+            assert_eq!(
+                offer.seen_counts(),
+                skip.seen_counts(),
+                "case {case} step {i}"
+            );
+        }
+        for (lane, offered_set) in offered.iter().enumerate() {
+            for bank in [&offer, &skip] {
+                match bank.sample(lane) {
+                    Some(s) => assert!(offered_set.contains(&s), "case {case} lane {lane}"),
+                    None => assert_eq!(bank.seen(lane), 0, "case {case} lane {lane}"),
+                }
+            }
+            if offer.seen(lane) == 1 {
+                // Single-offer lane: deterministically kept in both modes.
+                assert_eq!(offer.sample(lane), skip.sample(lane), "case {case}");
+            }
+        }
+        // Draw accounting: the oracle draws exactly once per offer; skip
+        // never draws more than the oracle.
+        assert_eq!(offer.rng_draws(), offer.seen_counts().iter().sum::<u64>());
+        assert!(skip.rng_draws() <= offer.rng_draws(), "case {case}");
+    }
+}
+
 /// Reservoir + position sampling: a random edge from the insertion
 /// executor is always a real edge of the final graph.
 #[test]
