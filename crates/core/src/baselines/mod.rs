@@ -16,4 +16,4 @@ pub mod triest;
 
 pub use doulion::DoulionEstimate;
 pub use exact_stream::ExactStreamCount;
-pub use triest::TriestEstimate;
+pub use triest::{TriestEstimate, TriestStream};

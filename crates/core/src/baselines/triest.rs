@@ -159,6 +159,64 @@ impl Reservoir {
     }
 }
 
+/// Incremental TRIÈST run: push edges as they arrive, then
+/// [`TriestStream::finish`]. [`estimate_triest_with_mode`] is exactly
+/// `new` + one `push` per update + `finish`, so a broadcast consumer
+/// built on this is **byte-identical** to the private-replay run with
+/// the same seed — which is how the fan-out conformance suite pins the
+/// baseline's answers under broadcast ingest.
+pub struct TriestStream {
+    rng: FastRng,
+    res: Reservoir,
+    t: u64,
+    estimate: f64,
+}
+
+impl TriestStream {
+    /// Start a run with the default (skip-ahead) reservoir scheme.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self::with_mode(capacity, seed, ReservoirMode::default())
+    }
+
+    /// Start a run with an explicit reservoir acceptance scheme.
+    pub fn with_mode(capacity: usize, seed: u64, mode: ReservoirMode) -> Self {
+        assert!(capacity >= 2, "need at least two reservoir slots");
+        TriestStream {
+            rng: FastRng::seed_from_u64(seed),
+            res: Reservoir::new(capacity, mode),
+            t: 0,
+            estimate: 0.0,
+        }
+    }
+
+    /// Absorb the next edge insertion of the stream.
+    pub fn push(&mut self, edge: Edge) {
+        self.t += 1;
+        let cap = self.res.capacity as f64;
+        let eta = ((self.t.saturating_sub(1) as f64 * self.t.saturating_sub(2) as f64)
+            / (cap * (cap - 1.0)))
+            .max(1.0);
+        self.estimate += eta * self.res.closing_count(edge) as f64;
+        self.res.offer(edge, self.t, &mut self.rng);
+    }
+
+    /// Edges seen so far.
+    pub fn edges_seen(&self) -> u64 {
+        self.t
+    }
+
+    /// End of stream: the estimate and its measured footprint.
+    pub fn finish(self) -> TriestEstimate {
+        let space_bytes = self.res.edges.len() * 8 + self.res.adj.len() * 16;
+        TriestEstimate {
+            estimate: self.estimate,
+            reservoir_edges: self.res.edges.len(),
+            passes: 1,
+            space_bytes,
+        }
+    }
+}
+
 /// Run the estimator over an insertion-only stream with the given edge
 /// budget (skip-ahead reservoir; see [`estimate_triest_with_mode`]).
 pub fn estimate_triest(stream: &impl EdgeStream, capacity: usize, seed: u64) -> TriestEstimate {
@@ -173,27 +231,12 @@ pub fn estimate_triest_with_mode(
     seed: u64,
     mode: ReservoirMode,
 ) -> TriestEstimate {
-    assert!(capacity >= 2, "need at least two reservoir slots");
-    let mut rng = FastRng::seed_from_u64(seed);
-    let mut res = Reservoir::new(capacity, mode);
-    let mut t: u64 = 0;
-    let mut estimate = 0.0f64;
-    let cap = capacity as f64;
+    let mut ts = TriestStream::with_mode(capacity, seed, mode);
     stream.replay(&mut |u| {
         assert!(u.is_insert(), "TRIÈST-base is insertion-only");
-        t += 1;
-        let eta = ((t.saturating_sub(1) as f64 * t.saturating_sub(2) as f64) / (cap * (cap - 1.0)))
-            .max(1.0);
-        estimate += eta * res.closing_count(u.edge) as f64;
-        res.offer(u.edge, t, &mut rng);
+        ts.push(u.edge);
     });
-    let space_bytes = res.edges.len() * 8 + res.adj.len() * 16;
-    TriestEstimate {
-        estimate,
-        reservoir_edges: res.edges.len(),
-        passes: 1,
-        space_bytes,
-    }
+    ts.finish()
 }
 
 #[cfg(test)]

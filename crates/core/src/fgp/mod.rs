@@ -7,6 +7,7 @@
 //! * [`counter`] — the parallel-trials estimator (Theorems 1 and 17).
 
 pub mod assemble;
+pub mod broadcast_exec;
 pub mod counter;
 pub mod parallel_exec;
 pub mod plan;
@@ -15,6 +16,11 @@ pub mod search;
 pub mod uniform;
 
 pub use assemble::FoundCopy;
+pub use broadcast_exec::{
+    estimate_insertion_broadcast, estimate_insertion_broadcast_with_opts,
+    estimate_turnstile_broadcast, estimate_turnstile_broadcast_with_opts, triest_seed,
+    BroadcastEstimate, ConsumerSet,
+};
 pub use counter::{
     estimate_insertion, estimate_oracle, estimate_turnstile, practical_trials, theory_trials,
     CountEstimate,

@@ -21,6 +21,10 @@
 //!   hash-partitioned [`sgs_stream::ShardedFeed`], merged back into
 //!   byte-identical single-stream answers; the single-stream executors
 //!   are its one-shard case,
+//! * [`broadcast`] — broadcast ingest: the same per-shard pass state
+//!   machines drawing from the cursors of one bounded
+//!   [`sgs_stream::Broadcast`] ring, with side consumers (baselines,
+//!   exact oracles, pass counters) riding the same single ingest,
 //! * [`exec`] — the three executors:
 //!   [`exec::run_on_oracle`] (query-access),
 //!   [`exec::run_insertion`] (Theorem 9: one pass per round, reservoir
@@ -34,6 +38,7 @@
 
 pub mod accounting;
 pub mod arena;
+pub mod broadcast;
 pub mod exec;
 pub mod oracle;
 pub mod query;
@@ -44,8 +49,21 @@ pub mod router;
 pub mod sharded;
 pub mod triangle_finder;
 
+/// Serializes the tests that mutate the process-global
+/// `SGS_SHARD_THREADS` toggle: concurrent `setenv`/`getenv` is
+/// undefined behavior on glibc, and two racing writer tests could each
+/// silently stop forcing the schedule they claim to exercise.
+#[cfg(test)]
+pub(crate) static SHARD_THREADS_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 pub use accounting::ExecReport;
 pub use arena::RouterArena;
+pub use broadcast::{
+    answer_insertion_batch_broadcast, answer_insertion_batch_broadcast_with_opts,
+    answer_turnstile_batch_broadcast, answer_turnstile_batch_broadcast_with_opts,
+    run_insertion_broadcast, run_insertion_broadcast_with_opts, run_turnstile_broadcast,
+    run_turnstile_broadcast_with_opts, BroadcastOpts, SideSink,
+};
 pub use exec::PassOpts;
 pub use oracle::{ExactOracle, GraphOracle};
 pub use query::{Answer, Query};

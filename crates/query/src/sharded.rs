@@ -50,26 +50,31 @@ use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
 use sgs_stream::reservoir::ReservoirBank;
-use sgs_stream::sharded::{shard_of_vertex, ShardedFeed};
+use sgs_stream::sharded::{shard_of_vertex, ShardUpdate, ShardedFeed};
 use sgs_stream::EdgeUpdate;
 use std::time::Instant;
 
 /// What one shard reports back to the merge step.
-struct ShardOutcome {
+pub(crate) struct ShardOutcome {
     /// `f1` position hits, keyed by **global** slot. Duplicated across
     /// shards when an update was delivered to both endpoints' shards —
     /// duplicates carry identical edges, so merge order is irrelevant.
-    edge_hits: Vec<(u32, Edge)>,
+    pub(crate) edge_hits: Vec<(u32, Edge)>,
     /// Turnstile only: the shard's identically-seeded `f1` ℓ₀-bank over
     /// its owned deliveries, to be merged across shards.
-    f1_bank: Vec<L0Sampler>,
+    pub(crate) f1_bank: Vec<L0Sampler>,
     /// Measured sketch/router footprint of this shard's pass state.
-    space_bytes: usize,
+    pub(crate) space_bytes: usize,
 }
 
 /// Split a batch into per-shard sub-batches (vertex/edge-keyed kinds) and
 /// the driver-kept global slot lists (`EdgeCount`, `RandomEdge`).
-fn split_batch(batch: &[Query], mode: RouterMode, shards: usize, arena: &mut RouterArena) {
+pub(crate) fn split_batch(
+    batch: &[Query],
+    mode: RouterMode,
+    shards: usize,
+    arena: &mut RouterArena,
+) {
     arena.ensure_shards(shards);
     for slot in &mut arena.slots[..shards] {
         slot.sub_batch.clear();
@@ -110,7 +115,12 @@ fn split_batch(batch: &[Query], mode: RouterMode, shards: usize, arena: &mut Rou
 /// Draw the pass's `f1` position targets centrally, in batch order — the
 /// exact coin sequence a single-stream pass consumes — then sort by
 /// position for cursor matching.
-fn draw_targets(batch: &[Query], stream_len: u64, pass_seed: u64, targets: &mut Vec<(u64, u32)>) {
+pub(crate) fn draw_targets(
+    batch: &[Query],
+    stream_len: u64,
+    pass_seed: u64,
+    targets: &mut Vec<(u64, u32)>,
+) {
     targets.clear();
     if stream_len == 0 {
         return;
@@ -124,8 +134,148 @@ fn draw_targets(batch: &[Query], stream_len: u64, pass_seed: u64, targets: &mut 
     sort_targets(targets, stream_len);
 }
 
-/// One shard's insertion-model pass: rebuild the pooled router, replay
-/// the shard buffer, fill shard-local answers.
+/// One shard's insertion-model pass as a **resumable state machine**:
+/// the per-delivery work, decoupled from where deliveries come from.
+/// The scoped-thread path feeds it the shard buffer in one call; the
+/// broadcast path feeds it ring blocks filtered down to this shard's
+/// deliveries as they arrive at the cursor. Delivery *chunking* differs
+/// between the two, but chunk boundaries never change an answer (the
+/// block-equivalence property), so both paths stay byte-identical to
+/// the single-stream executor.
+pub(crate) struct InsertionShardPass<'a> {
+    slot: &'a mut ShardSlot,
+    targets: &'a [(u64, u32)],
+    opts: PassOpts,
+    reservoirs: ReservoirBank<Edge>,
+    edge_hits: Vec<(u32, Edge)>,
+    cursor: usize,
+    buf: Vec<EdgeUpdate>,
+}
+
+impl<'a> InsertionShardPass<'a> {
+    /// Rebuild the pooled router and seed the pass state. The
+    /// relaxed-f3 reservoir bank is aligned with the shard router's
+    /// pooled slots and seeded by *global* batch slot — the
+    /// single-stream coins. A neighbor sampler's vertex lives entirely
+    /// in this shard, so its offer (and therefore draw) sequence is
+    /// exactly the single-stream one in either reservoir mode.
+    pub(crate) fn new(
+        slot: &'a mut ShardSlot,
+        targets: &'a [(u64, u32)],
+        pass_seed: u64,
+        opts: PassOpts,
+    ) -> Self {
+        slot.router.rebuild(&slot.sub_batch, RouterMode::Insertion);
+        let mut reservoirs: ReservoirBank<Edge> = ReservoirBank::from_seeds(
+            slot.router
+                .neighbor_slots()
+                .iter()
+                .map(|&ls| split_seed(pass_seed, slot.slot_map[ls as usize] as u64)),
+            opts.reservoir,
+        );
+        reservoirs.bind_cohorts(slot.router.neighbor_group_ranges());
+        InsertionShardPass {
+            slot,
+            targets,
+            opts,
+            reservoirs,
+            edge_hits: Vec::new(),
+            cursor: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Absorb the next run of deliveries (global stream order, possibly
+    /// a partial prefix — callable repeatedly).
+    pub(crate) fn feed(&mut self, deliveries: &[ShardUpdate]) {
+        let block = self.opts.block;
+        if block <= 1 {
+            for su in deliveries {
+                debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
+                let pos = su.position as u64;
+                // Skip targets whose position lives in another shard's
+                // buffer, then record hits at this global position.
+                while self.cursor < self.targets.len() && self.targets[self.cursor].0 < pos {
+                    self.cursor += 1;
+                }
+                while self.cursor < self.targets.len() && self.targets[self.cursor].0 == pos {
+                    self.edge_hits
+                        .push((self.targets[self.cursor].1, su.update.edge));
+                    self.cursor += 1;
+                }
+                let edge = su.update.edge;
+                let res = &mut self.reservoirs;
+                self.slot.router.feed(su.update, |s, e| {
+                    res.offer_cohort(s as usize, e as usize, edge)
+                });
+            }
+        } else {
+            // Blocked path: position targets are matched per delivery
+            // (they carry global positions), then each block goes
+            // through the router's batched-probe drain.
+            let mut buf = std::mem::take(&mut self.buf);
+            for chunk in deliveries.chunks(block) {
+                buf.clear();
+                for su in chunk {
+                    debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
+                    let pos = su.position as u64;
+                    while self.cursor < self.targets.len() && self.targets[self.cursor].0 < pos {
+                        self.cursor += 1;
+                    }
+                    while self.cursor < self.targets.len() && self.targets[self.cursor].0 == pos {
+                        self.edge_hits
+                            .push((self.targets[self.cursor].1, su.update.edge));
+                        self.cursor += 1;
+                    }
+                    buf.push(su.update);
+                }
+                let res = &mut self.reservoirs;
+                self.slot.router.feed_block(&buf, |j, s, e| {
+                    res.offer_cohort(s as usize, e as usize, buf[j].edge)
+                });
+            }
+            self.buf = buf;
+        }
+    }
+
+    /// Record this pass's feed duration into the arena slot (the same
+    /// telemetry the scoped-thread wrappers record around their one
+    /// `feed` call; the broadcast drivers call this before `finish`).
+    pub(crate) fn record_pass_nanos(&mut self, nanos: u64) {
+        self.slot.pass_nanos.push(nanos);
+    }
+
+    /// End of stream: fill shard-local answers and report the outcome.
+    pub(crate) fn finish(self) -> ShardOutcome {
+        let InsertionShardPass {
+            slot,
+            reservoirs,
+            edge_hits,
+            ..
+        } = self;
+        let space_bytes = slot.router.space_bytes() + reservoirs.space_bytes();
+        slot.answers.clear();
+        slot.answers
+            .resize(slot.sub_batch.len(), Answer::Edge(None));
+        for ((&ls, v), res) in slot
+            .router
+            .neighbor_slots()
+            .iter()
+            .zip(slot.router.neighbor_vertices())
+            .zip(reservoirs.samples_iter())
+        {
+            slot.answers[ls as usize] = Answer::Neighbor(res.map(|e| e.other(v)));
+        }
+        slot.router.distribute(&mut slot.answers);
+        ShardOutcome {
+            edge_hits,
+            f1_bank: Vec::new(),
+            space_bytes,
+        }
+    }
+}
+
+/// One shard's insertion-model pass over its scoped-thread buffer.
 fn run_insertion_shard(
     slot: &mut ShardSlot,
     feed: &ShardedFeed,
@@ -134,94 +284,156 @@ fn run_insertion_shard(
     pass_seed: u64,
     opts: PassOpts,
 ) -> ShardOutcome {
-    let block = opts.block;
     let t0 = Instant::now();
-    slot.router.rebuild(&slot.sub_batch, RouterMode::Insertion);
-    // Relaxed-f3 reservoir bank aligned with the shard router's pooled
-    // slots, seeded by *global* batch slot — the single-stream coins. A
-    // neighbor sampler's vertex lives entirely in this shard, so its
-    // offer (and therefore draw) sequence is exactly the single-stream
-    // one in either reservoir mode.
-    let mut reservoirs: ReservoirBank<Edge> = ReservoirBank::from_seeds(
-        slot.router
+    let mut pass = InsertionShardPass::new(&mut *slot, targets, pass_seed, opts);
+    pass.feed(feed.shard(shard_id));
+    let out = pass.finish();
+    slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
+    out
+}
+
+/// One shard's turnstile-model pass as a resumable state machine (see
+/// [`InsertionShardPass`]).
+pub(crate) struct TurnstileShardPass<'a> {
+    slot: &'a mut ShardSlot,
+    block: usize,
+    f1_bank: Vec<L0Sampler>,
+    nbr_samplers: Vec<L0Sampler>,
+    nbr_verts: Vec<VertexId>,
+    buf: Vec<EdgeUpdate>,
+    owned_kd: Vec<(u64, i64)>,
+}
+
+impl<'a> TurnstileShardPass<'a> {
+    /// Rebuild the pooled router and seed the sketch banks. Every shard
+    /// keeps the full `f1` bank, identically seeded by global slot, and
+    /// feeds it *owned* deliveries only: merging the banks across
+    /// shards reassembles the exact single-stream sketch state
+    /// (ℓ₀-samplers are linear).
+    pub(crate) fn new(
+        slot: &'a mut ShardSlot,
+        num_vertices: usize,
+        f1_slots: &[u32],
+        pass_seed: u64,
+        block: usize,
+    ) -> Self {
+        slot.router.rebuild(&slot.sub_batch, RouterMode::Turnstile);
+        let f1_bank: Vec<L0Sampler> = f1_slots
+            .iter()
+            .map(|&gs| L0Sampler::for_edge_domain(num_vertices, split_seed(pass_seed, gs as u64)))
+            .collect();
+        let nbr_samplers: Vec<L0Sampler> = slot
+            .router
             .neighbor_slots()
             .iter()
-            .map(|&ls| split_seed(pass_seed, slot.slot_map[ls as usize] as u64)),
-        opts.reservoir,
-    );
-    reservoirs.bind_cohorts(slot.router.neighbor_group_ranges());
-    let mut edge_hits: Vec<(u32, Edge)> = Vec::new();
-    let mut cursor = 0usize;
-    let deliveries = feed.shard(shard_id);
-    if block <= 1 {
-        for su in deliveries {
-            debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
-            let pos = su.position as u64;
-            // Skip targets whose position lives in another shard's buffer,
-            // then record hits at this delivery's global position.
-            while cursor < targets.len() && targets[cursor].0 < pos {
-                cursor += 1;
-            }
-            while cursor < targets.len() && targets[cursor].0 == pos {
-                edge_hits.push((targets[cursor].1, su.update.edge));
-                cursor += 1;
-            }
-            let edge = su.update.edge;
-            let res = &mut reservoirs;
-            slot.router.feed(su.update, |s, e| {
-                res.offer_cohort(s as usize, e as usize, edge)
-            });
-        }
-    } else {
-        // Blocked path: position targets are matched per delivery (they
-        // carry global positions), then each block goes through the
-        // router's batched-probe drain. The shard buffer is already in
-        // memory, so blocks are slices-with-copy of it.
-        let mut buf: Vec<EdgeUpdate> = Vec::with_capacity(block.min(deliveries.len()));
-        for chunk in deliveries.chunks(block.max(1)) {
-            buf.clear();
-            for su in chunk {
-                debug_assert!(su.update.is_insert(), "insertion executor fed a deletion");
-                let pos = su.position as u64;
-                while cursor < targets.len() && targets[cursor].0 < pos {
-                    cursor += 1;
-                }
-                while cursor < targets.len() && targets[cursor].0 == pos {
-                    edge_hits.push((targets[cursor].1, su.update.edge));
-                    cursor += 1;
-                }
-                buf.push(su.update);
-            }
-            let res = &mut reservoirs;
-            slot.router.feed_block(&buf, |j, s, e| {
-                res.offer_cohort(s as usize, e as usize, buf[j].edge)
-            });
+            .map(|&ls| {
+                L0Sampler::for_edge_domain(
+                    num_vertices,
+                    split_seed(pass_seed, slot.slot_map[ls as usize] as u64),
+                )
+            })
+            .collect();
+        let nbr_verts: Vec<VertexId> = slot.router.neighbor_vertices().collect();
+        TurnstileShardPass {
+            slot,
+            block,
+            f1_bank,
+            nbr_samplers,
+            nbr_verts,
+            buf: Vec::new(),
+            owned_kd: Vec::new(),
         }
     }
-    let space_bytes = slot.router.space_bytes() + reservoirs.space_bytes();
 
-    slot.answers.clear();
-    slot.answers
-        .resize(slot.sub_batch.len(), Answer::Edge(None));
-    for ((&ls, v), res) in slot
-        .router
-        .neighbor_slots()
-        .iter()
-        .zip(slot.router.neighbor_vertices())
-        .zip(reservoirs.samples_iter())
-    {
-        slot.answers[ls as usize] = Answer::Neighbor(res.map(|e| e.other(v)));
+    /// Absorb the next run of deliveries (callable repeatedly).
+    pub(crate) fn feed(&mut self, deliveries: &[ShardUpdate]) {
+        if self.block <= 1 {
+            for su in deliveries {
+                let d = su.update.delta as i64;
+                if su.owned {
+                    let key = su.update.edge.key();
+                    for s in &mut self.f1_bank {
+                        s.update(key, d);
+                    }
+                }
+                let edge = su.update.edge;
+                let samplers = &mut self.nbr_samplers;
+                let verts = &self.nbr_verts;
+                self.slot.router.feed(su.update, |s, e| {
+                    for i in s as usize..e as usize {
+                        samplers[i].update(edge.other(verts[i]).0 as u64, d);
+                    }
+                });
+            }
+        } else {
+            // Blocked path: the f1 bank absorbs each block's *owned*
+            // updates samplers outer, updates inner (ℓ₀ planes
+            // cache-hot per bank; bit-identical because detector fields
+            // are additive), and the router drains the full block
+            // through its batched probes.
+            let mut buf = std::mem::take(&mut self.buf);
+            let mut owned_kd = std::mem::take(&mut self.owned_kd);
+            for chunk in deliveries.chunks(self.block) {
+                buf.clear();
+                owned_kd.clear();
+                for su in chunk {
+                    if su.owned {
+                        owned_kd.push((su.update.edge.key(), su.update.delta as i64));
+                    }
+                    buf.push(su.update);
+                }
+                for s in &mut self.f1_bank {
+                    s.update_batch(&owned_kd);
+                }
+                let samplers = &mut self.nbr_samplers;
+                let verts = &self.nbr_verts;
+                self.slot.router.feed_block(&buf, |j, s, e| {
+                    let u = buf[j];
+                    for i in s as usize..e as usize {
+                        samplers[i].update(u.edge.other(verts[i]).0 as u64, u.delta as i64);
+                    }
+                });
+            }
+            self.buf = buf;
+            self.owned_kd = owned_kd;
+        }
     }
-    slot.router.distribute(&mut slot.answers);
-    slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
-    ShardOutcome {
-        edge_hits,
-        f1_bank: Vec::new(),
-        space_bytes,
+
+    /// See [`InsertionShardPass::record_pass_nanos`].
+    pub(crate) fn record_pass_nanos(&mut self, nanos: u64) {
+        self.slot.pass_nanos.push(nanos);
+    }
+
+    /// End of stream: fill shard-local answers and report the outcome.
+    pub(crate) fn finish(self) -> ShardOutcome {
+        let TurnstileShardPass {
+            slot,
+            f1_bank,
+            nbr_samplers,
+            ..
+        } = self;
+        let space_bytes = slot.router.space_bytes()
+            + f1_bank
+                .iter()
+                .chain(&nbr_samplers)
+                .map(sgs_stream::SpaceUsage::space_bytes)
+                .sum::<usize>();
+        slot.answers.clear();
+        slot.answers
+            .resize(slot.sub_batch.len(), Answer::Edge(None));
+        for (&ls, s) in slot.router.neighbor_slots().iter().zip(&nbr_samplers) {
+            slot.answers[ls as usize] = Answer::Neighbor(s.sample().map(|k| VertexId(k as u32)));
+        }
+        slot.router.distribute(&mut slot.answers);
+        ShardOutcome {
+            edge_hits: Vec::new(),
+            f1_bank,
+            space_bytes,
+        }
     }
 }
 
-/// One shard's turnstile-model pass.
+/// One shard's turnstile-model pass over its scoped-thread buffer.
 fn run_turnstile_shard(
     slot: &mut ShardSlot,
     feed: &ShardedFeed,
@@ -231,98 +443,19 @@ fn run_turnstile_shard(
     block: usize,
 ) -> ShardOutcome {
     let t0 = Instant::now();
-    let n = feed.num_vertices();
-    slot.router.rebuild(&slot.sub_batch, RouterMode::Turnstile);
-    // Every shard keeps the full f1 bank, identically seeded by global
-    // slot, and feeds it *owned* deliveries only: merging the banks
-    // across shards reassembles the exact single-stream sketch state
-    // (ℓ₀-samplers are linear).
-    let mut f1_bank: Vec<L0Sampler> = f1_slots
-        .iter()
-        .map(|&gs| L0Sampler::for_edge_domain(n, split_seed(pass_seed, gs as u64)))
-        .collect();
-    let mut nbr_samplers: Vec<L0Sampler> = slot
-        .router
-        .neighbor_slots()
-        .iter()
-        .map(|&ls| {
-            L0Sampler::for_edge_domain(n, split_seed(pass_seed, slot.slot_map[ls as usize] as u64))
-        })
-        .collect();
-    let nbr_verts: Vec<VertexId> = slot.router.neighbor_vertices().collect();
-    let deliveries = feed.shard(shard_id);
-    if block <= 1 {
-        for su in deliveries {
-            let d = su.update.delta as i64;
-            if su.owned {
-                let key = su.update.edge.key();
-                for s in &mut f1_bank {
-                    s.update(key, d);
-                }
-            }
-            let edge = su.update.edge;
-            let samplers = &mut nbr_samplers;
-            slot.router.feed(su.update, |s, e| {
-                for i in s as usize..e as usize {
-                    samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
-                }
-            });
-        }
-    } else {
-        // Blocked path: the f1 bank absorbs each block's *owned* updates
-        // samplers outer, updates inner (ℓ₀ planes cache-hot per bank;
-        // bit-identical because detector fields are additive), and the
-        // router drains the full block through its batched probes.
-        let mut buf: Vec<EdgeUpdate> = Vec::with_capacity(block.min(deliveries.len()));
-        let mut owned_kd: Vec<(u64, i64)> = Vec::with_capacity(block.min(deliveries.len()));
-        for chunk in deliveries.chunks(block.max(1)) {
-            buf.clear();
-            owned_kd.clear();
-            for su in chunk {
-                if su.owned {
-                    owned_kd.push((su.update.edge.key(), su.update.delta as i64));
-                }
-                buf.push(su.update);
-            }
-            for s in &mut f1_bank {
-                s.update_batch(&owned_kd);
-            }
-            let samplers = &mut nbr_samplers;
-            slot.router.feed_block(&buf, |j, s, e| {
-                let u = buf[j];
-                for i in s as usize..e as usize {
-                    samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
-                }
-            });
-        }
-    }
-    let space_bytes = slot.router.space_bytes()
-        + f1_bank
-            .iter()
-            .chain(&nbr_samplers)
-            .map(sgs_stream::SpaceUsage::space_bytes)
-            .sum::<usize>();
-
-    slot.answers.clear();
-    slot.answers
-        .resize(slot.sub_batch.len(), Answer::Edge(None));
-    for (&ls, s) in slot.router.neighbor_slots().iter().zip(&nbr_samplers) {
-        slot.answers[ls as usize] = Answer::Neighbor(s.sample().map(|k| VertexId(k as u32)));
-    }
-    slot.router.distribute(&mut slot.answers);
+    let mut pass =
+        TurnstileShardPass::new(&mut *slot, feed.num_vertices(), f1_slots, pass_seed, block);
+    pass.feed(feed.shard(shard_id));
+    let out = pass.finish();
     slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
-    ShardOutcome {
-        edge_hits: Vec::new(),
-        f1_bank,
-        space_bytes,
-    }
+    out
 }
 
 /// Whether to run shard workers on scoped threads: yes when the host has
 /// more than one core and there is more than one shard; `SGS_SHARD_THREADS`
 /// (`0`/`1`) overrides, which the test suite uses to exercise the threaded
 /// path on single-core hosts.
-fn use_threads(shards: usize) -> bool {
+pub(crate) fn use_threads(shards: usize) -> bool {
     if shards <= 1 {
         return false;
     }
@@ -364,7 +497,7 @@ where
 
 /// Merge shard-local answers and driver-kept state into the batch-wide
 /// answer vector.
-fn merge_answers(
+pub(crate) fn merge_answers(
     batch_len: usize,
     feed: &ShardedFeed,
     arena: &RouterArena,
@@ -686,11 +819,14 @@ mod tests {
     #[test]
     fn threaded_path_matches_sequential() {
         // Force the scoped-thread worker path even on single-core hosts.
-        // The env toggle is process-global, so a concurrently running
-        // sharded test may observe it — harmless, because both execution
-        // policies produce identical answers (that is this test's claim),
-        // and each assertion here compares against the env-independent
-        // unsharded baseline rather than against the other toggled run.
+        // The env toggle is process-global: writer tests serialize on a
+        // shared lock, and concurrent *readers* observing either value
+        // are harmless because both execution policies produce identical
+        // answers (that is this test's claim — each assertion compares
+        // against the env-independent unsharded baseline).
+        let _env = crate::SHARD_THREADS_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let g = gen::gnm(20, 70, 23);
         let ins = InsertionStream::from_graph(&g, 24);
         let batch = mixed_insertion_batch();

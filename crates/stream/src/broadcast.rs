@@ -1,0 +1,532 @@
+//! Broadcast ingest: one bounded feed fans out to many pass consumers.
+//!
+//! The paper's estimators, the TRIÈST baseline, the exact oracle, and
+//! plain pass counters are all *consumers of the same update sequence*.
+//! A serving deployment wants to pay the ingest once: one producer pushes
+//! the stream through a **bounded single-producer/multi-consumer ring of
+//! update blocks**, and every registered consumer walks the blocks
+//! through its own cursor. No external deps — `Mutex` + two `Condvar`s.
+//!
+//! Semantics:
+//!
+//! * **Blocks, not updates.** The ring holds up to `capacity` blocks of
+//!   [`RoutedUpdate`]s (shard routing cached at partition time, so no
+//!   consumer redoes the shard hash). Memory is bounded by
+//!   `capacity × block_len` regardless of stream length.
+//! * **Per-consumer cursors.** Every consumer sees every block, in
+//!   order, exactly once. Consumers subscribe before production starts
+//!   (the ring seals on the first push), so each one observes the whole
+//!   stream — that is what makes a broadcast pass *equivalent* to a
+//!   private replay, not just similar.
+//! * **Backpressure.** The producer can run at most `capacity` blocks
+//!   ahead of the slowest **active** consumer; past that it blocks (or
+//!   reports no-space through [`Broadcast::try_push`]). A stalled
+//!   consumer therefore caps producer advance without deadlocking
+//!   anyone else.
+//! * **Consumer loss is not producer loss.** Dropping a
+//!   [`BroadcastConsumer`] mid-pass deregisters its cursor: the producer
+//!   and the remaining consumers finish normally, and pass accounting is
+//!   untouched (a broadcast session is *one* logical pass however many
+//!   consumers ride it, including zero).
+//!
+//! Both a blocking schedule (producer + consumers on scoped threads) and
+//! a cooperative single-threaded schedule (`try_push`/`try_next`
+//! round-robin) drive the same ring; the executors in `sgs-query` pick
+//! per host, and the property suite drives randomized interleavings
+//! through the try-APIs directly.
+
+use crate::sharded::{RoutedUpdate, ShardedFeed};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default number of in-flight ring blocks.
+pub const DEFAULT_RING_CAPACITY: usize = 8;
+/// Default updates per ring block (transport granularity — independent
+/// of, and equivalent under, any executor feed-block size).
+pub const DEFAULT_RING_BLOCK: usize = 256;
+
+/// One ring block: a shared, immutable chunk of the routed stream.
+pub type Block = Arc<[RoutedUpdate]>;
+
+/// Outcome of a non-blocking cursor read.
+#[derive(Clone, Debug)]
+pub enum TryNext {
+    /// The next block, cursor advanced.
+    Block(Block),
+    /// Nothing available yet; the producer is still running.
+    Pending,
+    /// The stream is finished and this cursor consumed all of it.
+    Ended,
+}
+
+struct Cursor {
+    /// Sequence number of the next block this consumer will read.
+    next_seq: u64,
+    updates: u64,
+    active: bool,
+}
+
+struct State {
+    ring: VecDeque<Block>,
+    /// Sequence number of `ring[0]`.
+    base_seq: u64,
+    /// Sequence number the next produced block will get (= total blocks
+    /// produced so far).
+    produced_seq: u64,
+    produced_updates: u64,
+    finished: bool,
+    /// Set on the first push: no further subscriptions.
+    sealed: bool,
+    consumers: Vec<Cursor>,
+}
+
+impl State {
+    /// Drop ring blocks every active consumer has passed. With no active
+    /// consumers everything is evictable — production never blocks.
+    fn evict(&mut self) {
+        let target = self
+            .consumers
+            .iter()
+            .filter(|c| c.active)
+            .map(|c| c.next_seq)
+            .min()
+            .unwrap_or(self.produced_seq);
+        while self.base_seq < target && !self.ring.is_empty() {
+            self.ring.pop_front();
+            self.base_seq += 1;
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Producer waits here for ring space.
+    space: Condvar,
+    /// Consumers wait here for new blocks (or finish).
+    data: Condvar,
+    capacity: usize,
+}
+
+/// The producer handle of a bounded SPMC broadcast ring.
+pub struct Broadcast {
+    shared: Arc<Shared>,
+}
+
+impl Broadcast {
+    /// A ring holding at most `capacity` blocks in flight (`>= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring needs at least one block slot");
+        Broadcast {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    ring: VecDeque::with_capacity(capacity),
+                    base_seq: 0,
+                    produced_seq: 0,
+                    produced_updates: 0,
+                    finished: false,
+                    sealed: false,
+                    consumers: Vec::new(),
+                }),
+                space: Condvar::new(),
+                data: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Register a consumer cursor at the head of the (not yet started)
+    /// stream. Panics once production has begun — a late subscriber
+    /// could not see the whole stream, which would silently break the
+    /// equivalence contract.
+    pub fn subscribe(&self) -> BroadcastConsumer {
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(
+            !st.sealed,
+            "broadcast consumers must subscribe before production starts"
+        );
+        st.consumers.push(Cursor {
+            next_seq: 0,
+            updates: 0,
+            active: true,
+        });
+        BroadcastConsumer {
+            shared: self.shared.clone(),
+            id: st.consumers.len() - 1,
+        }
+    }
+
+    /// Push one block, blocking while the ring is full with respect to
+    /// the slowest active consumer. Copies `block` into a shared
+    /// allocation (the ring owns its blocks; the producer's buffer can
+    /// be transient).
+    pub fn push(&self, block: &[RoutedUpdate]) {
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.finished, "push after finish");
+        st.sealed = true;
+        loop {
+            st.evict();
+            if st.ring.len() < self.shared.capacity {
+                break;
+            }
+            st = self.shared.space.wait(st).unwrap();
+        }
+        st.produced_seq += 1;
+        st.produced_updates += block.len() as u64;
+        st.ring.push_back(Arc::from(block));
+        drop(st);
+        self.shared.data.notify_all();
+    }
+
+    /// Non-blocking [`Broadcast::push`]: `false` (and no cursor or ring
+    /// change) when the ring is full. The cooperative single-threaded
+    /// schedule is built on this.
+    pub fn try_push(&self, block: &[RoutedUpdate]) -> bool {
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.finished, "push after finish");
+        st.sealed = true;
+        st.evict();
+        if st.ring.len() >= self.shared.capacity {
+            return false;
+        }
+        st.produced_seq += 1;
+        st.produced_updates += block.len() as u64;
+        st.ring.push_back(Arc::from(block));
+        drop(st);
+        self.shared.data.notify_all();
+        true
+    }
+
+    /// Seal the stream: consumers that drain past the last block see the
+    /// end instead of waiting.
+    pub fn finish(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.sealed = true;
+        st.finished = true;
+        drop(st);
+        self.shared.data.notify_all();
+    }
+
+    /// Whether [`Broadcast::finish`] was called.
+    pub fn is_finished(&self) -> bool {
+        self.shared.state.lock().unwrap().finished
+    }
+
+    /// Blocks produced so far.
+    pub fn produced_blocks(&self) -> u64 {
+        self.shared.state.lock().unwrap().produced_seq
+    }
+
+    /// Updates produced so far (sum of block lengths).
+    pub fn produced_updates(&self) -> u64 {
+        self.shared.state.lock().unwrap().produced_updates
+    }
+
+    /// Consumers still attached (not dropped).
+    pub fn active_consumers(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap()
+            .consumers
+            .iter()
+            .filter(|c| c.active)
+            .count()
+    }
+
+    /// Ring capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+/// One consumer's cursor into a [`Broadcast`] ring. Dropping it
+/// deregisters the cursor (the producer stops waiting on it).
+pub struct BroadcastConsumer {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+/// Blocking cursor walk: `next()` waits for the next block and yields
+/// `None` once the stream is finished and fully consumed.
+impl Iterator for BroadcastConsumer {
+    type Item = Block;
+
+    fn next(&mut self) -> Option<Block> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            let cur = st.consumers[self.id].next_seq;
+            if cur < st.produced_seq {
+                let idx = (cur - st.base_seq) as usize;
+                let block = st.ring[idx].clone();
+                let c = &mut st.consumers[self.id];
+                c.next_seq += 1;
+                c.updates += block.len() as u64;
+                drop(st);
+                // The slowest cursor may just have moved: wake the
+                // producer to re-check eviction space.
+                self.shared.space.notify_all();
+                return Some(block);
+            }
+            if st.finished {
+                return None;
+            }
+            st = self.shared.data.wait(st).unwrap();
+        }
+    }
+}
+
+impl BroadcastConsumer {
+    /// Non-blocking [`Iterator::next`].
+    pub fn try_next(&mut self) -> TryNext {
+        let mut st = self.shared.state.lock().unwrap();
+        let cur = st.consumers[self.id].next_seq;
+        if cur < st.produced_seq {
+            let idx = (cur - st.base_seq) as usize;
+            let block = st.ring[idx].clone();
+            let c = &mut st.consumers[self.id];
+            c.next_seq += 1;
+            c.updates += block.len() as u64;
+            drop(st);
+            self.shared.space.notify_all();
+            return TryNext::Block(block);
+        }
+        if st.finished {
+            TryNext::Ended
+        } else {
+            TryNext::Pending
+        }
+    }
+
+    /// Blocks consumed so far — the cursor position. Monotone, and never
+    /// ahead of [`Broadcast::produced_blocks`].
+    pub fn blocks_consumed(&self) -> u64 {
+        self.shared.state.lock().unwrap().consumers[self.id].next_seq
+    }
+
+    /// Updates consumed so far.
+    pub fn updates_consumed(&self) -> u64 {
+        self.shared.state.lock().unwrap().consumers[self.id].updates
+    }
+}
+
+impl Drop for BroadcastConsumer {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.consumers[self.id].active = false;
+        st.evict();
+        drop(st);
+        // The producer may have been waiting on this cursor.
+        self.shared.space.notify_all();
+    }
+}
+
+/// The canonical producer: replays a [`ShardedFeed`]'s routed buffer
+/// into a ring in blocks. Creating one records **one logical pass** on
+/// the feed — however many consumers (including zero) draw from the
+/// ring, and whether or not all of them survive it.
+pub struct RoutedProducer<'f> {
+    feed: &'f ShardedFeed,
+    block: usize,
+    offset: usize,
+    done: bool,
+}
+
+impl<'f> RoutedProducer<'f> {
+    /// Start a broadcast pass over `feed` with the given transport block
+    /// length (`0` is clamped to 1). Counts the logical pass immediately.
+    pub fn new(feed: &'f ShardedFeed, block: usize) -> Self {
+        feed.begin_pass();
+        RoutedProducer {
+            feed,
+            block: block.max(1),
+            offset: 0,
+            done: false,
+        }
+    }
+
+    /// Whether every block (and the finish marker) has been pushed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Blocking schedule: push the whole stream, then finish the ring.
+    /// Run this on its own thread next to blocking consumers.
+    pub fn run(mut self, ring: &Broadcast) {
+        let routed = self.feed.routed();
+        while self.offset < routed.len() {
+            let end = (self.offset + self.block).min(routed.len());
+            ring.push(&routed[self.offset..end]);
+            self.offset = end;
+        }
+        ring.finish();
+        self.done = true;
+    }
+
+    /// Cooperative schedule: push as many blocks as fit right now
+    /// without blocking; finishes the ring when the stream is exhausted.
+    /// Returns `true` once done (idempotent afterwards).
+    pub fn pump(&mut self, ring: &Broadcast) -> bool {
+        let routed = self.feed.routed();
+        while !self.done {
+            if self.offset >= routed.len() {
+                ring.finish();
+                self.done = true;
+                break;
+            }
+            let end = (self.offset + self.block).min(routed.len());
+            if !ring.try_push(&routed[self.offset..end]) {
+                return false;
+            }
+            self.offset = end;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::InsertionStream;
+    use sgs_graph::gen;
+
+    fn feed(shards: usize) -> ShardedFeed {
+        let g = gen::gnm(30, 150, 41);
+        let s = InsertionStream::from_graph(&g, 42);
+        ShardedFeed::partition(&s, shards)
+    }
+
+    fn drain(c: BroadcastConsumer) -> Vec<RoutedUpdate> {
+        let mut out = Vec::new();
+        for b in c {
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    #[test]
+    fn every_consumer_sees_the_whole_stream_in_order() {
+        let f = feed(3);
+        let ring = Broadcast::new(4);
+        let consumers: Vec<_> = (0..3).map(|_| ring.subscribe()).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = consumers
+                .into_iter()
+                .map(|c| s.spawn(move || drain(c)))
+                .collect();
+            RoutedProducer::new(&f, 16).run(&ring);
+            for h in handles {
+                assert_eq!(h.join().unwrap(), f.routed());
+            }
+        });
+        assert_eq!(f.logical_passes(), 1);
+        assert_eq!(ring.produced_updates(), f.routed().len() as u64);
+    }
+
+    #[test]
+    fn zero_consumer_feed_completes() {
+        let f = feed(2);
+        let ring = Broadcast::new(2);
+        // Nothing subscribed: production must run to completion without
+        // blocking on ring space.
+        RoutedProducer::new(&f, 8).run(&ring);
+        assert!(ring.is_finished());
+        assert_eq!(ring.produced_updates(), f.routed().len() as u64);
+        assert_eq!(f.logical_passes(), 1);
+    }
+
+    #[test]
+    fn cooperative_schedule_matches_blocking() {
+        let f = feed(4);
+        let ring = Broadcast::new(2);
+        let mut a = ring.subscribe();
+        let mut b = ring.subscribe();
+        let mut producer = RoutedProducer::new(&f, 7);
+        let (mut got_a, mut got_b) = (Vec::new(), Vec::new());
+        let (mut done_a, mut done_b) = (false, false);
+        loop {
+            let produced = producer.pump(&ring);
+            for (c, got, done) in [
+                (&mut a, &mut got_a, &mut done_a),
+                (&mut b, &mut got_b, &mut done_b),
+            ] {
+                loop {
+                    match c.try_next() {
+                        TryNext::Block(bl) => got.extend_from_slice(&bl),
+                        TryNext::Pending => break,
+                        TryNext::Ended => {
+                            *done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if produced && done_a && done_b {
+                break;
+            }
+        }
+        assert_eq!(got_a, f.routed());
+        assert_eq!(got_b, f.routed());
+    }
+
+    #[test]
+    fn backpressure_caps_producer_at_capacity_ahead_of_stalled_consumer() {
+        let f = feed(1);
+        let capacity = 2;
+        let ring = Broadcast::new(capacity);
+        let mut stalled = ring.subscribe();
+        let mut producer = RoutedProducer::new(&f, 4);
+        // Cooperative pump with a consumer that never reads: the ring
+        // fills to capacity and production stops advancing — bounded
+        // memory, no deadlock (try_push just reports no space).
+        assert!(!producer.pump(&ring));
+        assert_eq!(ring.produced_blocks(), capacity as u64);
+        assert!(!producer.pump(&ring), "stalled consumer keeps the cap");
+        assert_eq!(ring.produced_blocks(), capacity as u64);
+        // The consumer wakes up: every read frees one slot.
+        let _ = stalled.try_next();
+        assert!(!producer.pump(&ring));
+        assert_eq!(ring.produced_blocks(), capacity as u64 + 1);
+        // Drain fully: production completes.
+        while !producer.pump(&ring) {
+            match stalled.try_next() {
+                TryNext::Block(_) => {}
+                TryNext::Pending => {}
+                TryNext::Ended => break,
+            }
+        }
+        assert!(ring.is_finished() || producer.is_done());
+    }
+
+    #[test]
+    fn blocking_producer_survives_a_stalled_then_dropped_consumer() {
+        let f = feed(2);
+        let ring = Broadcast::new(2);
+        let stalled = ring.subscribe();
+        let live = ring.subscribe();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| drain(live));
+            let p = s.spawn(|| RoutedProducer::new(&f, 8).run(&ring));
+            // Give the producer time to hit the backpressure cap, then
+            // drop the stalled cursor: the producer must resume and both
+            // remaining parties finish.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!ring.is_finished(), "stalled consumer caps the producer");
+            drop(stalled);
+            p.join().unwrap();
+            assert_eq!(h.join().unwrap(), f.routed());
+        });
+        assert_eq!(f.logical_passes(), 1, "one pass despite the lost consumer");
+        // Both cursors are gone by now: one dropped mid-pass, one
+        // deregistered when `drain` consumed it.
+        assert_eq!(ring.active_consumers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "subscribe before production")]
+    fn late_subscription_is_rejected() {
+        let f = feed(1);
+        let ring = Broadcast::new(2);
+        ring.push(&f.routed()[..1]);
+        let _ = ring.subscribe();
+    }
+}

@@ -13,12 +13,17 @@
 //!   flags, edge counters (the `f2`–`f4` emulators),
 //! * [`sharded`] — hash-partitioned feed shards driving N consumers from
 //!   one logical pass (the sharded pipeline's stream side),
+//! * [`broadcast`] — a bounded single-producer/multi-consumer ring of
+//!   routed-update blocks with per-consumer cursors and backpressure:
+//!   one ingest feeding every estimator at once (the serving path's
+//!   fan-out side),
 //! * [`flat`] — open-addressed hash indexes backing the per-pass routing
 //!   structures (one SplitMix64 probe per update instead of SipHash),
 //! * [`space`] — measured space usage of every sketch, so the experiment
 //!   harness can report *actual* words instead of asymptotic claims,
 //! * [`hash`] — seeded hashing used by the sketches.
 
+pub mod broadcast;
 pub mod counters;
 pub mod flat;
 pub mod hash;
@@ -29,7 +34,8 @@ pub mod source;
 pub mod space;
 pub mod update;
 
-pub use sharded::{shard_of_vertex, ShardUpdate, ShardedFeed};
+pub use broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, TryNext};
+pub use sharded::{shard_of_vertex, RoutedUpdate, ShardUpdate, ShardedFeed};
 pub use source::{EdgeStream, InsertionStream, PassCounter, TurnstileStream};
 pub use space::SpaceUsage;
 pub use update::EdgeUpdate;

@@ -47,6 +47,50 @@ pub fn shard_of_vertex(v: u32, num_shards: usize) -> usize {
     (splitmix64(v as u64 ^ SHARD_SALT) % num_shards as u64) as usize
 }
 
+/// One source-stream update with its shard routing resolved **once, at
+/// buffer-fill time**: the global position, the owner shard (the
+/// canonical endpoint's), and the other endpoint's shard. This is the
+/// element type of [`ShardedFeed::routed`] — the global-order buffer the
+/// broadcast fan-out produces from — so a consumer deciding relevance or
+/// ownedness reads two cached fields instead of redoing the shard hash
+/// per cursor read. `owner == other` when both endpoints hash to the
+/// same shard (always, with one shard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutedUpdate {
+    /// Global position in the source stream (`0..stream_len`).
+    pub position: u32,
+    /// Shard of the canonical endpoint `e.u()` — the owned delivery.
+    pub owner: u16,
+    /// Shard of the other endpoint `e.v()`.
+    pub other: u16,
+    /// The update itself.
+    pub update: EdgeUpdate,
+}
+
+impl RoutedUpdate {
+    /// Whether shard `s` receives this update at all.
+    #[inline]
+    pub fn delivers_to(&self, s: usize) -> bool {
+        self.owner as usize == s || self.other as usize == s
+    }
+
+    /// The delivery shard `s` would see, if any: the same
+    /// [`ShardUpdate`] the scoped-thread path reads from its per-shard
+    /// buffer (owned iff `s` is the canonical endpoint's shard).
+    #[inline]
+    pub fn delivery_for(&self, s: usize) -> Option<ShardUpdate> {
+        if self.delivers_to(s) {
+            Some(ShardUpdate {
+                position: self.position,
+                update: self.update,
+                owned: self.owner as usize == s,
+            })
+        } else {
+            None
+        }
+    }
+}
+
 /// One delivered stream element: the update, its global position in the
 /// source stream, and whether this shard is the canonical owner.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +116,9 @@ pub struct ShardedFeed {
     stream_len: usize,
     total_delta: i64,
     shards: Vec<Vec<ShardUpdate>>,
+    /// The whole source stream in global order with shard routing cached
+    /// at partition time — the broadcast producer's buffer.
+    routed: Vec<RoutedUpdate>,
     logical_passes: AtomicUsize,
 }
 
@@ -80,6 +127,10 @@ impl ShardedFeed {
     /// source — the only time the source stream is read).
     pub fn partition(stream: &impl EdgeStream, num_shards: usize) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
+        assert!(
+            num_shards <= u16::MAX as usize,
+            "shard ids are cached as u16"
+        );
         assert!(
             stream.len() < u32::MAX as usize,
             "stream positions are stored as u32"
@@ -95,6 +146,7 @@ impl ShardedFeed {
         for buf in &mut shards {
             buf.reserve(expect);
         }
+        let mut routed: Vec<RoutedUpdate> = Vec::with_capacity(stream.len());
         let mut total_delta = 0i64;
         let mut position = 0u32;
         stream.replay(&mut |update| {
@@ -113,6 +165,12 @@ impl ShardedFeed {
                     owned: false,
                 });
             }
+            routed.push(RoutedUpdate {
+                position,
+                owner: owner as u16,
+                other: other as u16,
+                update,
+            });
             total_delta += update.delta as i64;
             position += 1;
         });
@@ -121,6 +179,7 @@ impl ShardedFeed {
             stream_len: position as usize,
             total_delta,
             shards,
+            routed,
             logical_passes: AtomicUsize::new(0),
         }
     }
@@ -156,6 +215,16 @@ impl ShardedFeed {
         &self.shards[i]
     }
 
+    /// The whole source stream in global order, each update carrying its
+    /// shard routing (owner/other) cached at partition time. This is the
+    /// buffer a broadcast producer chunks into ring blocks; a shard
+    /// consumer reconstructs exactly [`ShardedFeed::shard`]`(i)` from it
+    /// via [`RoutedUpdate::delivery_for`] with **zero** hash recomputes.
+    #[inline]
+    pub fn routed(&self) -> &[RoutedUpdate] {
+        &self.routed
+    }
+
     /// Record the start of one logical pass. Replaying all N shard
     /// buffers after this call is *one* pass over the data — callers
     /// drive every shard exactly once per `begin_pass`.
@@ -169,12 +238,14 @@ impl ShardedFeed {
     }
 }
 
-/// A `ShardedFeed` is itself a replayable stream: replay merges the
-/// owned deliveries of all shards back into global position order,
-/// reconstructing the source stream exactly. Each such replay is one
-/// logical pass. This is what lets `run_insertion`/`run_turnstile`
-/// remain thin single-shard cases of the sharded path, and lets sharded
-/// and unsharded consumers be driven from the same feed.
+/// A `ShardedFeed` is itself a replayable stream: replay walks the
+/// routed global-order buffer cached at partition time, reconstructing
+/// the source stream exactly (it used to k-way-merge the per-shard
+/// buffers' owned deliveries; the routed cache makes the merge a linear
+/// scan). Each such replay is one logical pass. This is what lets
+/// `run_insertion`/`run_turnstile` remain thin single-shard cases of the
+/// sharded path, and lets sharded and unsharded consumers be driven from
+/// the same feed.
 impl EdgeStream for ShardedFeed {
     fn num_vertices(&self) -> usize {
         self.n
@@ -182,31 +253,8 @@ impl EdgeStream for ShardedFeed {
 
     fn replay(&self, sink: &mut dyn FnMut(EdgeUpdate)) {
         self.begin_pass();
-        // K-way merge over the per-shard cursors: owned entries are
-        // position-sorted within each shard and globally disjoint.
-        let mut cursors = vec![0usize; self.shards.len()];
-        // Skip foreign deliveries up front and after each take.
-        for (c, buf) in cursors.iter_mut().zip(&self.shards) {
-            while *c < buf.len() && !buf[*c].owned {
-                *c += 1;
-            }
-        }
-        for _ in 0..self.stream_len {
-            let mut best: Option<usize> = None;
-            let mut best_pos = u32::MAX;
-            for (s, (&c, buf)) in cursors.iter().zip(&self.shards).enumerate() {
-                if c < buf.len() && buf[c].position < best_pos {
-                    best_pos = buf[c].position;
-                    best = Some(s);
-                }
-            }
-            let s = best.expect("owned deliveries cover every position");
-            sink(self.shards[s][cursors[s]].update);
-            cursors[s] += 1;
-            let buf = &self.shards[s];
-            while cursors[s] < buf.len() && !buf[cursors[s]].owned {
-                cursors[s] += 1;
-            }
+        for r in &self.routed {
+            sink(r.update);
         }
     }
 
@@ -332,6 +380,41 @@ mod tests {
         let ins = InsertionStream::from_graph(&g, 13);
         let feed = ShardedFeed::partition(&ins, 4);
         assert_eq!(feed.final_edge_count(), 120);
+    }
+
+    #[test]
+    fn routed_cache_matches_recomputed_hashes_and_shard_buffers() {
+        // The owned-delivery/owner-shard flags are computed once, at
+        // buffer-fill time; consumers must be able to trust the cache
+        // instead of redoing the shard hash per cursor read.
+        let g = gen::gnm(30, 140, 21);
+        let s = TurnstileStream::from_graph_with_churn(&g, 0.8, 22);
+        for shards in [1usize, 2, 4, 7] {
+            let feed = ShardedFeed::partition(&s, shards);
+            assert_eq!(feed.routed().len(), s.len());
+            for (i, r) in feed.routed().iter().enumerate() {
+                assert_eq!(r.position as usize, i);
+                let (u, v) = r.update.edge.endpoints();
+                assert_eq!(r.owner as usize, shard_of_vertex(u.0, shards));
+                assert_eq!(r.other as usize, shard_of_vertex(v.0, shards));
+            }
+            // Reconstructing each shard's deliveries from the routed
+            // buffer reproduces the per-shard buffers exactly.
+            for i in 0..shards {
+                let rebuilt: Vec<ShardUpdate> = feed
+                    .routed()
+                    .iter()
+                    .filter_map(|r| r.delivery_for(i))
+                    .collect();
+                let direct = feed.shard(i);
+                assert_eq!(rebuilt.len(), direct.len(), "shard {i}");
+                for (a, b) in rebuilt.iter().zip(direct) {
+                    assert_eq!(a.position, b.position, "shard {i}");
+                    assert_eq!(a.update, b.update, "shard {i}");
+                    assert_eq!(a.owned, b.owned, "shard {i}");
+                }
+            }
+        }
     }
 
     #[test]

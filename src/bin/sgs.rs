@@ -1,7 +1,7 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--reservoir offer|skip] [--relaxed]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N]
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
 //! sgs info    --edges FILE
@@ -179,6 +179,73 @@ fn main() {
                 SamplerMode::Indexed
             };
             let opts = sgs_query::PassOpts { block, reservoir };
+            // --broadcast runs the serving path: ONE ingest per logical
+            // pass fans out over a bounded ring to the shard routers
+            // plus side consumers (TRIÈST baseline, exact CSR oracle, a
+            // raw pass counter, and --consumers N extra raw counters),
+            // all riding the estimator's first pass — no private
+            // replays. The estimate stays bit-identical.
+            if args.has("broadcast") {
+                let extra_raw: usize = args.num("consumers", 0);
+                let turnstile = args.has("turnstile");
+                if turnstile && (args.has("relaxed") || args.has("reservoir")) {
+                    eprintln!(
+                        "error: --relaxed/--reservoir only apply to insertion runs \
+                         (turnstile trials are always relaxed, on ℓ₀-samplers)"
+                    );
+                    exit(2);
+                }
+                let consumers = sgs_core::fgp::ConsumerSet {
+                    triest_capacity: if turnstile {
+                        None
+                    } else {
+                        Some(1024.min(m.max(2)))
+                    },
+                    exact: true,
+                    extra_raw,
+                };
+                let mut arena = sgs_query::RouterArena::new();
+                let bundle = if turnstile {
+                    let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+                    let feed = sgs_stream::ShardedFeed::partition(&s, shards);
+                    sgs_core::fgp::estimate_turnstile_broadcast_with_opts(
+                        &pattern, &feed, trials, seed, &mut arena, block, consumers,
+                    )
+                } else {
+                    let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+                    let feed = sgs_stream::ShardedFeed::partition(&s, shards);
+                    sgs_core::fgp::estimate_insertion_broadcast_with_opts(
+                        &pattern, &feed, trials, seed, &mut arena, opts, sampler, consumers,
+                    )
+                }
+                .expect("plan validated above");
+                let est = &bundle.estimate;
+                println!(
+                    "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, broadcast)",
+                    pattern.name(),
+                    est.estimate,
+                    est.hits,
+                    est.trials,
+                    plan.rho(),
+                    est.report.passes,
+                    m,
+                    shards,
+                    if shards == 1 { "" } else { "s" },
+                );
+                if let Some(t) = &bundle.triest {
+                    println!("  triest baseline ≈ {:.1} (same ingest)", t.estimate);
+                }
+                if let Some(x) = bundle.exact {
+                    println!("  exact (CSR oracle, same ingest) = {x}");
+                }
+                println!(
+                    "  raw counter: {} updates; {} extra consumer{} attached",
+                    bundle.raw_updates,
+                    extra_raw,
+                    if extra_raw == 1 { "" } else { "s" },
+                );
+                return;
+            }
             let est = if args.has("turnstile") {
                 // Turnstile trials always run the relaxed query mix on
                 // ℓ₀-samplers (Definition 10 has no indexed f3 and no

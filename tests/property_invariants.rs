@@ -249,3 +249,82 @@ fn executor_random_edge_sound() {
         }
     }
 }
+
+/// Broadcast-ring cursor invariants under randomized cooperative
+/// interleavings: each consumer's cursor is monotone (one block at a
+/// time), never ahead of what was produced, and the blocks it consumed,
+/// concatenated in cursor order, reconstruct the exact routed update
+/// sequence — for random ring capacities, block lengths, shard counts,
+/// and consumer counts (including zero).
+#[test]
+fn broadcast_cursor_monotone_bounded_and_lossless() {
+    use sgs_stream::broadcast::{Broadcast, RoutedProducer, TryNext};
+    use sgs_stream::sharded::RoutedUpdate;
+    use sgs_stream::ShardedFeed;
+    for case in 0..CASES {
+        let mut rng = case_rng(0xbca5, case);
+        let n = rng.gen_range(5usize..25);
+        let mdiv = rng.gen_range(2usize..5);
+        let m = (n * (n - 1) / 2) / mdiv;
+        let g = sgs_graph::gen::gnm(n, m, rng.next_u64());
+        let shards = rng.gen_range(1usize..5);
+        let stream = InsertionStream::from_graph(&g, rng.next_u64());
+        let feed = ShardedFeed::partition(&stream, shards);
+        let capacity = rng.gen_range(1usize..5);
+        let block = rng.gen_range(1usize..9);
+        let n_consumers = rng.gen_range(0usize..4);
+
+        let ring = Broadcast::new(capacity);
+        let mut consumers: Vec<_> = (0..n_consumers)
+            .map(|_| (ring.subscribe(), Vec::<RoutedUpdate>::new(), false))
+            .collect();
+        let mut producer = RoutedProducer::new(&feed, block);
+        let mut produced_done = false;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            assert!(
+                steps < 200_000,
+                "case {case}: interleaving failed to make progress"
+            );
+            // Randomized schedule: each step one actor moves once.
+            let actor = rng.gen_range(0..(n_consumers as u64) + 1) as usize;
+            if actor == n_consumers {
+                produced_done = producer.pump(&ring);
+            } else {
+                let (c, seen, ended) = &mut consumers[actor];
+                let before = c.blocks_consumed();
+                match c.try_next() {
+                    TryNext::Block(b) => {
+                        seen.extend_from_slice(&b);
+                        // Monotone: exactly one block per successful read.
+                        assert_eq!(c.blocks_consumed(), before + 1, "case {case}");
+                    }
+                    TryNext::Pending => assert!(!*ended, "case {case}"),
+                    TryNext::Ended => *ended = true,
+                }
+                // Bounded: a cursor never runs ahead of production.
+                assert!(
+                    c.blocks_consumed() <= ring.produced_blocks(),
+                    "case {case}: cursor ahead of producer"
+                );
+                assert!(
+                    c.updates_consumed() <= ring.produced_updates(),
+                    "case {case}"
+                );
+            }
+            if produced_done && consumers.iter().all(|(_, _, ended)| *ended) {
+                break;
+            }
+        }
+        // Lossless: every consumer's concatenated blocks are exactly the
+        // routed source sequence (order, positions, routing, deltas).
+        for (i, (c, seen, _)) in consumers.iter().enumerate() {
+            assert_eq!(seen.as_slice(), feed.routed(), "case {case}, consumer {i}");
+            assert_eq!(c.updates_consumed(), feed.stream_len() as u64);
+            assert_eq!(c.blocks_consumed(), ring.produced_blocks());
+        }
+        assert_eq!(ring.produced_updates(), feed.stream_len() as u64);
+        assert_eq!(feed.logical_passes(), 1, "case {case}");
+    }
+}
