@@ -1,0 +1,161 @@
+//! Checkpointed estimator drivers: durable `estimate_*` entry points.
+//!
+//! These wrap the FGP trial bank (the same [`Parallel`] bank every other
+//! executor drives) in `sgs-query`'s checkpointed drivers: the input
+//! stream is made durable in a write-ahead log before estimation starts,
+//! estimator state is snapshotted at delivery-block boundaries, and a
+//! crashed run resumes from the latest snapshot to the **byte-identical**
+//! estimate the uninterrupted run produces — same estimate bits, hits,
+//! `m`, and report, at any shard count, in both stream models.
+//! `tests/crash_recovery.rs` sweeps every crash point.
+//!
+//! The sibling of [`crate::fgp::parallel_exec`]: same plan/bank/seed
+//! plumbing, with a [`CheckpointSession`] threaded through.
+
+use crate::fgp::counter::{build_parallel, CountEstimate};
+use crate::fgp::plan::SamplerPlan;
+use crate::fgp::sampler::SamplerMode;
+use sgs_graph::Pattern;
+use sgs_query::checkpoint::{run_insertion_checkpointed, run_turnstile_checkpointed};
+use sgs_query::exec::PassOpts;
+use sgs_query::CheckpointSession;
+use sgs_query::RouterArena;
+use sgs_stream::hash::split_seed;
+use sgs_stream::persist::PersistResult;
+use sgs_stream::ShardedFeed;
+
+/// Estimate `#H` from an insertion-only feed under a checkpoint
+/// session. Returns `Ok(None)` when the pattern has no sampler plan or
+/// when the session's simulated crash point fires; otherwise the same
+/// [`CountEstimate`] the uninterrupted executors produce. Resumes
+/// transparently when the session carries snapshot state.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_insertion_checkpointed(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    sampler: SamplerMode,
+    session: &mut CheckpointSession,
+) -> PersistResult<Option<CountEstimate>> {
+    let Some(plan) = SamplerPlan::new(pattern) else {
+        return Ok(None);
+    };
+    let par = build_parallel(&plan, sampler, trials, seed);
+    let run =
+        run_insertion_checkpointed(par, feed, split_seed(seed, u64::MAX), arena, opts, session)?;
+    Ok(run.map(|(outcomes, report)| CountEstimate::from_outcomes(outcomes, plan.rho(), report)))
+}
+
+/// Turnstile sibling of [`estimate_insertion_checkpointed`] (relaxed
+/// sampler mode, as in every turnstile executor).
+pub fn estimate_turnstile_checkpointed(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    session: &mut CheckpointSession,
+) -> PersistResult<Option<CountEstimate>> {
+    let Some(plan) = SamplerPlan::new(pattern) else {
+        return Ok(None);
+    };
+    let par = build_parallel(&plan, SamplerMode::Relaxed, trials, seed);
+    let run =
+        run_turnstile_checkpointed(par, feed, split_seed(seed, u64::MAX), arena, opts, session)?;
+    Ok(run.map(|(outcomes, report)| CountEstimate::from_outcomes(outcomes, plan.rho(), report)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgp::parallel_exec::{
+        estimate_insertion_on_feed_with_opts, estimate_turnstile_on_feed_with_block,
+    };
+    use sgs_graph::gen;
+    use sgs_stream::{InsertionStream, TurnstileStream};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sgs-core-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpointed_estimate_matches_plain_insertion() {
+        let g = gen::gnm(30, 140, 51);
+        let stream = InsertionStream::from_graph(&g, 52);
+        for shards in [1usize, 2] {
+            let feed = ShardedFeed::partition(&stream, shards);
+            let dir = tmp_dir(&format!("ins-{shards}"));
+            let mut session = CheckpointSession::create(&dir, &feed, 4, 32).unwrap();
+            let mut arena = RouterArena::new();
+            let ckpt = estimate_insertion_checkpointed(
+                &Pattern::triangle(),
+                &feed,
+                300,
+                53,
+                &mut arena,
+                PassOpts::default(),
+                SamplerMode::Indexed,
+                &mut session,
+            )
+            .unwrap()
+            .unwrap();
+            let mut arena2 = RouterArena::new();
+            let plain = estimate_insertion_on_feed_with_opts(
+                &Pattern::triangle(),
+                &feed,
+                300,
+                53,
+                &mut arena2,
+                PassOpts::default(),
+                SamplerMode::Indexed,
+            )
+            .unwrap();
+            assert_eq!(ckpt.estimate.to_bits(), plain.estimate.to_bits());
+            assert_eq!(ckpt.hits, plain.hits);
+            assert_eq!(ckpt.m, plain.m);
+            assert_eq!(ckpt.trials, plain.trials);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpointed_estimate_matches_plain_turnstile() {
+        let g = gen::gnm(24, 100, 55);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 0.7, 56);
+        let feed = ShardedFeed::partition(&tst, 2);
+        let dir = tmp_dir("tst");
+        let mut session = CheckpointSession::create(&dir, &feed, 4, 32).unwrap();
+        let mut arena = RouterArena::new();
+        let ckpt = estimate_turnstile_checkpointed(
+            &Pattern::triangle(),
+            &feed,
+            200,
+            57,
+            &mut arena,
+            PassOpts::default(),
+            &mut session,
+        )
+        .unwrap()
+        .unwrap();
+        let mut arena2 = RouterArena::new();
+        let plain = estimate_turnstile_on_feed_with_block(
+            &Pattern::triangle(),
+            &feed,
+            200,
+            57,
+            &mut arena2,
+            PassOpts::default().block,
+        )
+        .unwrap();
+        assert_eq!(ckpt.estimate.to_bits(), plain.estimate.to_bits());
+        assert_eq!(ckpt.hits, plain.hits);
+        assert_eq!(ckpt.m, plain.m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

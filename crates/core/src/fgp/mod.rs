@@ -8,6 +8,7 @@
 
 pub mod assemble;
 pub mod broadcast_exec;
+pub mod checkpoint_exec;
 pub mod counter;
 pub mod parallel_exec;
 pub mod plan;
@@ -21,6 +22,7 @@ pub use broadcast_exec::{
     estimate_turnstile_broadcast, estimate_turnstile_broadcast_with_opts, triest_seed,
     BroadcastEstimate, ConsumerSet,
 };
+pub use checkpoint_exec::{estimate_insertion_checkpointed, estimate_turnstile_checkpointed};
 pub use counter::{
     estimate_insertion, estimate_oracle, estimate_turnstile, practical_trials, theory_trials,
     CountEstimate,

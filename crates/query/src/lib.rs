@@ -25,6 +25,9 @@
 //!   machines drawing from the cursors of one bounded
 //!   [`sgs_stream::Broadcast`] ring, with side consumers (baselines,
 //!   exact oracles, pass counters) riding the same single ingest,
+//! * [`checkpoint`] — durable executor state: a write-ahead log of the
+//!   routed stream plus block-boundary snapshots of mid-run estimator
+//!   state, with byte-identical crash recovery,
 //! * [`exec`] — the three executors:
 //!   [`exec::run_on_oracle`] (query-access),
 //!   [`exec::run_insertion`] (Theorem 9: one pass per round, reservoir
@@ -39,6 +42,7 @@
 pub mod accounting;
 pub mod arena;
 pub mod broadcast;
+pub mod checkpoint;
 pub mod exec;
 pub mod oracle;
 pub mod query;
@@ -63,6 +67,10 @@ pub use broadcast::{
     answer_turnstile_batch_broadcast, answer_turnstile_batch_broadcast_with_opts,
     run_insertion_broadcast, run_insertion_broadcast_with_opts, run_turnstile_broadcast,
     run_turnstile_broadcast_with_opts, BroadcastOpts, SideSink,
+};
+pub use checkpoint::{
+    run_insertion_checkpointed, run_turnstile_checkpointed, CheckpointSession,
+    DEFAULT_CHECKPOINT_CHUNK, DEFAULT_SNAPSHOT_EVERY,
 };
 pub use exec::PassOpts;
 pub use oracle::{ExactOracle, GraphOracle};

@@ -33,6 +33,7 @@
 use crate::query::{Answer, Query};
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::flat::{FlatIndex, ABSENT};
+use sgs_stream::persist::{Decoder, Encoder, PersistResult};
 use sgs_stream::EdgeUpdate;
 
 /// Which streaming model the batch is routed for.
@@ -501,6 +502,90 @@ impl QueryRouter {
                 self.m += delta;
             }
         }
+    }
+
+    /// Serialize the mutable feed state — per-group degree counters,
+    /// watcher clocks and live ranges, recorded watcher hits, adjacency
+    /// flags, and the running edge count — into `enc`. The routing
+    /// *geometry* (indexes, slot lists, pooled ranges) is not included:
+    /// it is a deterministic function of the batch, rebuilt by
+    /// [`QueryRouter::rebuild`], so a checkpoint restores feed state
+    /// into an identically rebuilt router.
+    pub(crate) fn encode_feed_state(&self, enc: &mut Encoder) {
+        enc.u64(self.groups.len() as u64);
+        for st in &self.groups {
+            enc.i64(st.deg);
+            enc.u64(st.seen);
+            enc.u32(st.watch_live);
+        }
+        enc.u64(self.watch_hits.len() as u64);
+        for &(slot, v) in &self.watch_hits {
+            enc.u32(slot);
+            enc.u32(v.0);
+        }
+        enc.u64(self.flag_present.len() as u64);
+        for &p in &self.flag_present {
+            enc.u8(p as u8);
+        }
+        enc.i64(self.m);
+    }
+
+    /// Restore feed state captured by [`QueryRouter::encode_feed_state`]
+    /// into a router freshly rebuilt over the same batch. Validates that
+    /// the recorded shape matches this router's geometry.
+    pub(crate) fn restore_feed_state(&mut self, dec: &mut Decoder) -> PersistResult<()> {
+        let groups = dec.count(20, "router groups")?;
+        if groups != self.groups.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {groups} vertex groups, router has {}",
+                self.groups.len()
+            )));
+        }
+        for (i, st) in self.groups.iter_mut().enumerate() {
+            let deg = dec.i64("group degree")?;
+            let seen = dec.u64("group arrivals")?;
+            let watch_live = dec.u32("group watch cursor")?;
+            // Feed only shrinks the live range from its rebuilt top.
+            if watch_live < st.watch_start || watch_live > st.watch_live {
+                return Err(dec.corrupt(format!(
+                    "group {i} watch cursor {watch_live} outside {}..={}",
+                    st.watch_start, st.watch_live
+                )));
+            }
+            st.deg = deg;
+            st.seen = seen;
+            st.watch_live = watch_live;
+        }
+        let hits = dec.count(8, "watcher hits")?;
+        let mut watch_hits = Vec::with_capacity(hits);
+        for _ in 0..hits {
+            let slot = dec.u32("watcher slot")?;
+            if slot as usize >= self.batch_len {
+                return Err(dec.corrupt(format!(
+                    "watcher slot {slot} exceeds batch of {}",
+                    self.batch_len
+                )));
+            }
+            watch_hits.push((slot, VertexId(dec.u32("watcher vertex")?)));
+        }
+        let flags = dec.count(1, "adjacency flags")?;
+        if flags != self.flag_present.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {flags} adjacency flags, router has {}",
+                self.flag_present.len()
+            )));
+        }
+        for p in self.flag_present.iter_mut() {
+            *p = match dec.u8("adjacency flag")? {
+                0 => false,
+                1 => true,
+                _ => return Err(dec.corrupt("adjacency flag byte is not 0/1")),
+            };
+        }
+        let m = dec.i64("edge count")?;
+        self.watch_hits = watch_hits;
+        self.m = m;
+        Ok(())
     }
 
     /// Distribute the router-owned answers (`EdgeCount`, `f2`, indexed

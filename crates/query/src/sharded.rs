@@ -49,6 +49,7 @@ use crate::router::RouterMode;
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
+use sgs_stream::persist::{frame, read_frame_of, Decoder, Encoder, PersistResult, KIND_PASS_STATE};
 use sgs_stream::reservoir::ReservoirBank;
 use sgs_stream::sharded::{shard_of_vertex, ShardUpdate, ShardedFeed};
 use sgs_stream::EdgeUpdate;
@@ -245,6 +246,58 @@ impl<'a> InsertionShardPass<'a> {
         self.slot.pass_nanos.push(nanos);
     }
 
+    /// Serialize the mutable mid-pass state: the reservoir bank (RNG
+    /// words included), the `f1` position hits recorded so far, and the
+    /// target cursor. The router, targets, and batch are *not* included
+    /// — they are rebuilt deterministically by [`InsertionShardPass::new`]
+    /// from the round's batch and pass seed, so a restored pass resumes
+    /// byte-identically from the snapshot's delivery boundary.
+    pub(crate) fn snapshot_state(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u8(0); // model tag: insertion
+        self.slot.router.encode_feed_state(&mut enc);
+        enc.u64(self.cursor as u64);
+        enc.u64(self.edge_hits.len() as u64);
+        for &(slot, e) in &self.edge_hits {
+            enc.u32(slot);
+            enc.edge(e);
+        }
+        enc.blob(&self.reservoirs.to_persist_bytes());
+        frame(KIND_PASS_STATE, &enc.into_bytes())
+    }
+
+    /// Restore mid-pass state captured by
+    /// [`InsertionShardPass::snapshot_state`] into a freshly built pass
+    /// over the same batch, targets, pass seed, and options.
+    pub(crate) fn restore_state(&mut self, bytes: &[u8]) -> PersistResult<()> {
+        let f = read_frame_of(bytes, 0, KIND_PASS_STATE)?;
+        let mut dec = Decoder::new(f.payload);
+        if dec.u8("pass model")? != 0 {
+            return Err(dec.corrupt("pass state is not an insertion pass"));
+        }
+        self.slot.router.restore_feed_state(&mut dec)?;
+        let cursor = dec.u64("target cursor")? as usize;
+        if cursor > self.targets.len() {
+            return Err(dec.corrupt(format!(
+                "target cursor {cursor} exceeds {} targets",
+                self.targets.len()
+            )));
+        }
+        let hits = dec.count(12, "edge hits")?;
+        let mut edge_hits = Vec::with_capacity(hits);
+        for _ in 0..hits {
+            let slot = dec.u32("hit slot")?;
+            let e = dec.edge("hit edge")?;
+            edge_hits.push((slot, e));
+        }
+        let res = dec.blob("reservoir bank")?;
+        dec.finish()?;
+        self.reservoirs.restore_from_persist_bytes(res)?;
+        self.edge_hits = edge_hits;
+        self.cursor = cursor;
+        Ok(())
+    }
+
     /// End of stream: fill shard-local answers and report the outcome.
     pub(crate) fn finish(self) -> ShardOutcome {
         let InsertionShardPass {
@@ -402,6 +455,64 @@ impl<'a> TurnstileShardPass<'a> {
     /// See [`InsertionShardPass::record_pass_nanos`].
     pub(crate) fn record_pass_nanos(&mut self, nanos: u64) {
         self.slot.pass_nanos.push(nanos);
+    }
+
+    /// Serialize the mutable mid-pass state: every ℓ₀-sampler of the
+    /// `f1` bank and the neighbor bank, counters and all. Router and
+    /// vertex lists are rebuilt by [`TurnstileShardPass::new`].
+    pub(crate) fn snapshot_state(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u8(1); // model tag: turnstile
+        self.slot.router.encode_feed_state(&mut enc);
+        enc.u64(self.f1_bank.len() as u64);
+        for s in &self.f1_bank {
+            enc.blob(&s.to_persist_bytes());
+        }
+        enc.u64(self.nbr_samplers.len() as u64);
+        for s in &self.nbr_samplers {
+            enc.blob(&s.to_persist_bytes());
+        }
+        frame(KIND_PASS_STATE, &enc.into_bytes())
+    }
+
+    /// Restore mid-pass state captured by
+    /// [`TurnstileShardPass::snapshot_state`] into a freshly built pass
+    /// over the same batch, `f1` slots, and pass seed.
+    pub(crate) fn restore_state(&mut self, bytes: &[u8]) -> PersistResult<()> {
+        let f = read_frame_of(bytes, 0, KIND_PASS_STATE)?;
+        let mut dec = Decoder::new(f.payload);
+        if dec.u8("pass model")? != 1 {
+            return Err(dec.corrupt("pass state is not a turnstile pass"));
+        }
+        self.slot.router.restore_feed_state(&mut dec)?;
+        let f1 = dec.count(8, "f1 bank")?;
+        if f1 != self.f1_bank.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {f1} f1 samplers, pass expects {}",
+                self.f1_bank.len()
+            )));
+        }
+        let mut f1_bank = Vec::with_capacity(f1);
+        for _ in 0..f1 {
+            f1_bank.push(L0Sampler::from_persist_bytes(dec.blob("f1 sampler")?)?);
+        }
+        let nbr = dec.count(8, "neighbor bank")?;
+        if nbr != self.nbr_samplers.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {nbr} neighbor samplers, pass expects {}",
+                self.nbr_samplers.len()
+            )));
+        }
+        let mut nbr_samplers = Vec::with_capacity(nbr);
+        for _ in 0..nbr {
+            nbr_samplers.push(L0Sampler::from_persist_bytes(
+                dec.blob("neighbor sampler")?,
+            )?);
+        }
+        dec.finish()?;
+        self.f1_bank = f1_bank;
+        self.nbr_samplers = nbr_samplers;
+        Ok(())
     }
 
     /// End of stream: fill shard-local answers and report the outcome.

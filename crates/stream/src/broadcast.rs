@@ -38,6 +38,7 @@
 use crate::sharded::{RoutedUpdate, ShardedFeed};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default number of in-flight ring blocks.
 pub const DEFAULT_RING_CAPACITY: usize = 8;
@@ -66,6 +67,22 @@ struct Cursor {
     active: bool,
 }
 
+/// One recorded producer stall: [`Broadcast::push`] sat blocked on the
+/// slowest active cursor for longer than the configured threshold.
+/// Queryable from the feed via [`Broadcast::stall_events`], this turns a
+/// silent backpressure deadlock-in-waiting into observable state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallEvent {
+    /// The consumer the producer was blocked on when the threshold fired
+    /// (the slowest active cursor — minimum `next_seq` — at that moment).
+    pub consumer: usize,
+    /// Total nanoseconds the producer spent blocked in that push. The
+    /// event is recorded at the first threshold crossing and its
+    /// duration updated until the push unblocks, so a still-stalled
+    /// producer is visible *while* it is stuck.
+    pub blocked_ns: u64,
+}
+
 struct State {
     ring: VecDeque<Block>,
     /// Sequence number of `ring[0]`.
@@ -78,6 +95,8 @@ struct State {
     /// Set on the first push: no further subscriptions.
     sealed: bool,
     consumers: Vec<Cursor>,
+    /// Producer stalls past the configured threshold, in record order.
+    stall_events: Vec<StallEvent>,
 }
 
 impl State {
@@ -96,6 +115,19 @@ impl State {
             self.base_seq += 1;
         }
     }
+
+    /// The consumer the producer is blocked on: the slowest active
+    /// cursor (minimum `next_seq`; lowest id breaks ties). `None` with
+    /// no active consumers — but then eviction frees space and the
+    /// producer never waits.
+    fn slowest_active(&self) -> Option<usize> {
+        self.consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.active)
+            .min_by_key(|(_, c)| c.next_seq)
+            .map(|(i, _)| i)
+    }
 }
 
 struct Shared {
@@ -105,6 +137,9 @@ struct Shared {
     /// Consumers wait here for new blocks (or finish).
     data: Condvar,
     capacity: usize,
+    /// Record a [`StallEvent`] when a blocking push waits longer than
+    /// this. `None` disables the diagnostics (no timed waits at all).
+    stall_threshold: Option<Duration>,
 }
 
 /// The producer handle of a bounded SPMC broadcast ring.
@@ -115,6 +150,17 @@ pub struct Broadcast {
 impl Broadcast {
     /// A ring holding at most `capacity` blocks in flight (`>= 1`).
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// A ring that additionally records a [`StallEvent`] whenever a
+    /// blocking [`Broadcast::push`] waits on the slowest cursor for
+    /// longer than `threshold`.
+    pub fn with_stall_threshold(capacity: usize, threshold: Duration) -> Self {
+        Self::build(capacity, Some(threshold))
+    }
+
+    fn build(capacity: usize, stall_threshold: Option<Duration>) -> Self {
         assert!(capacity >= 1, "ring needs at least one block slot");
         Broadcast {
             shared: Arc::new(Shared {
@@ -126,10 +172,12 @@ impl Broadcast {
                     finished: false,
                     sealed: false,
                     consumers: Vec::new(),
+                    stall_events: Vec::new(),
                 }),
                 space: Condvar::new(),
                 data: Condvar::new(),
                 capacity,
+                stall_threshold,
             }),
         }
     }
@@ -163,12 +211,43 @@ impl Broadcast {
         let mut st = self.shared.state.lock().unwrap();
         assert!(!st.finished, "push after finish");
         st.sealed = true;
+        let mut wait_start: Option<Instant> = None;
+        let mut event: Option<usize> = None;
         loop {
             st.evict();
             if st.ring.len() < self.shared.capacity {
                 break;
             }
-            st = self.shared.space.wait(st).unwrap();
+            match self.shared.stall_threshold {
+                None => st = self.shared.space.wait(st).unwrap(),
+                Some(threshold) => {
+                    // Timed wait so a producer stuck on a stalled cursor
+                    // surfaces as an observable event instead of a silent
+                    // hang. The event is recorded at the first threshold
+                    // crossing and its duration kept current on every
+                    // re-check until the push unblocks.
+                    let start = *wait_start.get_or_insert_with(Instant::now);
+                    st = self.shared.space.wait_timeout(st, threshold).unwrap().0;
+                    let blocked = start.elapsed();
+                    if blocked >= threshold {
+                        let blocked_ns = blocked.as_nanos() as u64;
+                        match event {
+                            Some(i) => st.stall_events[i].blocked_ns = blocked_ns,
+                            None => {
+                                let consumer = st.slowest_active().unwrap_or(usize::MAX);
+                                event = Some(st.stall_events.len());
+                                st.stall_events.push(StallEvent {
+                                    consumer,
+                                    blocked_ns,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(start), Some(i)) = (wait_start, event) {
+            st.stall_events[i].blocked_ns = start.elapsed().as_nanos() as u64;
         }
         st.produced_seq += 1;
         st.produced_updates += block.len() as u64;
@@ -236,6 +315,14 @@ impl Broadcast {
     /// Ring capacity in blocks.
     pub fn capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// Recorded producer stalls (pushes blocked past the threshold set
+    /// by [`Broadcast::with_stall_threshold`]), in record order. An
+    /// in-progress stall is already visible here with its
+    /// duration-so-far.
+    pub fn stall_events(&self) -> Vec<StallEvent> {
+        self.shared.state.lock().unwrap().stall_events.clone()
     }
 }
 

@@ -14,6 +14,9 @@
 //! plain `Vec`s indexed by group id, and answer distribution walks those
 //! `Vec`s without touching the table again.
 
+use crate::persist::{
+    frame, read_frame_of, Decoder, Encoder, PersistError, PersistResult, KIND_FLAT,
+};
 use crate::space::SpaceUsage;
 use sgs_prng::splitmix64;
 
@@ -223,6 +226,65 @@ impl FlatIndex {
                 self.probe_from(s, k)
             };
         }
+    }
+
+    /// Serialize the table as one framed, checksummed record: capacity,
+    /// entry count, and the raw slot plane (layout-exact, so a decoded
+    /// index probes identically — same collisions, same walk order).
+    pub fn to_persist_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u64(self.slots.len() as u64);
+        enc.u64(self.len as u64);
+        for s in &self.slots {
+            enc.u64(s.key);
+            enc.u32(s.id);
+        }
+        frame(KIND_FLAT, &enc.into_bytes())
+    }
+
+    /// Deserialize a record written by [`FlatIndex::to_persist_bytes`],
+    /// validating the table invariants (power-of-two capacity, occupied
+    /// slot count matching `len`, dense ids `0..len` each appearing
+    /// once). Corrupt input errors; it never panics.
+    pub fn from_persist_bytes(bytes: &[u8]) -> PersistResult<FlatIndex> {
+        let f = read_frame_of(bytes, 0, KIND_FLAT)?;
+        let mut dec = Decoder::new(f.payload);
+        let cap = dec.u64("table capacity")?;
+        let len = dec.u64("entry count")?;
+        if cap == 0 || !cap.is_power_of_two() || cap as usize * 12 > dec.remaining() {
+            return Err(dec.corrupt(format!("implausible table capacity {cap}")));
+        }
+        if len > cap {
+            return Err(dec.corrupt(format!("{len} entries exceed capacity {cap}")));
+        }
+        let (cap, len) = (cap as usize, len as u32);
+        let mut slots = Vec::with_capacity(cap);
+        let mut id_seen = vec![false; len as usize];
+        for i in 0..cap {
+            let key = dec.u64("slot key")?;
+            let id = dec.u32("slot id")?;
+            if id != EMPTY {
+                if id >= len {
+                    return Err(dec.corrupt(format!("slot {i}: id {id} out of range {len}")));
+                }
+                if std::mem::replace(&mut id_seen[id as usize], true) {
+                    return Err(dec.corrupt(format!("slot {i}: duplicate id {id}")));
+                }
+            }
+            slots.push(Slot { key, id });
+        }
+        dec.finish()?;
+        if id_seen.iter().any(|&s| !s) {
+            return Err(PersistError::corrupt(
+                0,
+                format!("occupied slots do not cover ids 0..{len}"),
+            ));
+        }
+        Ok(FlatIndex {
+            slots,
+            mask: cap - 1,
+            len,
+        })
     }
 
     fn grow(&mut self) {

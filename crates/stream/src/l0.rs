@@ -51,6 +51,7 @@
 //!   without changing a single output bit (addition commutes).
 
 use crate::hash::{split_seed, splitmix64, SeededHash};
+use crate::persist::{frame, read_frame_of, Decoder, Encoder, PersistResult, KIND_L0};
 use crate::space::SpaceUsage;
 
 /// A turnstile ℓ₀-sampler over `u64` keys.
@@ -328,6 +329,86 @@ impl L0Sampler {
     /// Total updates absorbed (diagnostics).
     pub fn updates_absorbed(&self) -> u64 {
         self.updates_absorbed
+    }
+
+    /// Negate the sketch in place: afterwards it summarizes `-x` instead
+    /// of `x`. Every detector field is linear, so merging a negated
+    /// snapshot into a live sketch *subtracts* the snapshot's update
+    /// prefix exactly — the sliding-window subtraction the windowed demo
+    /// is built on. (`updates_absorbed` is diagnostics, not sketch state;
+    /// it is left as the count of updates this bank processed.)
+    pub fn negate(&mut self) {
+        for c in &mut self.count {
+            *c = -*c;
+        }
+        for (lo, hi) in self.key_sum_lo.iter_mut().zip(&mut self.key_sum_hi) {
+            // 128-bit two's-complement negate across the split planes.
+            let v = (((*hi as u128) << 64) | *lo as u128).wrapping_neg();
+            *lo = v as u64;
+            *hi = (v >> 64) as u64;
+        }
+        for fp in &mut self.fingerprint {
+            *fp = fp.wrapping_neg();
+        }
+    }
+
+    /// Serialize the sketch as one framed, checksummed record: seed and
+    /// shape (from which the salts and base hash re-derive exactly) plus
+    /// the four detector planes and the update counter.
+    pub fn to_persist_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u64(self.seed);
+        enc.u64(self.reps as u64);
+        enc.u64(self.levels as u64);
+        enc.u64(self.updates_absorbed);
+        for &c in &self.count {
+            enc.i64(c);
+        }
+        for &v in &self.key_sum_lo {
+            enc.u64(v);
+        }
+        for &v in &self.key_sum_hi {
+            enc.u64(v);
+        }
+        for &v in &self.fingerprint {
+            enc.u64(v);
+        }
+        frame(KIND_L0, &enc.into_bytes())
+    }
+
+    /// Deserialize a record written by [`L0Sampler::to_persist_bytes`].
+    /// The sampler is reconstructed through [`L0Sampler::new`] (salts and
+    /// hash re-derived from the seed) and its planes overwritten, so a
+    /// decoded sampler is bit-identical to the encoded one. Corrupt
+    /// input errors; it never panics.
+    pub fn from_persist_bytes(bytes: &[u8]) -> PersistResult<L0Sampler> {
+        let f = read_frame_of(bytes, 0, KIND_L0)?;
+        let mut dec = Decoder::new(f.payload);
+        let seed = dec.u64("sampler seed")?;
+        let reps = dec.u64("repetition count")?;
+        let levels = dec.u64("level count")?;
+        let updates_absorbed = dec.u64("update counter")?;
+        let detectors = reps
+            .checked_mul(levels)
+            .filter(|&d| d > 0 && d as usize * 32 <= dec.remaining())
+            .ok_or_else(|| dec.corrupt(format!("implausible sampler shape {reps}x{levels}")))?
+            as usize;
+        let mut s = L0Sampler::new((levels - 1) as u32, reps as usize, seed);
+        for c in &mut s.count[..detectors] {
+            *c = dec.i64("count plane")?;
+        }
+        for v in &mut s.key_sum_lo[..detectors] {
+            *v = dec.u64("key-sum-lo plane")?;
+        }
+        for v in &mut s.key_sum_hi[..detectors] {
+            *v = dec.u64("key-sum-hi plane")?;
+        }
+        for v in &mut s.fingerprint[..detectors] {
+            *v = dec.u64("fingerprint plane")?;
+        }
+        s.updates_absorbed = updates_absorbed;
+        dec.finish()?;
+        Ok(s)
     }
 }
 

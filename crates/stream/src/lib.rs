@@ -19,6 +19,9 @@
 //!   fan-out side),
 //! * [`flat`] — open-addressed hash indexes backing the per-pass routing
 //!   structures (one SplitMix64 probe per update instead of SipHash),
+//! * [`persist`] — versioned, checksummed binary codecs for every sketch
+//!   plus a segment-based write-ahead log and snapshot manifest (the
+//!   durability substrate of checkpointed runs),
 //! * [`space`] — measured space usage of every sketch, so the experiment
 //!   harness can report *actual* words instead of asymptotic claims,
 //! * [`hash`] — seeded hashing used by the sketches.
@@ -28,13 +31,15 @@ pub mod counters;
 pub mod flat;
 pub mod hash;
 pub mod l0;
+pub mod persist;
 pub mod reservoir;
 pub mod sharded;
 pub mod source;
 pub mod space;
 pub mod update;
 
-pub use broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, TryNext};
+pub use broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, StallEvent, TryNext};
+pub use persist::{PersistError, PersistResult};
 pub use sharded::{shard_of_vertex, RoutedUpdate, ShardUpdate, ShardedFeed};
 pub use source::{EdgeStream, InsertionStream, PassCounter, TurnstileStream};
 pub use space::SpaceUsage;

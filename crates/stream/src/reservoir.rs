@@ -50,6 +50,9 @@
 
 use crate::hash::split_seed;
 use crate::hash::FastRng;
+use crate::persist::{
+    frame, read_frame_of, Decoder, Encoder, PersistItem, PersistResult, KIND_RESERVOIR,
+};
 
 /// How a reservoir decides acceptances.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -510,6 +513,132 @@ impl<T: Copy> ReservoirBank<T> {
     /// Whether the bank has no samplers.
     pub fn is_empty(&self) -> bool {
         self.rngs.is_empty()
+    }
+
+    /// Serialize the bank's evolving state as one framed, checksummed
+    /// record: per-lane RNG state, offer clocks, pending acceptances and
+    /// kept items, plus the cohort clocks and the draw tally. Lane
+    /// *geometry* (count, mode, cohort bounds) is encoded too, but only
+    /// as a cross-check: restore applies onto a freshly constructed and
+    /// cohort-bound bank and rejects any mismatch.
+    pub fn to_persist_bytes(&self) -> Vec<u8>
+    where
+        T: PersistItem,
+    {
+        let mut enc = Encoder::new();
+        enc.u8(match self.mode {
+            ReservoirMode::Offer => 0,
+            ReservoirMode::Skip => 1,
+        });
+        enc.u64(self.len() as u64);
+        for lane in 0..self.len() {
+            for w in self.rngs[lane].state() {
+                enc.u64(w);
+            }
+            enc.u64(self.seen[lane]);
+            enc.u64(self.next_accept[lane]);
+            match self.current[lane] {
+                Some(item) => {
+                    enc.u8(1);
+                    item.encode_item(&mut enc);
+                }
+                None => enc.u8(0),
+            }
+        }
+        enc.u64(self.cohorts.len() as u64);
+        for c in &self.cohorts {
+            enc.u32(c.start);
+            enc.u32(c.end);
+            enc.u64(c.seen);
+            enc.u64(c.min_next);
+        }
+        enc.u64(self.draws);
+        frame(KIND_RESERVOIR, &enc.into_bytes())
+    }
+
+    /// Restore state written by [`ReservoirBank::to_persist_bytes`] onto
+    /// `self`, which must be a bank of identical geometry (same lane
+    /// count, mode, and cohort bounds — i.e. constructed and bound the
+    /// way the snapshotted bank was). Corrupt input or a geometry
+    /// mismatch errors without modifying lane invariants it has already
+    /// validated past; it never panics.
+    pub fn restore_from_persist_bytes(&mut self, bytes: &[u8]) -> PersistResult<()>
+    where
+        T: PersistItem,
+    {
+        let f = read_frame_of(bytes, 0, KIND_RESERVOIR)?;
+        let mut dec = Decoder::new(f.payload);
+        let mode = match dec.u8("reservoir mode")? {
+            0 => ReservoirMode::Offer,
+            1 => ReservoirMode::Skip,
+            m => return Err(dec.corrupt(format!("unknown reservoir mode {m}"))),
+        };
+        if mode != self.mode {
+            return Err(dec.corrupt(format!(
+                "snapshot mode {mode:?} does not match bank mode {:?}",
+                self.mode
+            )));
+        }
+        let lanes = dec.count(4 * 8 + 8 + 8 + 1, "lane count")?;
+        if lanes != self.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {lanes} lanes, bank has {}",
+                self.len()
+            )));
+        }
+        let mut rngs = Vec::with_capacity(lanes);
+        let mut seen = Vec::with_capacity(lanes);
+        let mut next_accept = Vec::with_capacity(lanes);
+        let mut current = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let mut state = [0u64; 4];
+            for w in &mut state {
+                *w = dec.u64("rng state word")?;
+            }
+            if state == [0; 4] {
+                return Err(dec.corrupt(format!("lane {lane}: all-zero RNG state")));
+            }
+            rngs.push(FastRng::from_state(state));
+            seen.push(dec.u64("seen clock")?);
+            next_accept.push(dec.u64("next_accept")?);
+            current.push(match dec.u8("item tag")? {
+                0 => None,
+                1 => Some(T::decode_item(&mut dec)?),
+                t => return Err(dec.corrupt(format!("unknown item tag {t}"))),
+            });
+        }
+        let ncoh = dec.count(4 + 4 + 8 + 8, "cohort count")?;
+        if ncoh != self.cohorts.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {ncoh} cohorts, bank has {}",
+                self.cohorts.len()
+            )));
+        }
+        let mut cohorts = Vec::with_capacity(ncoh);
+        for (i, bound) in self.cohorts.iter().enumerate() {
+            let (start, end) = (dec.u32("cohort start")?, dec.u32("cohort end")?);
+            if start != bound.start || end != bound.end {
+                return Err(dec.corrupt(format!(
+                    "cohort {i} bounds {start}..{end} do not match bank bounds {}..{}",
+                    bound.start, bound.end
+                )));
+            }
+            cohorts.push(Cohort {
+                start,
+                end,
+                seen: dec.u64("cohort seen")?,
+                min_next: dec.u64("cohort min_next")?,
+            });
+        }
+        let draws = dec.u64("draw tally")?;
+        dec.finish()?;
+        self.rngs = rngs;
+        self.seen = seen;
+        self.next_accept = next_accept;
+        self.current = current;
+        self.cohorts = cohorts;
+        self.draws = draws;
+        Ok(())
     }
 
     /// Semantic per-pass footprint: RNG state + the three SoA planes,

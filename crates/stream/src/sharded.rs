@@ -184,6 +184,82 @@ impl ShardedFeed {
         }
     }
 
+    /// Rebuild a feed from a WAL-recovered routed buffer — the recovery
+    /// half of [`ShardedFeed::partition`]. Validates every entry against
+    /// the partition invariants (sequential positions, owner/other
+    /// matching the stable shard hash) so a log that decodes but lies
+    /// about its routing is rejected instead of silently skewing shard
+    /// delivery. The rebuilt feed is field-identical to the original
+    /// (pass counter reset to zero).
+    pub fn from_routed(
+        n: usize,
+        num_shards: usize,
+        routed: Vec<RoutedUpdate>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        if num_shards < 1 || num_shards > u16::MAX as usize {
+            return Err(PersistError::corrupt(
+                0,
+                format!("implausible shard count {num_shards}"),
+            ));
+        }
+        if routed.len() >= u32::MAX as usize {
+            return Err(PersistError::corrupt(
+                0,
+                format!("implausible stream length {}", routed.len()),
+            ));
+        }
+        let mut shards: Vec<Vec<ShardUpdate>> = vec![Vec::new(); num_shards];
+        let mut total_delta = 0i64;
+        for (i, r) in routed.iter().enumerate() {
+            if r.position as usize != i {
+                return Err(PersistError::corrupt(
+                    i as u64,
+                    format!("update {i} carries position {}", r.position),
+                ));
+            }
+            let (u, v) = r.update.edge.endpoints();
+            let owner = shard_of_vertex(u.0, num_shards);
+            let other = shard_of_vertex(v.0, num_shards);
+            if r.owner as usize != owner || r.other as usize != other {
+                return Err(PersistError::corrupt(
+                    i as u64,
+                    format!(
+                        "update {i} routed to shards {}/{}, hash says {owner}/{other}",
+                        r.owner, r.other
+                    ),
+                ));
+            }
+            if u.0 as usize >= n || v.0 as usize >= n {
+                return Err(PersistError::corrupt(
+                    i as u64,
+                    format!("update {i} touches vertex outside 0..{n}"),
+                ));
+            }
+            shards[owner].push(ShardUpdate {
+                position: r.position,
+                update: r.update,
+                owned: true,
+            });
+            if other != owner {
+                shards[other].push(ShardUpdate {
+                    position: r.position,
+                    update: r.update,
+                    owned: false,
+                });
+            }
+            total_delta += r.update.delta as i64;
+        }
+        Ok(ShardedFeed {
+            n,
+            stream_len: routed.len(),
+            total_delta,
+            shards,
+            routed,
+            logical_passes: AtomicUsize::new(0),
+        })
+    }
+
     /// Number of shards.
     #[inline]
     pub fn num_shards(&self) -> usize {

@@ -1,7 +1,8 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N] [--checkpoint-dir D [--snapshot-every N] [--wal-block W]]
+//! sgs recover DIR
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
 //! sgs info    --edges FILE
@@ -11,6 +12,8 @@
 //! Patterns: `triangle`, `K<r>`, `C<k>`, `S<k>`, `P<k>`, `paw`, `diamond`,
 //! `bull`, `bowtie`, `house`.
 
+use sgs_stream::persist::{read_config, write_config, Decoder, Encoder, PersistError};
+use std::path::{Path, PathBuf};
 use std::process::exit;
 use subgraph_streams::prelude::*;
 
@@ -87,25 +90,108 @@ fn parse_args(argv: &[String]) -> Args {
     Args { flags }
 }
 
+fn fail_persist(e: PersistError) -> ! {
+    eprintln!("error: {e}");
+    exit(2);
+}
+
+/// Pull the `line N` position out of an edge-list parse message so the
+/// structured error can carry it as an offset.
+fn parse_error_line(msg: &str) -> u64 {
+    msg.split("line ")
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Load an edge list, routing open failures and malformed lines through
+/// [`PersistError`] so every message carries the file path (and for
+/// parse errors the offending line as the offset) instead of an opaque
+/// bare string.
+fn read_graph_file(path: &Path) -> Result<AdjListGraph, PersistError> {
+    let file = std::fs::File::open(path).map_err(|e| PersistError::io(path, e))?;
+    sgs_graph::io::read_edge_list(std::io::BufReader::new(file))
+        .map_err(|msg| PersistError::corrupt(parse_error_line(&msg), msg).located(path))
+}
+
 fn load_graph(args: &Args) -> AdjListGraph {
     let Some(path) = args.get("edges") else {
         eprintln!("error: --edges FILE is required");
         exit(2);
     };
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: cannot open {path}: {e}");
-            exit(2);
-        }
-    };
-    match sgs_graph::io::read_edge_list(std::io::BufReader::new(file)) {
+    match read_graph_file(Path::new(path)) {
         Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            exit(2);
-        }
+        Err(e) => fail_persist(e),
     }
+}
+
+/// Parameters a checkpointed `count` run persists in the directory's
+/// CONFIG blob, so `sgs recover` can rebuild the identical run without
+/// re-reading the input graph (the WAL already holds the routed stream).
+struct CliConfig {
+    /// 0 = insertion, 1 = turnstile.
+    model: u8,
+    pattern: String,
+    trials: u64,
+    seed: u64,
+    shards: u64,
+    block: u64,
+    /// 0 = offer, 1 = skip.
+    reservoir: u8,
+    /// 1 when insertion trials run the relaxed query mix.
+    relaxed: u8,
+    snapshot_every: u64,
+}
+
+fn encode_cli_config(c: &CliConfig) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(c.model);
+    enc.str(&c.pattern);
+    enc.u64(c.trials);
+    enc.u64(c.seed);
+    enc.u64(c.shards);
+    enc.u64(c.block);
+    enc.u8(c.reservoir);
+    enc.u8(c.relaxed);
+    enc.u64(c.snapshot_every);
+    enc.into_bytes()
+}
+
+fn decode_cli_config(bytes: &[u8]) -> Result<CliConfig, PersistError> {
+    let mut dec = Decoder::new(bytes);
+    let model = dec.u8("config model")?;
+    if model > 1 {
+        return Err(dec.corrupt(format!("config model tag {model} is not 0/1")));
+    }
+    let pattern = dec.str("config pattern")?;
+    let trials = dec.u64("config trials")?;
+    let seed = dec.u64("config seed")?;
+    let shards = dec.u64("config shards")?;
+    let block = dec.u64("config block")?;
+    let reservoir = dec.u8("config reservoir")?;
+    if reservoir > 1 {
+        return Err(dec.corrupt(format!("config reservoir tag {reservoir} is not 0/1")));
+    }
+    let relaxed = dec.u8("config relaxed")?;
+    if relaxed > 1 {
+        return Err(dec.corrupt(format!("config relaxed flag {relaxed} is not 0/1")));
+    }
+    let snapshot_every = dec.u64("config snapshot cadence")?;
+    dec.finish()?;
+    Ok(CliConfig {
+        model,
+        pattern,
+        trials,
+        seed,
+        shards,
+        block,
+        reservoir,
+        relaxed,
+        snapshot_every,
+    })
 }
 
 fn need_pattern(args: &Args) -> Pattern {
@@ -125,7 +211,7 @@ fn need_pattern(args: &Args) -> Pattern {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
-        eprintln!("usage: sgs <count|search|cliques|info|rho> [flags]");
+        eprintln!("usage: sgs <count|recover|search|cliques|info|rho> [flags]");
         exit(2);
     };
     let args = parse_args(&argv[1..]);
@@ -246,6 +332,115 @@ fn main() {
                 );
                 return;
             }
+            // --checkpoint-dir D makes the run durable: the routed
+            // stream is sealed into a write-ahead log in D before
+            // estimation starts, and estimator state is snapshotted
+            // every --snapshot-every delivery blocks (0 = WAL only).
+            // A killed run resumes with `sgs recover D` to the
+            // byte-identical estimate the uninterrupted run produces.
+            if let Some(dirs) = args.get("checkpoint-dir") {
+                if args.has("broadcast") {
+                    eprintln!(
+                        "error: --checkpoint-dir does not combine with --broadcast \
+                         (checkpoint the plain sharded run)"
+                    );
+                    exit(2);
+                }
+                let turnstile = args.has("turnstile");
+                if turnstile && (args.has("relaxed") || args.has("reservoir")) {
+                    eprintln!(
+                        "error: --relaxed/--reservoir only apply to insertion runs \
+                         (turnstile trials are always relaxed, on ℓ₀-samplers)"
+                    );
+                    exit(2);
+                }
+                let dir = PathBuf::from(dirs);
+                let snapshot_every: u64 =
+                    args.num("snapshot-every", sgs_query::DEFAULT_SNAPSHOT_EVERY);
+                // --wal-block W sets the WAL record granularity (updates
+                // per delivery block); snapshots land every
+                // `snapshot_every` such blocks, so small streams want a
+                // small W to see any snapshot at all.
+                let wal_block: usize = args.num("wal-block", sgs_query::DEFAULT_CHECKPOINT_CHUNK);
+                let feed = if turnstile {
+                    let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+                    sgs_stream::ShardedFeed::partition(&s, shards)
+                } else {
+                    let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+                    sgs_stream::ShardedFeed::partition(&s, shards)
+                };
+                let cfg = CliConfig {
+                    model: turnstile as u8,
+                    pattern: args.get("pattern").unwrap_or_default().to_string(),
+                    trials: trials as u64,
+                    seed,
+                    shards: shards as u64,
+                    block: block as u64,
+                    reservoir: match reservoir {
+                        sgs_query::ReservoirMode::Offer => 0,
+                        sgs_query::ReservoirMode::Skip => 1,
+                    },
+                    relaxed: args.has("relaxed") as u8,
+                    snapshot_every,
+                };
+                let run: Result<_, PersistError> = (|| {
+                    let mut session = sgs_query::CheckpointSession::create(
+                        &dir,
+                        &feed,
+                        snapshot_every,
+                        wal_block,
+                    )?;
+                    write_config(&dir, &encode_cli_config(&cfg))?;
+                    let mut arena = sgs_query::RouterArena::new();
+                    let est = if turnstile {
+                        sgs_core::fgp::estimate_turnstile_checkpointed(
+                            &pattern,
+                            &feed,
+                            trials,
+                            seed,
+                            &mut arena,
+                            opts,
+                            &mut session,
+                        )?
+                    } else {
+                        sgs_core::fgp::estimate_insertion_checkpointed(
+                            &pattern,
+                            &feed,
+                            trials,
+                            seed,
+                            &mut arena,
+                            opts,
+                            sampler,
+                            &mut session,
+                        )?
+                    };
+                    Ok((est, session.snapshots_written()))
+                })();
+                let (est, snapshots) = match run {
+                    Ok((e, s)) => (e.expect("plan validated above"), s),
+                    Err(e) => fail_persist(e),
+                };
+                println!(
+                    "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{})",
+                    pattern.name(),
+                    est.estimate,
+                    est.hits,
+                    est.trials,
+                    plan.rho(),
+                    est.report.passes,
+                    m,
+                    shards,
+                    if shards == 1 { "" } else { "s" },
+                );
+                println!(
+                    "  checkpointed: WAL + {snapshots} snapshot{} in {} \
+                     (recover with `sgs recover {}`)",
+                    if snapshots == 1 { "" } else { "s" },
+                    dir.display(),
+                    dir.display(),
+                );
+                return;
+            }
             let est = if args.has("turnstile") {
                 // Turnstile trials always run the relaxed query mix on
                 // ℓ₀-samplers (Definition 10 has no indexed f3 and no
@@ -298,6 +493,111 @@ fn main() {
                 } else {
                     format!("{reservoir:?}").to_lowercase()
                 }
+            );
+        }
+        "recover" => {
+            // `sgs recover DIR` — resume a killed checkpointed run.
+            // The WAL already holds the routed stream and CONFIG holds
+            // the run parameters, so no --edges / --pattern is needed;
+            // the answer is byte-identical to the uninterrupted run.
+            let Some(dirs) = argv
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .cloned()
+                .or_else(|| args.get("dir").map(str::to_string))
+            else {
+                eprintln!("usage: sgs recover DIR");
+                exit(2);
+            };
+            let dir = PathBuf::from(&dirs);
+            let cfg_bytes = match read_config(&dir) {
+                Ok(Some(b)) => b,
+                Ok(None) => {
+                    eprintln!(
+                        "error: {}: no CONFIG found (was this directory created by \
+                         `sgs count --checkpoint-dir`?)",
+                        dir.display()
+                    );
+                    exit(2);
+                }
+                Err(e) => fail_persist(e),
+            };
+            let cfg = decode_cli_config(&cfg_bytes)
+                .unwrap_or_else(|e| fail_persist(e.located(dir.join("CONFIG"))));
+            let Some(pattern) = parse_pattern(&cfg.pattern) else {
+                eprintln!("error: CONFIG names unknown pattern '{}'", cfg.pattern);
+                exit(2);
+            };
+            let plan = match SamplerPlan::new(&pattern) {
+                Some(p) => p,
+                None => {
+                    eprintln!("error: pattern has an isolated vertex (no edge cover)");
+                    exit(2);
+                }
+            };
+            let (mut session, feed) =
+                sgs_query::CheckpointSession::resume(&dir, cfg.snapshot_every)
+                    .unwrap_or_else(|e| fail_persist(e));
+            if let Some(t) = session.truncation_report() {
+                eprintln!("warning: {t}");
+            }
+            if session.has_resume_state() {
+                println!(
+                    "resuming from snapshot: {} delivery blocks already done",
+                    session.blocks_processed()
+                );
+            } else {
+                println!("no snapshot found; replaying the run from the sealed WAL");
+            }
+            let opts = sgs_query::PassOpts {
+                block: cfg.block as usize,
+                reservoir: if cfg.reservoir == 0 {
+                    sgs_query::ReservoirMode::Offer
+                } else {
+                    sgs_query::ReservoirMode::Skip
+                },
+            };
+            let mut arena = sgs_query::RouterArena::new();
+            let est = if cfg.model == 1 {
+                sgs_core::fgp::estimate_turnstile_checkpointed(
+                    &pattern,
+                    &feed,
+                    cfg.trials as usize,
+                    cfg.seed,
+                    &mut arena,
+                    opts,
+                    &mut session,
+                )
+            } else {
+                let sampler = if cfg.relaxed == 1 {
+                    SamplerMode::Relaxed
+                } else {
+                    SamplerMode::Indexed
+                };
+                sgs_core::fgp::estimate_insertion_checkpointed(
+                    &pattern,
+                    &feed,
+                    cfg.trials as usize,
+                    cfg.seed,
+                    &mut arena,
+                    opts,
+                    sampler,
+                    &mut session,
+                )
+            }
+            .unwrap_or_else(|e| fail_persist(e))
+            .expect("plan validated above");
+            println!(
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, recovered)",
+                pattern.name(),
+                est.estimate,
+                est.hits,
+                est.trials,
+                plan.rho(),
+                est.report.passes,
+                est.m,
+                feed.num_shards(),
+                if feed.num_shards() == 1 { "" } else { "s" },
             );
         }
         "search" => {

@@ -8,7 +8,10 @@
 //! fan-out ring: a stalled consumer (backpressure must cap producer
 //! advance without deadlocking anyone), a consumer dropped mid-pass
 //! (everyone else finishes; pass accounting still counts one logical
-//! pass), and a zero-consumer feed (production completes unblocked).
+//! pass), a zero-consumer feed (production completes unblocked), and
+//! the stall diagnostics (a push blocked past the configured threshold
+//! records a [`StallEvent`] naming the blocking consumer, visible while
+//! the producer is still stuck).
 
 use sgs_core::{SamplerMode, SamplerPlan, SubgraphSampler};
 use sgs_query::exec::run_on_oracle;
@@ -186,6 +189,56 @@ fn broadcast_dropped_consumer_mid_pass_leaves_survivors_and_accounting_intact() 
         "a lost consumer must not change pass accounting"
     );
     assert_eq!(ring.produced_updates(), feed.stream_len() as u64);
+}
+
+#[test]
+fn broadcast_stall_diagnostics_name_the_blocking_consumer() {
+    let feed = broadcast_feed(2, 19);
+    // Tiny threshold: the first push blocked on the stalled cursor
+    // crosses it almost immediately.
+    let ring = Broadcast::with_stall_threshold(1, std::time::Duration::from_millis(2));
+    let mut stalled = ring.subscribe(); // consumer id 0
+    let live = ring.subscribe(); // consumer id 1, drains promptly
+    std::thread::scope(|s| {
+        let producer = s.spawn(|| RoutedProducer::new(&feed, 4).run(&ring));
+        let drain = s.spawn(move || {
+            let mut n = 0u64;
+            for b in live {
+                n += b.len() as u64;
+            }
+            n
+        });
+        // The stall must become visible *while* the producer is still
+        // stuck — that is the point of the diagnostics.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while ring.stall_events().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = ring.stall_events();
+        assert!(
+            !events.is_empty(),
+            "no stall recorded while the producer was blocked"
+        );
+        assert_eq!(
+            events[0].consumer, 0,
+            "stall must name the slowest (stalled) cursor"
+        );
+        // Unstick the slow consumer: everyone finishes.
+        let mut stalled_total = 0u64;
+        for b in stalled.by_ref() {
+            stalled_total += b.len() as u64;
+        }
+        producer.join().unwrap();
+        assert_eq!(stalled_total, feed.stream_len() as u64);
+        assert_eq!(drain.join().unwrap(), feed.stream_len() as u64);
+    });
+    let events = ring.stall_events();
+    assert_eq!(events[0].consumer, 0);
+    assert!(
+        events[0].blocked_ns >= 2_000_000,
+        "recorded stall duration {}ns is below the 2ms threshold",
+        events[0].blocked_ns
+    );
 }
 
 #[test]

@@ -1,0 +1,233 @@
+//! Round-trip property tests for every persist codec: serialize →
+//! deserialize must yield **byte-identical behavior** — the restored
+//! structure, fed the same suffix of the stream as the original, stays
+//! bit-equal to it (same samples, same counters, same re-serialization).
+//!
+//! The adversarial half: every single-bit flip and every truncated
+//! prefix of a valid record must produce a structured error — never a
+//! panic, never a silently-accepted wrong state. The framing's FNV-1a
+//! checksum guarantees all 1-bit damage is caught; these tests pin that
+//! the decoders in front of it also never index or allocate their way
+//! into a crash on arbitrary bytes.
+
+use sgs_prng::FastRng;
+use sgs_stream::flat::FlatIndex;
+use sgs_stream::l0::L0Sampler;
+use sgs_stream::reservoir::{ReservoirBank, ReservoirMode};
+use subgraph_streams::prelude::*;
+
+fn edges(n: u32, count: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = FastRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let a = (rng.next_u64() % n as u64) as u32;
+        let b = (rng.next_u64() % n as u64) as u32;
+        if a != b {
+            out.push(Edge::new(VertexId(a.min(b)), VertexId(a.max(b))));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// ℓ₀-sampler
+// ---------------------------------------------------------------------
+
+#[test]
+fn l0_sampler_round_trips_to_identical_behavior_on_shared_suffix() {
+    let n = 40usize;
+    let all = edges(n as u32, 120, 9);
+    for split in [0usize, 1, 40, 119, 120] {
+        let mut live = L0Sampler::for_edge_domain(n, 77);
+        for e in &all[..split] {
+            live.update(e.key(), 1);
+        }
+        let bytes = live.to_persist_bytes();
+        let mut restored = L0Sampler::from_persist_bytes(&bytes).unwrap();
+        // Bit-identical at the split point...
+        assert_eq!(restored.to_persist_bytes(), bytes);
+        assert_eq!(restored.sample(), live.sample());
+        // ...and it *stays* bit-identical through the shared suffix,
+        // including deletions (turnstile semantics).
+        for (i, e) in all[split..].iter().enumerate() {
+            let delta = if i % 3 == 2 { -1 } else { 1 };
+            live.update(e.key(), delta);
+            restored.update(e.key(), delta);
+        }
+        assert_eq!(restored.sample(), live.sample());
+        assert_eq!(restored.updates_absorbed(), live.updates_absorbed());
+        assert_eq!(restored.to_persist_bytes(), live.to_persist_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reservoir bank
+// ---------------------------------------------------------------------
+
+#[test]
+fn reservoir_bank_round_trips_to_identical_behavior_on_shared_suffix() {
+    let all = edges(50, 200, 11);
+    for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+        for split in [0usize, 1, 73, 199, 200] {
+            let mut live: ReservoirBank<Edge> = ReservoirBank::with_mode(6, 13, mode);
+            for e in &all[..split] {
+                live.offer(*e);
+            }
+            let bytes = live.to_persist_bytes();
+            // Restore applies onto a freshly constructed bank with the
+            // same geometry (the pass machines rebuild theirs the same
+            // way before restoring).
+            let mut restored: ReservoirBank<Edge> = ReservoirBank::with_mode(6, 13, mode);
+            restored.restore_from_persist_bytes(&bytes).unwrap();
+            assert_eq!(restored.samples(), live.samples());
+            assert_eq!(restored.seen_counts(), live.seen_counts());
+            for e in &all[split..] {
+                live.offer(*e);
+                restored.offer(*e);
+            }
+            assert_eq!(restored.samples(), live.samples());
+            assert_eq!(restored.seen_counts(), live.seen_counts());
+            assert_eq!(restored.rng_draws(), live.rng_draws());
+            assert_eq!(restored.to_persist_bytes(), live.to_persist_bytes());
+        }
+    }
+}
+
+#[test]
+fn reservoir_bank_restore_rejects_geometry_mismatch() {
+    let mut bank: ReservoirBank<Edge> = ReservoirBank::with_mode(6, 13, ReservoirMode::Skip);
+    for e in edges(50, 40, 15) {
+        bank.offer(e);
+    }
+    let bytes = bank.to_persist_bytes();
+    // Wrong lane count.
+    let mut other: ReservoirBank<Edge> = ReservoirBank::with_mode(5, 13, ReservoirMode::Skip);
+    assert!(other.restore_from_persist_bytes(&bytes).is_err());
+    // Wrong acceptance mode.
+    let mut other: ReservoirBank<Edge> = ReservoirBank::with_mode(6, 13, ReservoirMode::Offer);
+    assert!(other.restore_from_persist_bytes(&bytes).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Flat hash index
+// ---------------------------------------------------------------------
+
+#[test]
+fn flat_index_round_trips_to_identical_probes() {
+    let mut live = FlatIndex::with_capacity(8);
+    let keys: Vec<u64> = (0..300u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        if i % 4 != 3 {
+            live.insert_or_get(*k);
+        }
+    }
+    let bytes = live.to_persist_bytes();
+    let restored = FlatIndex::from_persist_bytes(&bytes).unwrap();
+    assert_eq!(restored.len(), live.len());
+    // Same hits AND same misses, over present and absent keys alike —
+    // the slot plane is layout-exact, so probes walk identically.
+    for k in &keys {
+        assert_eq!(restored.get(*k), live.get(*k));
+    }
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    live.probe_batch(&keys, &mut a);
+    restored.probe_batch(&keys, &mut b);
+    assert_eq!(a, b);
+    assert_eq!(restored.to_persist_bytes(), bytes);
+}
+
+// ---------------------------------------------------------------------
+// Bit-flip and truncation fuzz: errors, never panics
+// ---------------------------------------------------------------------
+
+/// Every single-bit flip must be rejected (the checksum sees all of
+/// them), and every truncated prefix must error — across all three
+/// public codecs. A panic anywhere fails the test by crashing it.
+#[test]
+fn corrupt_records_error_and_never_panic() {
+    let mut l0 = L0Sampler::for_edge_domain(30, 21);
+    for e in edges(30, 60, 22) {
+        l0.update(e.key(), 1);
+    }
+    let mut bank: ReservoirBank<Edge> = ReservoirBank::with_mode(4, 23, ReservoirMode::Skip);
+    for e in edges(30, 60, 24) {
+        bank.offer(e);
+    }
+    let mut flat = FlatIndex::with_capacity(8);
+    for i in 0..50u64 {
+        flat.insert_or_get(i.wrapping_mul(0x2545f4914f6cdd1d));
+    }
+
+    let records: Vec<(&str, Vec<u8>)> = vec![
+        ("l0", l0.to_persist_bytes()),
+        ("reservoir", bank.to_persist_bytes()),
+        ("flat", flat.to_persist_bytes()),
+    ];
+    for (name, good) in &records {
+        // Sanity: the pristine record decodes.
+        match *name {
+            "l0" => assert!(L0Sampler::from_persist_bytes(good).is_ok()),
+            "reservoir" => {
+                let mut fresh: ReservoirBank<Edge> =
+                    ReservoirBank::with_mode(4, 23, ReservoirMode::Skip);
+                assert!(fresh.restore_from_persist_bytes(good).is_ok());
+            }
+            _ => assert!(FlatIndex::from_persist_bytes(good).is_ok()),
+        }
+        // Single-bit flips, every byte, all eight bits on a stride so the
+        // sweep stays fast but still visits every region of the record.
+        for pos in 0..good.len() {
+            let bit = 1u8 << (pos % 8);
+            let mut b = good.clone();
+            b[pos] ^= bit;
+            let rejected = match *name {
+                "l0" => L0Sampler::from_persist_bytes(&b).is_err(),
+                "reservoir" => {
+                    let mut fresh: ReservoirBank<Edge> =
+                        ReservoirBank::with_mode(4, 23, ReservoirMode::Skip);
+                    fresh.restore_from_persist_bytes(&b).is_err()
+                }
+                _ => FlatIndex::from_persist_bytes(&b).is_err(),
+            };
+            assert!(
+                rejected,
+                "{name}: flip of bit {} at byte {pos} accepted",
+                pos % 8
+            );
+        }
+        // Truncated prefixes of every length.
+        for cut in 0..good.len() {
+            let b = &good[..cut];
+            let rejected = match *name {
+                "l0" => L0Sampler::from_persist_bytes(b).is_err(),
+                "reservoir" => {
+                    let mut fresh: ReservoirBank<Edge> =
+                        ReservoirBank::with_mode(4, 23, ReservoirMode::Skip);
+                    fresh.restore_from_persist_bytes(b).is_err()
+                }
+                _ => FlatIndex::from_persist_bytes(b).is_err(),
+            };
+            assert!(rejected, "{name}: truncation to {cut} bytes accepted");
+        }
+    }
+}
+
+/// Random garbage (not derived from any valid record) must also error
+/// rather than panic — the decoders guard their allocations and
+/// indexing before trusting any length field.
+#[test]
+fn random_garbage_errors_and_never_panics() {
+    let mut rng = FastRng::seed_from_u64(31);
+    for len in [0usize, 1, 7, 16, 17, 64, 333] {
+        for _ in 0..50 {
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            assert!(L0Sampler::from_persist_bytes(&bytes).is_err());
+            let mut bank: ReservoirBank<Edge> =
+                ReservoirBank::with_mode(4, 1, ReservoirMode::Offer);
+            assert!(bank.restore_from_persist_bytes(&bytes).is_err());
+            assert!(FlatIndex::from_persist_bytes(&bytes).is_err());
+        }
+    }
+}
