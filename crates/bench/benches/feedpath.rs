@@ -26,8 +26,8 @@
 use sgs_core::fgp::{SamplerMode, SamplerPlan, SubgraphSampler};
 use sgs_graph::{gen, Pattern};
 use sgs_query::exec::{answer_insertion_batch_with_block, answer_turnstile_batch_with_block};
-use sgs_query::sharded::answer_insertion_batch_sharded_with_block;
-use sgs_query::{Parallel, Query, RoundAdaptive, RouterArena};
+use sgs_query::sharded::answer_insertion_batch_sharded_with_exec;
+use sgs_query::{ExecPolicy, Parallel, PassOpts, Query, RoundAdaptive, RouterArena};
 use sgs_stream::flat::{FlatIndex, ABSENT};
 use sgs_stream::hash::{split_seed, splitmix64, FastRng, SeededHash};
 use sgs_stream::l0::L0Sampler;
@@ -359,24 +359,25 @@ fn bench_sharded_composition(
     samples: usize,
 ) -> Vec<ShardRow> {
     println!("\n== sharded composition (critical-path pass latency, workers sequential) ==");
-    std::env::set_var("SGS_SHARD_THREADS", "0");
     let mut rows = Vec::new();
     for &shards in shard_counts {
         let feed = ShardedFeed::partition(stream, shards);
         for &block in blocks {
+            let opts = PassOpts::with_block(block);
+            let policy = ExecPolicy::serial();
             let mut arena = RouterArena::new();
             for _ in 0..2 {
                 for (batch, seed) in batches {
-                    black_box(answer_insertion_batch_sharded_with_block(
-                        batch, &feed, *seed, &mut arena, block,
+                    black_box(answer_insertion_batch_sharded_with_exec(
+                        batch, &feed, *seed, &mut arena, opts, policy,
                     ));
                 }
             }
             let _ = arena.take_shard_pass_nanos();
             for _ in 0..samples {
                 for (batch, seed) in batches {
-                    black_box(answer_insertion_batch_sharded_with_block(
-                        batch, &feed, *seed, &mut arena, block,
+                    black_box(answer_insertion_batch_sharded_with_exec(
+                        batch, &feed, *seed, &mut arena, opts, policy,
                     ));
                 }
             }
@@ -415,7 +416,6 @@ fn bench_sharded_composition(
             });
         }
     }
-    std::env::remove_var("SGS_SHARD_THREADS");
     rows
 }
 

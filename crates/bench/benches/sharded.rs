@@ -10,7 +10,7 @@
 //! Three numbers per shard count:
 //!
 //! * **wall/seq** — wall clock with shard workers forced sequential
-//!   (`SGS_SHARD_THREADS=0`): the total CPU work of the sharded pass.
+//!   (`ExecPolicy::serial()`): the total CPU work of the sharded pass.
 //!   Expect ≈ baseline at 1 shard and a modest overhead factor above it
 //!   as shards climb (dual endpoint delivery).
 //! * **critical** — Σ over passes of the *slowest shard's* measured feed
@@ -30,8 +30,10 @@
 use sgs_core::fgp::{SamplerMode, SamplerPlan, SubgraphSampler};
 use sgs_graph::{gen, Pattern};
 use sgs_query::exec::answer_insertion_batch;
-use sgs_query::sharded::answer_insertion_batch_sharded;
-use sgs_query::{Parallel, Query, RoundAdaptive, RouterArena};
+use sgs_query::sharded::{
+    answer_insertion_batch_sharded, answer_insertion_batch_sharded_with_exec,
+};
+use sgs_query::{ExecPolicy, Parallel, PassOpts, Query, RoundAdaptive, RouterArena};
 use sgs_stream::hash::split_seed;
 use sgs_stream::{EdgeStream, InsertionStream, ShardedFeed};
 use std::hint::black_box;
@@ -108,13 +110,15 @@ fn run_sharded(
     batches: &[(Vec<Query>, u64)],
     feed: &ShardedFeed,
     samples: usize,
+    policy: ExecPolicy,
 ) -> (u64, u64, Vec<u64>) {
     let mut arena = RouterArena::new();
+    let opts = PassOpts::default();
     // Warm-up: allocator growth and page faults land here.
     for _ in 0..2 {
         for (batch, seed) in batches {
-            black_box(answer_insertion_batch_sharded(
-                batch, feed, *seed, &mut arena,
+            black_box(answer_insertion_batch_sharded_with_exec(
+                batch, feed, *seed, &mut arena, opts, policy,
             ));
         }
     }
@@ -123,8 +127,8 @@ fn run_sharded(
     for _ in 0..samples {
         let t0 = Instant::now();
         for (batch, seed) in batches {
-            black_box(answer_insertion_batch_sharded(
-                batch, feed, *seed, &mut arena,
+            black_box(answer_insertion_batch_sharded_with_exec(
+                batch, feed, *seed, &mut arena, opts, policy,
             ));
         }
         walls.push(t0.elapsed().as_nanos() as u64);
@@ -195,10 +199,9 @@ fn main() {
     let mut results = Vec::new();
     for &shards in shard_counts {
         let feed = ShardedFeed::partition(&stream, shards);
-        std::env::set_var("SGS_SHARD_THREADS", "0");
-        let (wall_seq_ns, critical_ns, shard_load_ns) = run_sharded(&batches, &feed, samples);
-        std::env::remove_var("SGS_SHARD_THREADS");
-        let (wall_auto_ns, _, _) = run_sharded(&batches, &feed, samples);
+        let (wall_seq_ns, critical_ns, shard_load_ns) =
+            run_sharded(&batches, &feed, samples, ExecPolicy::serial());
+        let (wall_auto_ns, _, _) = run_sharded(&batches, &feed, samples, ExecPolicy::auto());
         println!(
             "{:<28} wall/seq {:>10}  critical {:>10} ({:.2}x)  wall/auto {:>10} ({:.2}x)",
             format!("sharded/{shards}"),

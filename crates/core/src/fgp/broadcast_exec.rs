@@ -161,6 +161,35 @@ pub fn estimate_insertion_broadcast_with_opts(
     sampler: SamplerMode,
     consumers: ConsumerSet,
 ) -> Option<BroadcastEstimate> {
+    estimate_insertion_broadcast_with_exec(
+        pattern,
+        feed,
+        trials,
+        seed,
+        arena,
+        opts,
+        sampler,
+        consumers,
+        BroadcastOpts::default(),
+    )
+}
+
+/// [`estimate_insertion_broadcast_with_opts`] with explicit broadcast
+/// ring options — capacity, stall threshold, and the execution policy
+/// (`BroadcastOpts::with_policy`) the shard workers and side sinks run
+/// under. Every consumer's answer is byte-identical for any setting.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_insertion_broadcast_with_exec(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    sampler: SamplerMode,
+    consumers: ConsumerSet,
+    bcast: BroadcastOpts,
+) -> Option<BroadcastEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, sampler, trials, seed);
     let mut triest = consumers
@@ -179,7 +208,7 @@ pub fn estimate_insertion_broadcast_with_opts(
             split_seed(seed, u64::MAX),
             arena,
             opts,
-            BroadcastOpts::default(),
+            bcast,
             &mut sinks,
         );
         if report.passes == 0 {
@@ -233,6 +262,30 @@ pub fn estimate_turnstile_broadcast_with_opts(
     block: usize,
     consumers: ConsumerSet,
 ) -> Option<BroadcastEstimate> {
+    estimate_turnstile_broadcast_with_exec(
+        pattern,
+        feed,
+        trials,
+        seed,
+        arena,
+        block,
+        consumers,
+        BroadcastOpts::default(),
+    )
+}
+
+/// Turnstile sibling of [`estimate_insertion_broadcast_with_exec`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_turnstile_broadcast_with_exec(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+    consumers: ConsumerSet,
+    bcast: BroadcastOpts,
+) -> Option<BroadcastEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, SamplerMode::Relaxed, trials, seed);
     let mut triest: Option<TriestStream> = None;
@@ -249,7 +302,7 @@ pub fn estimate_turnstile_broadcast_with_opts(
             split_seed(seed, u64::MAX),
             arena,
             block,
-            BroadcastOpts::default(),
+            bcast,
             &mut sinks,
         );
         if report.passes == 0 {

@@ -18,8 +18,9 @@ pub mod uniform;
 
 pub use assemble::FoundCopy;
 pub use broadcast_exec::{
-    estimate_insertion_broadcast, estimate_insertion_broadcast_with_opts,
-    estimate_turnstile_broadcast, estimate_turnstile_broadcast_with_opts, triest_seed,
+    estimate_insertion_broadcast, estimate_insertion_broadcast_with_exec,
+    estimate_insertion_broadcast_with_opts, estimate_turnstile_broadcast,
+    estimate_turnstile_broadcast_with_exec, estimate_turnstile_broadcast_with_opts, triest_seed,
     BroadcastEstimate, ConsumerSet,
 };
 pub use checkpoint_exec::{estimate_insertion_checkpointed, estimate_turnstile_checkpointed};
@@ -29,10 +30,12 @@ pub use counter::{
 };
 pub use parallel_exec::{
     estimate_insertion_on_feed, estimate_insertion_on_feed_with_block,
-    estimate_insertion_on_feed_with_opts, estimate_insertion_threaded,
-    estimate_insertion_threaded_with_block, estimate_insertion_threaded_with_opts,
-    estimate_turnstile_on_feed, estimate_turnstile_on_feed_with_block, estimate_turnstile_threaded,
-    estimate_turnstile_threaded_with_block,
+    estimate_insertion_on_feed_with_exec, estimate_insertion_on_feed_with_opts,
+    estimate_insertion_threaded, estimate_insertion_threaded_with_block,
+    estimate_insertion_threaded_with_exec, estimate_insertion_threaded_with_opts,
+    estimate_turnstile_on_feed, estimate_turnstile_on_feed_with_block,
+    estimate_turnstile_on_feed_with_exec, estimate_turnstile_threaded,
+    estimate_turnstile_threaded_with_block, estimate_turnstile_threaded_with_exec,
 };
 pub use plan::SamplerPlan;
 pub use sampler::{SamplerMode, SamplerOutcome, SubgraphSampler};

@@ -25,8 +25,8 @@ use crate::fgp::plan::SamplerPlan;
 use crate::fgp::sampler::SamplerMode;
 use sgs_graph::Pattern;
 use sgs_query::exec::{PassOpts, DEFAULT_BLOCK};
-use sgs_query::sharded::{run_insertion_sharded_with_opts, run_turnstile_sharded_with_block};
-use sgs_query::RouterArena;
+use sgs_query::sharded::{run_insertion_sharded_with_exec, run_turnstile_sharded_with_exec};
+use sgs_query::{ExecPolicy, RouterArena};
 use sgs_stream::hash::split_seed;
 use sgs_stream::{EdgeStream, ShardedFeed};
 
@@ -86,10 +86,37 @@ pub fn estimate_insertion_on_feed_with_opts(
     opts: PassOpts,
     sampler: SamplerMode,
 ) -> Option<CountEstimate> {
+    estimate_insertion_on_feed_with_exec(
+        pattern,
+        feed,
+        trials,
+        seed,
+        arena,
+        opts,
+        sampler,
+        ExecPolicy::default(),
+    )
+}
+
+/// [`estimate_insertion_on_feed_with_opts`] with an explicit execution
+/// policy for the shard workers (serial / threaded / auto, core
+/// pinning). The estimate is byte-identical for every policy — only
+/// wall-clock scheduling changes.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_insertion_on_feed_with_exec(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    sampler: SamplerMode,
+    policy: ExecPolicy,
+) -> Option<CountEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, sampler, trials, seed);
     let (outcomes, report) =
-        run_insertion_sharded_with_opts(par, feed, split_seed(seed, u64::MAX), arena, opts);
+        run_insertion_sharded_with_exec(par, feed, split_seed(seed, u64::MAX), arena, opts, policy);
     Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
 }
 
@@ -113,10 +140,37 @@ pub fn estimate_turnstile_on_feed_with_block(
     arena: &mut RouterArena,
     block: usize,
 ) -> Option<CountEstimate> {
+    estimate_turnstile_on_feed_with_exec(
+        pattern,
+        feed,
+        trials,
+        seed,
+        arena,
+        block,
+        ExecPolicy::default(),
+    )
+}
+
+/// Turnstile sibling of [`estimate_insertion_on_feed_with_exec`].
+pub fn estimate_turnstile_on_feed_with_exec(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+    policy: ExecPolicy,
+) -> Option<CountEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, SamplerMode::Relaxed, trials, seed);
-    let (outcomes, report) =
-        run_turnstile_sharded_with_block(par, feed, split_seed(seed, u64::MAX), arena, block);
+    let (outcomes, report) = run_turnstile_sharded_with_exec(
+        par,
+        feed,
+        split_seed(seed, u64::MAX),
+        arena,
+        block,
+        policy,
+    );
     Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
 }
 
@@ -168,10 +222,38 @@ pub fn estimate_insertion_threaded_with_opts<S: EdgeStream + Sync>(
     opts: PassOpts,
     sampler: SamplerMode,
 ) -> Option<CountEstimate> {
+    estimate_insertion_threaded_with_exec(
+        pattern,
+        stream,
+        trials,
+        threads,
+        seed,
+        opts,
+        sampler,
+        ExecPolicy::default(),
+    )
+}
+
+/// [`estimate_insertion_threaded_with_opts`] with an explicit execution
+/// policy — `sgs count` threads `SGS_SHARD_THREADS` / `--pin` through
+/// here.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_insertion_threaded_with_exec<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+    opts: PassOpts,
+    sampler: SamplerMode,
+    policy: ExecPolicy,
+) -> Option<CountEstimate> {
     assert!(threads >= 1);
     let feed = ShardedFeed::partition(stream, threads);
     let mut arena = RouterArena::new();
-    estimate_insertion_on_feed_with_opts(pattern, &feed, trials, seed, &mut arena, opts, sampler)
+    estimate_insertion_on_feed_with_exec(
+        pattern, &feed, trials, seed, &mut arena, opts, sampler, policy,
+    )
 }
 
 /// Turnstile sibling of [`estimate_insertion_threaded`]: sharded
@@ -196,10 +278,31 @@ pub fn estimate_turnstile_threaded_with_block<S: EdgeStream + Sync>(
     seed: u64,
     block: usize,
 ) -> Option<CountEstimate> {
+    estimate_turnstile_threaded_with_exec(
+        pattern,
+        stream,
+        trials,
+        threads,
+        seed,
+        block,
+        ExecPolicy::default(),
+    )
+}
+
+/// Turnstile sibling of [`estimate_insertion_threaded_with_exec`].
+pub fn estimate_turnstile_threaded_with_exec<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+    block: usize,
+    policy: ExecPolicy,
+) -> Option<CountEstimate> {
     assert!(threads >= 1);
     let feed = ShardedFeed::partition(stream, threads);
     let mut arena = RouterArena::new();
-    estimate_turnstile_on_feed_with_block(pattern, &feed, trials, seed, &mut arena, block)
+    estimate_turnstile_on_feed_with_exec(pattern, &feed, trials, seed, &mut arena, block, policy)
 }
 
 #[cfg(test)]

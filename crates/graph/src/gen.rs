@@ -216,6 +216,64 @@ pub fn chung_lu(n: usize, target_m: usize, gamma: f64, seed: u64) -> AdjListGrap
     g
 }
 
+/// Zipf-endpoint power-law graph: exactly `m` distinct edges, each
+/// endpoint drawn independently from a zipf(`s`) distribution over the
+/// vertex ids (vertex `v` with probability ∝ `(v+1)^-s`), rejecting
+/// self-loops and duplicates. With `s` around 0.8–1.2 a handful of
+/// low-id hub vertices dominate the incidence counts — the skewed
+/// delivery workload the load-aware `ShardMap` placement targets
+/// (uniform hashing puts whole hubs on single shards; rebalancing can
+/// only move them, which is why the skew, not the balance, is the hard
+/// part this generator manufactures).
+///
+/// Panics if `m` exceeds `C(n, 2)`.
+pub fn zipf_hub(n: usize, m: usize, s: f64, seed: u64) -> AdjListGraph {
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "requested {m} edges but K{n} has only {max}");
+    assert!(s >= 0.0, "zipf exponent must be non-negative");
+    let mut rng = FastRng::seed_from_u64(seed);
+    // Inverse-CDF table over the zipf weights: one binary search per
+    // endpoint draw.
+    let mut cdf: Vec<f64> = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for v in 0..n {
+        acc += ((v + 1) as f64).powf(-s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let draw = |rng: &mut FastRng| -> u32 {
+        let x = rng.gen_f64() * total;
+        cdf.partition_point(|&c| c < x).min(n - 1) as u32
+    };
+    let mut g = AdjListGraph::new(n);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut stall = 0usize;
+    while g.num_edges() < m {
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        if a == b {
+            continue;
+        }
+        let e = Edge::from((a, b));
+        if seen.insert(e.key()) {
+            g.add_edge(e);
+            stall = 0;
+        } else {
+            // Heavy skew saturates the hub-hub edge pairs; fall back to
+            // a uniform second endpoint so dense requests terminate.
+            stall += 1;
+            if stall > 64 {
+                let b = rng.gen_range(0..n as u32);
+                if a != b && seen.insert(Edge::from((a, b)).key()) {
+                    g.add_edge(Edge::from((a, b)));
+                    stall = 0;
+                }
+            }
+        }
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +343,27 @@ mod tests {
         // Exercise the dense branch (m > max/2).
         let g = gnm(12, 60, 3);
         assert_eq!(g.num_edges(), 60);
+    }
+
+    #[test]
+    fn zipf_hub_exact_m_and_skewed() {
+        let g = zipf_hub(500, 2_000, 1.0, 17);
+        assert_eq!(g.num_edges(), 2_000);
+        assert_eq!(g.num_vertices(), 500);
+        // The hottest vertex must carry far more than its uniform share
+        // (2 * m / n = 8 incidences) — that's the point of the family.
+        let hottest = (0..500).map(|v| g.degree(VertexId(v))).max().unwrap();
+        assert!(hottest > 80, "hottest degree {hottest} — not a hub graph");
+        // Determinism per seed.
+        assert_eq!(g.edge_vec(), zipf_hub(500, 2_000, 1.0, 17).edge_vec());
+        assert_ne!(g.edge_vec(), zipf_hub(500, 2_000, 1.0, 18).edge_vec());
+    }
+
+    #[test]
+    fn zipf_hub_dense_request_terminates() {
+        // Saturating skew: nearly complete graph still terminates via
+        // the uniform fallback.
+        let g = zipf_hub(20, 180, 1.5, 5);
+        assert_eq!(g.num_edges(), 180);
     }
 }

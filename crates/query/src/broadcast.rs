@@ -26,22 +26,27 @@
 //! raw counter ride the estimator's first pass instead of replaying the
 //! stream privately). Consumer loss does not change the count.
 //!
-//! **Scheduling.** With more than one core (or `SGS_SHARD_THREADS=1`)
-//! the producer, shard workers, and side consumers run on scoped
-//! threads against the blocking ring API; otherwise a deterministic
-//! cooperative round-robin drives the same ring through the try-APIs.
-//! Both schedules produce identical answers — every consumer sees the
-//! whole stream in order either way.
+//! **Scheduling.** When the injected [`ExecPolicy`] says to thread
+//! (default: more than one core) the producer, shard workers, and side
+//! consumers run on scoped threads against the blocking ring API;
+//! otherwise a deterministic cooperative round-robin drives the same
+//! ring through the try-APIs. The round-loop executors
+//! ([`run_insertion_broadcast_with_opts`] and its turnstile sibling)
+//! additionally keep a persistent [`crate::runtime::ShardRuntime`] pool
+//! under the threaded policy, feeding the *same* workers pass after
+//! pass instead of respawning scoped threads per round. All schedules
+//! produce identical answers — every consumer sees the whole stream in
+//! order either way.
 
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
 use crate::exec::{PassOpts, ANSWER_BYTES, DEFAULT_BLOCK};
+use crate::policy::ExecPolicy;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
 use crate::router::RouterMode;
 use crate::sharded::{
-    draw_targets, merge_answers, split_batch, use_threads, InsertionShardPass, ShardOutcome,
-    TurnstileShardPass,
+    draw_targets, merge_answers, split_batch, InsertionShardPass, ShardOutcome, TurnstileShardPass,
 };
 use sgs_stream::broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, TryNext};
 use sgs_stream::hash::split_seed;
@@ -54,7 +59,7 @@ use std::time::Instant;
 /// TRIÈST baseline, the exact-oracle graph builder, and raw counters.
 pub type SideSink<'a> = Box<dyn FnMut(&[RoutedUpdate]) + Send + 'a>;
 
-/// Ring geometry for a broadcast pass.
+/// Ring geometry and scheduling policy for a broadcast pass.
 #[derive(Clone, Copy, Debug)]
 pub struct BroadcastOpts {
     /// In-flight ring blocks (backpressure bound).
@@ -62,6 +67,9 @@ pub struct BroadcastOpts {
     /// Updates per ring block (transport granularity; answers are
     /// identical for any value).
     pub ring_block: usize,
+    /// Injected thread/pinning policy (answers are identical under
+    /// every policy).
+    pub policy: ExecPolicy,
 }
 
 impl Default for BroadcastOpts {
@@ -69,13 +77,24 @@ impl Default for BroadcastOpts {
         BroadcastOpts {
             ring_capacity: sgs_stream::broadcast::DEFAULT_RING_CAPACITY,
             ring_block: sgs_stream::broadcast::DEFAULT_RING_BLOCK,
+            policy: ExecPolicy::default(),
+        }
+    }
+}
+
+impl BroadcastOpts {
+    /// Default geometry under an explicit [`ExecPolicy`].
+    pub fn with_policy(policy: ExecPolicy) -> Self {
+        BroadcastOpts {
+            policy,
+            ..BroadcastOpts::default()
         }
     }
 }
 
 /// Filter one ring block down to shard `sid`'s deliveries — the cached
 /// owner/other fields make this two compares per update, no hashing.
-fn filter_block(block: &[RoutedUpdate], sid: usize, scratch: &mut Vec<ShardUpdate>) {
+pub(crate) fn filter_block(block: &[RoutedUpdate], sid: usize, scratch: &mut Vec<ShardUpdate>) {
     scratch.clear();
     for r in block {
         if let Some(su) = r.delivery_for(sid) {
@@ -141,8 +160,8 @@ fn drive_ring<P: RingPass>(
     let side_consumers: Vec<BroadcastConsumer> = side.iter().map(|_| ring.subscribe()).collect();
     let producer = RoutedProducer::new(feed, bcast.ring_block);
     // The producer is one extra party, so thread policy is decided by
-    // the consumer count (>= 2 parties always; SGS_SHARD_THREADS rules).
-    if use_threads((shards + side.len()).max(2)) {
+    // the consumer count (>= 2 parties always; the injected policy rules).
+    if bcast.policy.use_threads((shards + side.len()).max(2)) {
         let ring = &ring;
         std::thread::scope(|scope| {
             scope.spawn(move || producer.run(ring));
@@ -306,7 +325,7 @@ pub fn answer_insertion_batch_broadcast_with_opts(
     side: &mut [SideSink<'_>],
 ) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
-    split_batch(batch, RouterMode::Insertion, shards, arena);
+    split_batch(batch, RouterMode::Insertion, feed.shard_map(), arena);
     let mut targets = std::mem::take(&mut arena.scratch_targets);
     draw_targets(batch, feed.stream_len() as u64, pass_seed, &mut targets);
     let outcomes = {
@@ -350,7 +369,7 @@ pub fn answer_turnstile_batch_broadcast_with_opts(
     side: &mut [SideSink<'_>],
 ) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
-    split_batch(batch, RouterMode::Turnstile, shards, arena);
+    split_batch(batch, RouterMode::Turnstile, feed.shard_map(), arena);
     let f1_slots = std::mem::take(&mut arena.scratch_edge);
     let mut outcomes = {
         let slots = &mut arena.slots[..shards];
@@ -406,6 +425,13 @@ pub fn run_insertion_broadcast_with_opts<A: RoundAdaptive>(
     bcast: BroadcastOpts,
     side: &mut [SideSink<'_>],
 ) -> (A::Output, ExecReport) {
+    let shards = feed.num_shards();
+    // Threaded policy: stand up the persistent worker pool once and
+    // feed it every round — no per-pass thread spawns on the hot path.
+    let mut runtime = bcast
+        .policy
+        .use_threads((shards + side.len()).max(2))
+        .then(|| crate::runtime::ShardRuntime::new(shards, bcast.policy));
     let mut report = ExecReport::default();
     arena.begin_run();
     let mut answers: Vec<Answer> = Vec::new();
@@ -418,16 +444,14 @@ pub fn run_insertion_broadcast_with_opts<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
+        let pass_seed = split_seed(seed, report.passes as u64);
         let side_now: &mut [SideSink<'_>] = if report.passes == 1 { side } else { &mut [] };
-        let (a, space) = answer_insertion_batch_broadcast_with_opts(
-            &batch,
-            feed,
-            split_seed(seed, report.passes as u64),
-            arena,
-            opts,
-            bcast,
-            side_now,
-        );
+        let (a, space) = match runtime.as_mut() {
+            Some(rt) => rt.insertion_pass(&batch, feed, pass_seed, arena, opts, bcast, side_now),
+            None => answer_insertion_batch_broadcast_with_opts(
+                &batch, feed, pass_seed, arena, opts, bcast, side_now,
+            ),
+        };
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;
         arena.note_round();
@@ -466,6 +490,12 @@ pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
     bcast: BroadcastOpts,
     side: &mut [SideSink<'_>],
 ) -> (A::Output, ExecReport) {
+    let shards = feed.num_shards();
+    // See run_insertion_broadcast_with_opts: one persistent pool per run.
+    let mut runtime = bcast
+        .policy
+        .use_threads((shards + side.len()).max(2))
+        .then(|| crate::runtime::ShardRuntime::new(shards, bcast.policy));
     let mut report = ExecReport::default();
     arena.begin_run();
     let mut answers: Vec<Answer> = Vec::new();
@@ -478,16 +508,14 @@ pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
+        let pass_seed = split_seed(seed, report.passes as u64);
         let side_now: &mut [SideSink<'_>] = if report.passes == 1 { side } else { &mut [] };
-        let (a, space) = answer_turnstile_batch_broadcast_with_opts(
-            &batch,
-            feed,
-            split_seed(seed, report.passes as u64),
-            arena,
-            block,
-            bcast,
-            side_now,
-        );
+        let (a, space) = match runtime.as_mut() {
+            Some(rt) => rt.turnstile_pass(&batch, feed, pass_seed, arena, block, bcast, side_now),
+            None => answer_turnstile_batch_broadcast_with_opts(
+                &batch, feed, pass_seed, arena, block, bcast, side_now,
+            ),
+        };
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;
         arena.note_round();
@@ -550,23 +578,27 @@ mod tests {
 
     #[test]
     fn threaded_and_cooperative_schedules_agree() {
-        // Exclusive access to the process-global env toggle (the
-        // identically-patterned sharded test takes the same lock).
-        let _env = crate::SHARD_THREADS_ENV_LOCK
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        // Both ring schedules (blocking threads vs cooperative
+        // round-robin) must produce identical answers; the injected
+        // ExecPolicy forces each one directly — no env mutation.
         let g = gen::gnm(20, 70, 123);
         let ins = InsertionStream::from_graph(&g, 124);
         let batch = mixed_insertion_batch();
         let (expected, _) = answer_insertion_batch(&batch, &ins, 5);
         let feed = ShardedFeed::partition(&ins, 3);
         let mut arena = RouterArena::new();
-        for force in ["1", "0"] {
-            std::env::set_var("SGS_SHARD_THREADS", force);
-            let (got, _) = answer_insertion_batch_broadcast(&batch, &feed, 5, &mut arena);
-            assert_eq!(got, expected, "SGS_SHARD_THREADS={force}");
+        for policy in [ExecPolicy::threaded(), ExecPolicy::serial()] {
+            let (got, _) = answer_insertion_batch_broadcast_with_opts(
+                &batch,
+                &feed,
+                5,
+                &mut arena,
+                PassOpts::default(),
+                BroadcastOpts::with_policy(policy),
+                &mut [],
+            );
+            assert_eq!(got, expected, "{policy:?}");
         }
-        std::env::remove_var("SGS_SHARD_THREADS");
     }
 
     #[test]

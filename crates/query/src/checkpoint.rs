@@ -609,7 +609,7 @@ fn run_checkpointed<A: RoundAdaptive>(
         } else {
             RouterMode::Turnstile
         };
-        split_batch(&batch, mode, shards, arena);
+        split_batch(&batch, mode, feed.shard_map(), arena);
         let mut targets = std::mem::take(&mut arena.scratch_targets);
         let f1_slots = std::mem::take(&mut arena.scratch_edge);
         if model == 0 {

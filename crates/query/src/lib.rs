@@ -45,20 +45,15 @@ pub mod broadcast;
 pub mod checkpoint;
 pub mod exec;
 pub mod oracle;
+pub mod policy;
 pub mod query;
 pub mod reference;
 pub mod relaxed;
 pub mod round;
 pub mod router;
+pub mod runtime;
 pub mod sharded;
 pub mod triangle_finder;
-
-/// Serializes the tests that mutate the process-global
-/// `SGS_SHARD_THREADS` toggle: concurrent `setenv`/`getenv` is
-/// undefined behavior on glibc, and two racing writer tests could each
-/// silently stop forcing the schedule they claim to exercise.
-#[cfg(test)]
-pub(crate) static SHARD_THREADS_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 pub use accounting::ExecReport;
 pub use arena::RouterArena;
@@ -74,15 +69,19 @@ pub use checkpoint::{
 };
 pub use exec::PassOpts;
 pub use oracle::{ExactOracle, GraphOracle};
+pub use policy::{host_cores, pin_current_thread, ExecPolicy, ThreadMode};
 pub use query::{Answer, Query};
 pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
 pub use router::{QueryRouter, RouterMode};
+pub use runtime::ShardRuntime;
 pub use sgs_stream::reservoir::ReservoirMode;
 pub use sharded::{
     answer_insertion_batch_sharded, answer_insertion_batch_sharded_with_block,
-    answer_insertion_batch_sharded_with_opts, answer_turnstile_batch_sharded,
-    answer_turnstile_batch_sharded_with_block, run_insertion_sharded,
-    run_insertion_sharded_with_block, run_insertion_sharded_with_opts, run_turnstile_sharded,
-    run_turnstile_sharded_with_block,
+    answer_insertion_batch_sharded_with_exec, answer_insertion_batch_sharded_with_opts,
+    answer_turnstile_batch_sharded, answer_turnstile_batch_sharded_with_block,
+    answer_turnstile_batch_sharded_with_exec, run_insertion_sharded,
+    run_insertion_sharded_with_block, run_insertion_sharded_with_exec,
+    run_insertion_sharded_with_opts, run_turnstile_sharded, run_turnstile_sharded_with_block,
+    run_turnstile_sharded_with_exec,
 };

@@ -1,0 +1,192 @@
+//! Execution policy: **injected** thread/pinning decisions for the
+//! sharded and broadcast executors.
+//!
+//! Until PR 7 every executor decided "threads or not" by reading the
+//! `SGS_SHARD_THREADS` environment variable at pass time. That put a
+//! process-global mutable toggle on the hot path, and — worse — forced
+//! the test suite to `set_var`/`remove_var` around assertions, which is
+//! undefined behavior on glibc once the parallel test harness itself is
+//! multi-threaded. Policy is now a plain value threaded through the
+//! `*_with_exec` entry points:
+//!
+//! * **Library layers never read the environment.** The executors and
+//!   benches take an [`ExecPolicy`]; tests exercise both schedules by
+//!   passing [`ExecPolicy::serial`] / [`ExecPolicy::threaded`] directly.
+//! * **The CLI is the only env parse.** `sgs` maps `SGS_SHARD_THREADS`
+//!   (`0`/`1`, unset = auto) to a policy once at startup via
+//!   [`ExecPolicy::from_env`], preserving the variable's documented
+//!   behavior for operators.
+//! * **Pinning is policy too.** [`ExecPolicy::pin`] asks persistent
+//!   shard workers ([`crate::runtime::ShardRuntime`]) to bind themselves
+//!   to cores with raw `sched_setaffinity` — no external crates; a
+//!   silent no-op on non-Linux targets and on hosts that refuse the
+//!   syscall. Pinning affects *where* work runs, never *what* it
+//!   computes, so every equivalence guarantee is unaffected.
+
+/// How the sharded/broadcast executors schedule their shard workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ThreadMode {
+    /// Thread when the host has more than one core (the pre-PR-7
+    /// unset-env behavior).
+    #[default]
+    Auto,
+    /// Always run the deterministic single-thread schedule (inline
+    /// shard loop / cooperative ring round-robin).
+    Serial,
+    /// Always run the threaded schedule, even on one core — the test
+    /// suite's way of exercising the parallel path everywhere.
+    Threaded,
+}
+
+/// Injected execution policy for one run: scheduling mode plus worker
+/// core-pinning. The answers a pass produces are identical under every
+/// policy — this value only decides *where* the work runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Thread-or-not decision.
+    pub mode: ThreadMode,
+    /// Pin persistent shard workers round-robin over the host's cores
+    /// (Linux only; ignored by the scoped-thread and serial paths,
+    /// which have no long-lived workers worth binding).
+    pub pin: bool,
+}
+
+impl ExecPolicy {
+    /// Host-adaptive default (thread iff multi-core), no pinning.
+    pub fn auto() -> Self {
+        ExecPolicy::default()
+    }
+
+    /// Force the single-thread schedule.
+    pub fn serial() -> Self {
+        ExecPolicy {
+            mode: ThreadMode::Serial,
+            pin: false,
+        }
+    }
+
+    /// Force the threaded schedule (unpinned).
+    pub fn threaded() -> Self {
+        ExecPolicy {
+            mode: ThreadMode::Threaded,
+            pin: false,
+        }
+    }
+
+    /// Same policy with worker core-pinning requested.
+    pub fn with_pin(mut self) -> Self {
+        self.pin = true;
+        self
+    }
+
+    /// Whether a pass with `parties` independent workers should use the
+    /// threaded schedule under this policy. One party never threads —
+    /// there is nothing to overlap.
+    pub fn use_threads(&self, parties: usize) -> bool {
+        if parties <= 1 {
+            return false;
+        }
+        match self.mode {
+            ThreadMode::Serial => false,
+            ThreadMode::Threaded => true,
+            ThreadMode::Auto => host_cores() > 1,
+        }
+    }
+
+    /// Map the operator-facing `SGS_SHARD_THREADS` variable (`0` = serial,
+    /// `1` = threaded, unset/other = auto) to a policy. **CLI layer
+    /// only** — library code takes the resulting value; nothing below
+    /// the binary reads the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("SGS_SHARD_THREADS").ok().as_deref() {
+            Some("0") => ExecPolicy::serial(),
+            Some("1") => ExecPolicy::threaded(),
+            _ => ExecPolicy::auto(),
+        }
+    }
+}
+
+/// The host's available parallelism (1 when unknown).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Bind the calling thread to one CPU. Returns whether the kernel
+/// accepted the mask; `false` (and no effect) on non-Linux targets, on
+/// out-of-range cores, and when the syscall is refused (containers with
+/// restricted affinity). Purely a placement hint — correctness never
+/// depends on it.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(core: usize) -> bool {
+    // `cpu_set_t` is 1024 bits; build the single-core mask as u64 words
+    // and hand it straight to the raw syscall wrapper that glibc (and
+    // musl) already export — std links libc, so no new dependency.
+    const WORDS: usize = 1024 / 64;
+    if core >= 1024 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // pid 0 = the calling thread.
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux stub: pinning is a silent no-op.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_modes_ignore_host_shape() {
+        for parties in [2usize, 4, 16] {
+            assert!(!ExecPolicy::serial().use_threads(parties));
+            assert!(ExecPolicy::threaded().use_threads(parties));
+        }
+    }
+
+    #[test]
+    fn one_party_never_threads() {
+        for policy in [
+            ExecPolicy::auto(),
+            ExecPolicy::serial(),
+            ExecPolicy::threaded(),
+            ExecPolicy::threaded().with_pin(),
+        ] {
+            assert!(!policy.use_threads(1));
+            assert!(!policy.use_threads(0));
+        }
+    }
+
+    #[test]
+    fn auto_follows_host_cores() {
+        assert_eq!(
+            ExecPolicy::auto().use_threads(4),
+            host_cores() > 1,
+            "auto mode must mirror available_parallelism"
+        );
+    }
+
+    #[test]
+    fn pinning_to_current_core_or_rejection_is_clean() {
+        // On a permissive Linux host pinning core 0 succeeds; sandboxes
+        // may refuse the syscall, and non-Linux always reports false.
+        // Either way the call must not panic and must tell the truth —
+        // a `true` here means the thread really is bound (re-binding to
+        // the same core again must then also succeed).
+        let first = pin_current_thread(0);
+        if first {
+            assert!(pin_current_thread(0));
+        }
+        assert!(!pin_current_thread(100_000), "out-of-range core rejected");
+    }
+}

@@ -35,7 +35,9 @@
 //! `sgs_query::reference` for shard counts 1, 2, 4, 7.
 //!
 //! Execution: one worker per shard under `std::thread::scope` when the
-//! host has more than one core (override with `SGS_SHARD_THREADS=0|1`);
+//! injected [`ExecPolicy`] says to thread (default: when the host has
+//! more than one core; the `sgs` CLI maps `SGS_SHARD_THREADS=0|1` to a
+//! policy at startup — the library never reads the environment);
 //! per-shard feed durations are recorded in the arena either way, so
 //! `benches/sharded.rs` can report the critical-path (max-shard) pass
 //! latency a one-core-per-shard deployment would see.
@@ -43,6 +45,7 @@
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
 use crate::exec::{sort_targets, PassOpts, ANSWER_BYTES, DEFAULT_BLOCK};
+use crate::policy::ExecPolicy;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
 use crate::router::RouterMode;
@@ -51,7 +54,7 @@ use sgs_stream::hash::{split_seed, FastRng};
 use sgs_stream::l0::L0Sampler;
 use sgs_stream::persist::{frame, read_frame_of, Decoder, Encoder, PersistResult, KIND_PASS_STATE};
 use sgs_stream::reservoir::ReservoirBank;
-use sgs_stream::sharded::{shard_of_vertex, ShardUpdate, ShardedFeed};
+use sgs_stream::sharded::{ShardMap, ShardUpdate, ShardedFeed};
 use sgs_stream::EdgeUpdate;
 use std::time::Instant;
 
@@ -69,13 +72,17 @@ pub(crate) struct ShardOutcome {
 }
 
 /// Split a batch into per-shard sub-batches (vertex/edge-keyed kinds) and
-/// the driver-kept global slot lists (`EdgeCount`, `RandomEdge`).
+/// the driver-kept global slot lists (`EdgeCount`, `RandomEdge`). Routing
+/// goes through the feed's [`ShardMap`] — the same placement (uniform
+/// hash plus any load-balancing overrides) the delivery buffers were
+/// built with, which is exactly why placement never changes answers.
 pub(crate) fn split_batch(
     batch: &[Query],
     mode: RouterMode,
-    shards: usize,
+    map: &ShardMap,
     arena: &mut RouterArena,
 ) {
+    let shards = map.num_shards();
     arena.ensure_shards(shards);
     for slot in &mut arena.slots[..shards] {
         slot.sub_batch.clear();
@@ -93,7 +100,7 @@ pub(crate) fn split_batch(
                 arena.scratch_edge.push(i as u32);
                 continue;
             }
-            Query::Degree(v) | Query::RandomNeighbor(v) => shard_of_vertex(v.0, shards),
+            Query::Degree(v) | Query::RandomNeighbor(v) => map.shard_of(v.0),
             Query::IthNeighbor(v, _) => {
                 if mode == RouterMode::Turnstile {
                     panic!(
@@ -101,11 +108,11 @@ pub(crate) fn split_batch(
                          (Definition 10 replaces it with RandomNeighbor)"
                     );
                 }
-                shard_of_vertex(v.0, shards)
+                map.shard_of(v.0)
             }
             // The canonical endpoint's shard sees every update of this
             // edge (it is an endpoint), so it can answer `f4` alone.
-            Query::Adjacent(u, v) => shard_of_vertex(Edge::new(u, v).u().0, shards),
+            Query::Adjacent(u, v) => map.shard_of(Edge::new(u, v).u().0),
         };
         let slot = &mut arena.slots[shard];
         slot.sub_batch.push(*q);
@@ -562,30 +569,13 @@ fn run_turnstile_shard(
     out
 }
 
-/// Whether to run shard workers on scoped threads: yes when the host has
-/// more than one core and there is more than one shard; `SGS_SHARD_THREADS`
-/// (`0`/`1`) overrides, which the test suite uses to exercise the threaded
-/// path on single-core hosts.
-pub(crate) fn use_threads(shards: usize) -> bool {
-    if shards <= 1 {
-        return false;
-    }
-    match std::env::var("SGS_SHARD_THREADS").ok().as_deref() {
-        Some("0") => false,
-        Some("1") => true,
-        _ => std::thread::available_parallelism()
-            .map(|p| p.get() > 1)
-            .unwrap_or(false),
-    }
-}
-
-/// Run every shard worker, threaded or inline, collecting outcomes in
-/// shard order.
-fn run_shards<F>(slots: &mut [ShardSlot], worker: F) -> Vec<ShardOutcome>
+/// Run every shard worker, threaded or inline per the injected
+/// [`ExecPolicy`], collecting outcomes in shard order.
+fn run_shards<F>(slots: &mut [ShardSlot], policy: ExecPolicy, worker: F) -> Vec<ShardOutcome>
 where
     F: Fn(usize, &mut ShardSlot) -> ShardOutcome + Sync,
 {
-    if use_threads(slots.len()) {
+    if policy.use_threads(slots.len()) {
         std::thread::scope(|scope| {
             let handles: Vec<_> = slots
                 .iter_mut()
@@ -677,6 +667,27 @@ pub fn answer_insertion_batch_sharded_with_opts(
     arena: &mut RouterArena,
     opts: PassOpts,
 ) -> (Vec<Answer>, usize) {
+    answer_insertion_batch_sharded_with_exec(
+        batch,
+        feed,
+        pass_seed,
+        arena,
+        opts,
+        ExecPolicy::default(),
+    )
+}
+
+/// [`answer_insertion_batch_sharded_with_opts`] with an injected
+/// [`ExecPolicy`] (thread-or-not + pinning) instead of the default
+/// host-adaptive one. Answers are identical under every policy.
+pub fn answer_insertion_batch_sharded_with_exec(
+    batch: &[Query],
+    feed: &ShardedFeed,
+    pass_seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    policy: ExecPolicy,
+) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
     if shards == 1 {
         // Single shard: skip the split/scatter machinery and run the
@@ -692,10 +703,10 @@ pub fn answer_insertion_batch_sharded_with_opts(
         return out;
     }
     feed.begin_pass();
-    split_batch(batch, RouterMode::Insertion, shards, arena);
+    split_batch(batch, RouterMode::Insertion, feed.shard_map(), arena);
     let mut targets = std::mem::take(&mut arena.scratch_targets);
     draw_targets(batch, feed.stream_len() as u64, pass_seed, &mut targets);
-    let outcomes = run_shards(&mut arena.slots[..shards], |i, slot| {
+    let outcomes = run_shards(&mut arena.slots[..shards], policy, |i, slot| {
         run_insertion_shard(slot, feed, i, &targets, pass_seed, opts)
     });
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>() + targets.len() * 16;
@@ -725,6 +736,26 @@ pub fn answer_turnstile_batch_sharded_with_block(
     arena: &mut RouterArena,
     block: usize,
 ) -> (Vec<Answer>, usize) {
+    answer_turnstile_batch_sharded_with_exec(
+        batch,
+        feed,
+        pass_seed,
+        arena,
+        block,
+        ExecPolicy::default(),
+    )
+}
+
+/// [`answer_turnstile_batch_sharded_with_block`] with an injected
+/// [`ExecPolicy`]. Answers are identical under every policy.
+pub fn answer_turnstile_batch_sharded_with_exec(
+    batch: &[Query],
+    feed: &ShardedFeed,
+    pass_seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+    policy: ExecPolicy,
+) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
     if shards == 1 {
         // See answer_insertion_batch_sharded: direct pass over the feed.
@@ -737,9 +768,9 @@ pub fn answer_turnstile_batch_sharded_with_block(
         return out;
     }
     feed.begin_pass();
-    split_batch(batch, RouterMode::Turnstile, shards, arena);
+    split_batch(batch, RouterMode::Turnstile, feed.shard_map(), arena);
     let f1_slots = std::mem::take(&mut arena.scratch_edge);
-    let mut outcomes = run_shards(&mut arena.slots[..shards], |i, slot| {
+    let mut outcomes = run_shards(&mut arena.slots[..shards], policy, |i, slot| {
         run_turnstile_shard(slot, feed, i, &f1_slots, pass_seed, block)
     });
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>();
@@ -785,11 +816,24 @@ pub fn run_insertion_sharded_with_block<A: RoundAdaptive>(
 
 /// [`run_insertion_sharded`] with full feed-path options ([`PassOpts`]).
 pub fn run_insertion_sharded_with_opts<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+) -> (A::Output, ExecReport) {
+    run_insertion_sharded_with_exec(alg, feed, seed, arena, opts, ExecPolicy::default())
+}
+
+/// [`run_insertion_sharded_with_opts`] with an explicit execution policy
+/// governing the shard workers (serial / threaded / auto, core pinning).
+pub fn run_insertion_sharded_with_exec<A: RoundAdaptive>(
     mut alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
     opts: PassOpts,
+    policy: ExecPolicy,
 ) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
@@ -803,12 +847,13 @@ pub fn run_insertion_sharded_with_opts<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
-        let (a, space) = answer_insertion_batch_sharded_with_opts(
+        let (a, space) = answer_insertion_batch_sharded_with_exec(
             &batch,
             feed,
             split_seed(seed, report.passes as u64),
             arena,
             opts,
+            policy,
         );
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;
@@ -832,11 +877,24 @@ pub fn run_turnstile_sharded<A: RoundAdaptive>(
 
 /// [`run_turnstile_sharded`] with an explicit feed block size.
 pub fn run_turnstile_sharded_with_block<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    block: usize,
+) -> (A::Output, ExecReport) {
+    run_turnstile_sharded_with_exec(alg, feed, seed, arena, block, ExecPolicy::default())
+}
+
+/// [`run_turnstile_sharded_with_block`] with an explicit execution
+/// policy governing the shard workers.
+pub fn run_turnstile_sharded_with_exec<A: RoundAdaptive>(
     mut alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
     block: usize,
+    policy: ExecPolicy,
 ) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
@@ -850,12 +908,13 @@ pub fn run_turnstile_sharded_with_block<A: RoundAdaptive>(
         report.passes += 1;
         report.queries += batch.len();
         report.answer_bytes += batch.len() * ANSWER_BYTES;
-        let (a, space) = answer_turnstile_batch_sharded_with_block(
+        let (a, space) = answer_turnstile_batch_sharded_with_exec(
             &batch,
             feed,
             split_seed(seed, report.passes as u64),
             arena,
             block,
+            policy,
         );
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
         answers = a;
@@ -929,27 +988,42 @@ mod tests {
 
     #[test]
     fn threaded_path_matches_sequential() {
-        // Force the scoped-thread worker path even on single-core hosts.
-        // The env toggle is process-global: writer tests serialize on a
-        // shared lock, and concurrent *readers* observing either value
-        // are harmless because both execution policies produce identical
-        // answers (that is this test's claim — each assertion compares
-        // against the env-independent unsharded baseline).
-        let _env = crate::SHARD_THREADS_ENV_LOCK
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        // Both execution policies must produce identical answers; the
+        // injected ExecPolicy forces each schedule directly (even on
+        // single-core hosts), with no process-global env mutation.
         let g = gen::gnm(20, 70, 23);
         let ins = InsertionStream::from_graph(&g, 24);
         let batch = mixed_insertion_batch();
         let (expected, _) = answer_insertion_batch(&batch, &ins, 5);
         let feed = ShardedFeed::partition(&ins, 4);
         let mut arena = RouterArena::new();
-        for force in ["1", "0"] {
-            std::env::set_var("SGS_SHARD_THREADS", force);
-            let (got, _) = answer_insertion_batch_sharded(&batch, &feed, 5, &mut arena);
-            assert_eq!(got, expected, "SGS_SHARD_THREADS={force}");
+        for policy in [ExecPolicy::threaded(), ExecPolicy::serial()] {
+            let (got, _) = answer_insertion_batch_sharded_with_exec(
+                &batch,
+                &feed,
+                5,
+                &mut arena,
+                PassOpts::default(),
+                policy,
+            );
+            assert_eq!(got, expected, "{policy:?}");
         }
-        std::env::remove_var("SGS_SHARD_THREADS");
+    }
+
+    #[test]
+    fn threaded_turnstile_path_matches_sequential() {
+        let g = gen::gnm(20, 70, 25);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 0.5, 26);
+        let mut batch = mixed_insertion_batch();
+        batch.retain(|q| !matches!(q, Query::IthNeighbor(..)));
+        let (expected, _) = answer_turnstile_batch(&batch, &tst, 5);
+        let feed = ShardedFeed::partition(&tst, 4);
+        let mut arena = RouterArena::new();
+        for policy in [ExecPolicy::threaded(), ExecPolicy::serial()] {
+            let (got, _) =
+                answer_turnstile_batch_sharded_with_exec(&batch, &feed, 5, &mut arena, 64, policy);
+            assert_eq!(got, expected, "{policy:?}");
+        }
     }
 
     #[test]

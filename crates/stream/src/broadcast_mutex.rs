@@ -1,0 +1,278 @@
+//! The PR-5 `Mutex` + two-`Condvar` broadcast ring, preserved verbatim
+//! (types renamed) as the **reference implementation** for the lock-free
+//! ring in [`crate::broadcast`].
+//!
+//! Two consumers keep it alive:
+//!
+//! * `benches/parallel.rs` measures the lock-free ring *against* this
+//!   one on ingest-bound fan-out — the "old ring vs new ring" curve in
+//!   `BENCH_parallel.json` is an apples-to-apples comparison only
+//!   because the old design still compiles and runs;
+//! * `tests/ring_stress.rs` replays randomized producer/consumer
+//!   schedules through both rings and asserts identical observable
+//!   behavior (per-cursor block sequences, backpressure caps, end
+//!   conditions) — the mutex ring's single big lock makes its semantics
+//!   easy to trust, so it serves as the oracle for the atomic one.
+//!
+//! Nothing on the serving path uses this module; the executors in
+//! `sgs-query` ride [`crate::broadcast::Broadcast`].
+
+use crate::broadcast::{Block, TryNext};
+use crate::sharded::RoutedUpdate;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Cursor {
+    /// Sequence number of the next block this consumer will read.
+    next_seq: u64,
+    updates: u64,
+    active: bool,
+}
+
+struct State {
+    ring: VecDeque<Block>,
+    /// Sequence number of `ring[0]`.
+    base_seq: u64,
+    /// Sequence number the next produced block will get (= total blocks
+    /// produced so far).
+    produced_seq: u64,
+    produced_updates: u64,
+    finished: bool,
+    /// Set on the first push: no further subscriptions.
+    sealed: bool,
+    consumers: Vec<Cursor>,
+}
+
+impl State {
+    /// Drop ring blocks every active consumer has passed. With no active
+    /// consumers everything is evictable — production never blocks.
+    fn evict(&mut self) {
+        let target = self
+            .consumers
+            .iter()
+            .filter(|c| c.active)
+            .map(|c| c.next_seq)
+            .min()
+            .unwrap_or(self.produced_seq);
+        while self.base_seq < target && !self.ring.is_empty() {
+            self.ring.pop_front();
+            self.base_seq += 1;
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Producer waits here for ring space.
+    space: Condvar,
+    /// Consumers wait here for new blocks (or finish).
+    data: Condvar,
+    capacity: usize,
+}
+
+/// The producer handle of the mutex-based reference ring.
+pub struct MutexBroadcast {
+    shared: Arc<Shared>,
+}
+
+impl MutexBroadcast {
+    /// A ring holding at most `capacity` blocks in flight (`>= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring needs at least one block slot");
+        MutexBroadcast {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    ring: VecDeque::with_capacity(capacity),
+                    base_seq: 0,
+                    produced_seq: 0,
+                    produced_updates: 0,
+                    finished: false,
+                    sealed: false,
+                    consumers: Vec::new(),
+                }),
+                space: Condvar::new(),
+                data: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Register a consumer cursor at the head of the (not yet started)
+    /// stream. Panics once production has begun.
+    pub fn subscribe(&self) -> MutexConsumer {
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(
+            !st.sealed,
+            "broadcast consumers must subscribe before production starts"
+        );
+        st.consumers.push(Cursor {
+            next_seq: 0,
+            updates: 0,
+            active: true,
+        });
+        MutexConsumer {
+            shared: self.shared.clone(),
+            id: st.consumers.len() - 1,
+        }
+    }
+
+    /// Push one block, blocking while the ring is full with respect to
+    /// the slowest active consumer.
+    pub fn push(&self, block: &[RoutedUpdate]) {
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.finished, "push after finish");
+        st.sealed = true;
+        loop {
+            st.evict();
+            if st.ring.len() < self.shared.capacity {
+                break;
+            }
+            st = self.shared.space.wait(st).unwrap();
+        }
+        st.produced_seq += 1;
+        st.produced_updates += block.len() as u64;
+        st.ring.push_back(Arc::from(block));
+        drop(st);
+        self.shared.data.notify_all();
+    }
+
+    /// Non-blocking [`MutexBroadcast::push`]: `false` (and no cursor or
+    /// ring change) when the ring is full.
+    pub fn try_push(&self, block: &[RoutedUpdate]) -> bool {
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.finished, "push after finish");
+        st.sealed = true;
+        st.evict();
+        if st.ring.len() >= self.shared.capacity {
+            return false;
+        }
+        st.produced_seq += 1;
+        st.produced_updates += block.len() as u64;
+        st.ring.push_back(Arc::from(block));
+        drop(st);
+        self.shared.data.notify_all();
+        true
+    }
+
+    /// Seal the stream: consumers that drain past the last block see the
+    /// end instead of waiting.
+    pub fn finish(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.sealed = true;
+        st.finished = true;
+        drop(st);
+        self.shared.data.notify_all();
+    }
+
+    /// Whether [`MutexBroadcast::finish`] was called.
+    pub fn is_finished(&self) -> bool {
+        self.shared.state.lock().unwrap().finished
+    }
+
+    /// Blocks produced so far.
+    pub fn produced_blocks(&self) -> u64 {
+        self.shared.state.lock().unwrap().produced_seq
+    }
+
+    /// Updates produced so far (sum of block lengths).
+    pub fn produced_updates(&self) -> u64 {
+        self.shared.state.lock().unwrap().produced_updates
+    }
+
+    /// Consumers still attached (not dropped).
+    pub fn active_consumers(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap()
+            .consumers
+            .iter()
+            .filter(|c| c.active)
+            .count()
+    }
+
+    /// Ring capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+/// One consumer's cursor into a [`MutexBroadcast`] ring. Dropping it
+/// deregisters the cursor (the producer stops waiting on it).
+pub struct MutexConsumer {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+/// Blocking cursor walk: `next()` waits for the next block and yields
+/// `None` once the stream is finished and fully consumed.
+impl Iterator for MutexConsumer {
+    type Item = Block;
+
+    fn next(&mut self) -> Option<Block> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            let cur = st.consumers[self.id].next_seq;
+            if cur < st.produced_seq {
+                let idx = (cur - st.base_seq) as usize;
+                let block = st.ring[idx].clone();
+                let c = &mut st.consumers[self.id];
+                c.next_seq += 1;
+                c.updates += block.len() as u64;
+                drop(st);
+                // The slowest cursor may just have moved: wake the
+                // producer to re-check eviction space.
+                self.shared.space.notify_all();
+                return Some(block);
+            }
+            if st.finished {
+                return None;
+            }
+            st = self.shared.data.wait(st).unwrap();
+        }
+    }
+}
+
+impl MutexConsumer {
+    /// Non-blocking [`Iterator::next`].
+    pub fn try_next(&mut self) -> TryNext {
+        let mut st = self.shared.state.lock().unwrap();
+        let cur = st.consumers[self.id].next_seq;
+        if cur < st.produced_seq {
+            let idx = (cur - st.base_seq) as usize;
+            let block = st.ring[idx].clone();
+            let c = &mut st.consumers[self.id];
+            c.next_seq += 1;
+            c.updates += block.len() as u64;
+            drop(st);
+            self.shared.space.notify_all();
+            return TryNext::Block(block);
+        }
+        if st.finished {
+            TryNext::Ended
+        } else {
+            TryNext::Pending
+        }
+    }
+
+    /// Blocks consumed so far — the cursor position.
+    pub fn blocks_consumed(&self) -> u64 {
+        self.shared.state.lock().unwrap().consumers[self.id].next_seq
+    }
+
+    /// Updates consumed so far.
+    pub fn updates_consumed(&self) -> u64 {
+        self.shared.state.lock().unwrap().consumers[self.id].updates
+    }
+}
+
+impl Drop for MutexConsumer {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.consumers[self.id].active = false;
+        st.evict();
+        drop(st);
+        // The producer may have been waiting on this cursor.
+        self.shared.space.notify_all();
+    }
+}

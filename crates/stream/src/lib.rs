@@ -16,7 +16,9 @@
 //! * [`broadcast`] — a bounded single-producer/multi-consumer ring of
 //!   routed-update blocks with per-consumer cursors and backpressure:
 //!   one ingest feeding every estimator at once (the serving path's
-//!   fan-out side),
+//!   fan-out side); lock-free seqlock internals since PR 7, with the
+//!   prior mutex design preserved in [`broadcast_mutex`] as the bench
+//!   baseline and stress-test oracle,
 //! * [`flat`] — open-addressed hash indexes backing the per-pass routing
 //!   structures (one SplitMix64 probe per update instead of SipHash),
 //! * [`persist`] — versioned, checksummed binary codecs for every sketch
@@ -27,6 +29,7 @@
 //! * [`hash`] — seeded hashing used by the sketches.
 
 pub mod broadcast;
+pub mod broadcast_mutex;
 pub mod counters;
 pub mod flat;
 pub mod hash;
@@ -39,8 +42,9 @@ pub mod space;
 pub mod update;
 
 pub use broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, StallEvent, TryNext};
+pub use broadcast_mutex::{MutexBroadcast, MutexConsumer};
 pub use persist::{PersistError, PersistResult};
-pub use sharded::{shard_of_vertex, RoutedUpdate, ShardUpdate, ShardedFeed};
+pub use sharded::{shard_of_vertex, RoutedUpdate, ShardMap, ShardUpdate, ShardedFeed};
 pub use source::{EdgeStream, InsertionStream, PassCounter, TurnstileStream};
 pub use space::SpaceUsage;
 pub use update::EdgeUpdate;

@@ -36,15 +36,128 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// passes, processes, and the query-side routing in `sgs-query`.
 const SHARD_SALT: u64 = 0x5ead_ed5e_ed5e_a11a;
 
-/// The shard that owns vertex `v` under `num_shards`-way partitioning.
+/// The shard that owns vertex `v` under uniform `num_shards`-way hash
+/// partitioning.
 ///
 /// Both the feed (update delivery) and the query router (query
-/// assignment) must agree on this function; it is the *only* coupling
-/// between the two sides of the sharded pipeline.
+/// assignment) must agree on the placement; a feed built with a
+/// non-uniform [`ShardMap`] couples the two sides through
+/// [`ShardedFeed::shard_map`] instead of this bare hash.
 #[inline]
 pub fn shard_of_vertex(v: u32, num_shards: usize) -> usize {
     debug_assert!(num_shards >= 1);
     (splitmix64(v as u64 ^ SHARD_SALT) % num_shards as u64) as usize
+}
+
+/// A vertex → shard placement: the uniform stable hash
+/// ([`shard_of_vertex`]) plus a sparse, sorted list of per-vertex
+/// overrides. The overrides are the load-balancing lever: placement
+/// never changes *answers* (a shard sees every update incident to every
+/// vertex it owns, in stream order, whichever shard that is — the
+/// equivalence argument in `sgs-query::sharded` is placement-agnostic),
+/// only how evenly delivery work spreads across workers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    /// `(vertex, shard)` overrides, sorted by vertex, deduplicated.
+    overrides: Vec<(u32, u16)>,
+}
+
+impl ShardMap {
+    /// The uniform hash placement — what [`ShardedFeed::partition`]
+    /// uses, and the only placement checkpoint recovery accepts.
+    pub fn uniform(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(shards <= u16::MAX as usize, "shard ids are cached as u16");
+        ShardMap {
+            shards,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Uniform placement with explicit `(vertex, shard)` overrides.
+    /// Later entries for the same vertex win; every target shard must be
+    /// in range.
+    pub fn with_overrides(shards: usize, mut overrides: Vec<(u32, u16)>) -> Self {
+        let mut map = ShardMap::uniform(shards);
+        assert!(
+            overrides.iter().all(|&(_, s)| (s as usize) < shards),
+            "override targets a shard outside 0..{shards}"
+        );
+        // Stable sort so the *last* entry for a vertex survives dedup.
+        overrides.sort_by_key(|&(v, _)| v);
+        overrides.reverse();
+        overrides.dedup_by_key(|&mut (v, _)| v);
+        overrides.reverse();
+        // Drop overrides that restate the uniform hash — keeps
+        // `is_uniform` meaningful and the lookup list minimal.
+        overrides.retain(|&(v, s)| shard_of_vertex(v, shards) != s as usize);
+        map.overrides = overrides;
+        map
+    }
+
+    /// Greedy hot-vertex rebalancing over observed per-vertex delivery
+    /// counts (see [`ShardedFeed::vertex_delivery_counts`]): the
+    /// `max_overrides` hottest vertices are lifted out of their hash
+    /// shards and re-placed one by one, heaviest first, each onto the
+    /// currently lightest shard (classic LPT). Everything else keeps the
+    /// uniform hash, so the override list stays sparse and lookups stay
+    /// O(log overrides).
+    pub fn balanced(shards: usize, counts: &[u64], max_overrides: usize) -> Self {
+        let map = ShardMap::uniform(shards);
+        if shards <= 1 || max_overrides == 0 {
+            return map;
+        }
+        // Base load: every vertex's deliveries on its uniform shard.
+        let mut load = vec![0u64; shards];
+        for (v, &c) in counts.iter().enumerate() {
+            load[shard_of_vertex(v as u32, shards)] += c;
+        }
+        // Hottest vertices first; vertex id breaks ties so the result is
+        // deterministic for a fixed count vector.
+        let mut hot: Vec<u32> = (0..counts.len() as u32)
+            .filter(|&v| counts[v as usize] > 0)
+            .collect();
+        hot.sort_by_key(|&v| (std::cmp::Reverse(counts[v as usize]), v));
+        hot.truncate(max_overrides);
+        let mut overrides = Vec::with_capacity(hot.len());
+        for &v in &hot {
+            load[shard_of_vertex(v, shards)] -= counts[v as usize];
+        }
+        for &v in &hot {
+            let target = (0..shards).min_by_key(|&s| (load[s], s)).unwrap();
+            load[target] += counts[v as usize];
+            overrides.push((v, target as u16));
+        }
+        ShardMap::with_overrides(shards, overrides)
+    }
+
+    /// Number of shards this map places onto.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether this is the pure uniform hash (no effective overrides).
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// The effective `(vertex, shard)` overrides, sorted by vertex.
+    #[inline]
+    pub fn overrides(&self) -> &[(u32, u16)] {
+        &self.overrides
+    }
+
+    /// The shard that owns vertex `v` under this placement.
+    #[inline]
+    pub fn shard_of(&self, v: u32) -> usize {
+        match self.overrides.binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(i) => self.overrides[i].1 as usize,
+            Err(_) => shard_of_vertex(v, self.shards),
+        }
+    }
 }
 
 /// One source-stream update with its shard routing resolved **once, at
@@ -119,18 +232,25 @@ pub struct ShardedFeed {
     /// The whole source stream in global order with shard routing cached
     /// at partition time — the broadcast producer's buffer.
     routed: Vec<RoutedUpdate>,
+    /// The placement the buffers were routed with; the query side splits
+    /// batches through this same map.
+    map: ShardMap,
     logical_passes: AtomicUsize,
 }
 
 impl ShardedFeed {
-    /// Partition `stream` into `num_shards` buffers (one replay of the
-    /// source — the only time the source stream is read).
+    /// Partition `stream` into `num_shards` buffers under the uniform
+    /// hash placement (one replay of the source — the only time the
+    /// source stream is read).
     pub fn partition(stream: &impl EdgeStream, num_shards: usize) -> Self {
-        assert!(num_shards >= 1, "need at least one shard");
-        assert!(
-            num_shards <= u16::MAX as usize,
-            "shard ids are cached as u16"
-        );
+        ShardedFeed::partition_with_map(stream, ShardMap::uniform(num_shards))
+    }
+
+    /// [`ShardedFeed::partition`] under an explicit [`ShardMap`]
+    /// placement — the load-aware entry point. Any placement yields
+    /// byte-identical answers; only per-shard delivery balance changes.
+    pub fn partition_with_map(stream: &impl EdgeStream, map: ShardMap) -> Self {
+        let num_shards = map.num_shards();
         assert!(
             stream.len() < u32::MAX as usize,
             "stream positions are stored as u32"
@@ -151,8 +271,8 @@ impl ShardedFeed {
         let mut position = 0u32;
         stream.replay(&mut |update| {
             let (u, v) = update.edge.endpoints();
-            let owner = shard_of_vertex(u.0, num_shards);
-            let other = shard_of_vertex(v.0, num_shards);
+            let owner = map.shard_of(u.0);
+            let other = map.shard_of(v.0);
             shards[owner].push(ShardUpdate {
                 position,
                 update,
@@ -180,6 +300,7 @@ impl ShardedFeed {
             total_delta,
             shards,
             routed,
+            map,
             logical_passes: AtomicUsize::new(0),
         }
     }
@@ -187,9 +308,12 @@ impl ShardedFeed {
     /// Rebuild a feed from a WAL-recovered routed buffer — the recovery
     /// half of [`ShardedFeed::partition`]. Validates every entry against
     /// the partition invariants (sequential positions, owner/other
-    /// matching the stable shard hash) so a log that decodes but lies
-    /// about its routing is rejected instead of silently skewing shard
-    /// delivery. The rebuilt feed is field-identical to the original
+    /// matching the stable **uniform** shard hash) so a log that decodes
+    /// but lies about its routing is rejected instead of silently
+    /// skewing shard delivery. Checkpointed runs therefore always use
+    /// uniform placement — a feed built with a non-uniform [`ShardMap`]
+    /// is rejected here loudly rather than recovered with the wrong
+    /// routing. The rebuilt feed is field-identical to the original
     /// (pass counter reset to zero).
     pub fn from_routed(
         n: usize,
@@ -256,6 +380,7 @@ impl ShardedFeed {
             total_delta,
             shards,
             routed,
+            map: ShardMap::uniform(num_shards),
             logical_passes: AtomicUsize::new(0),
         })
     }
@@ -264,6 +389,29 @@ impl ShardedFeed {
     #[inline]
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The vertex → shard placement this feed was routed with. The query
+    /// side must split batches through this map (not the bare hash) for
+    /// the placement-agnostic equivalence to hold.
+    #[inline]
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Per-vertex delivery counts observed in the routed buffer: entry
+    /// `v` is the number of stream updates incident to vertex `v`, i.e.
+    /// the deliveries `v`'s owner shard performs on `v`'s behalf every
+    /// pass. This is the real-load input [`ShardMap::balanced`] consumes
+    /// — no re-hash, no replay, one linear scan of the cached buffer.
+    pub fn vertex_delivery_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n];
+        for r in &self.routed {
+            let (u, v) = r.update.edge.endpoints();
+            counts[u.0 as usize] += 1;
+            counts[v.0 as usize] += 1;
+        }
+        counts
     }
 
     /// Number of vertices `n` of the underlying graph.
@@ -491,6 +639,133 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_map_overrides_win_and_rest_stay_uniform() {
+        let shards = 4;
+        let map = ShardMap::with_overrides(shards, vec![(7, 2), (7, 3), (100, 1)]);
+        // Later entry for vertex 7 wins.
+        assert_eq!(map.shard_of(7), 3);
+        assert_eq!(map.shard_of(100), 1);
+        for v in 0..64u32 {
+            if v != 7 {
+                assert_eq!(map.shard_of(v), shard_of_vertex(v, shards));
+            }
+        }
+        // Overrides restating the hash are dropped.
+        let hash_home = shard_of_vertex(9, shards) as u16;
+        let map = ShardMap::with_overrides(shards, vec![(9, hash_home)]);
+        assert!(map.is_uniform());
+    }
+
+    #[test]
+    fn balanced_map_improves_skewed_load() {
+        let shards = 4;
+        // One scorching vertex plus a flat background.
+        let mut counts = vec![4u64; 256];
+        counts[3] = 10_000;
+        counts[17] = 6_000;
+        let spread = |map: &ShardMap| -> (u64, u64) {
+            let mut load = vec![0u64; shards];
+            for (v, &c) in counts.iter().enumerate() {
+                load[map.shard_of(v as u32)] += c;
+            }
+            (*load.iter().max().unwrap(), *load.iter().min().unwrap())
+        };
+        let uniform = ShardMap::uniform(shards);
+        let balanced = ShardMap::balanced(shards, &counts, 8);
+        let (umax, _) = spread(&uniform);
+        let (bmax, bmin) = spread(&balanced);
+        assert!(
+            bmax <= umax,
+            "rebalance made the hottest shard hotter: {bmax} > {umax}"
+        );
+        // The two hubs must land on different shards.
+        assert_ne!(balanced.shard_of(3), balanced.shard_of(17));
+        assert!(bmax - bmin <= 10_000, "still pathological: {bmax}-{bmin}");
+        // Deterministic for a fixed count vector.
+        assert_eq!(balanced, ShardMap::balanced(shards, &counts, 8));
+    }
+
+    #[test]
+    fn vertex_delivery_counts_match_incidence() {
+        let g = gen::gnm(30, 140, 41);
+        let s = TurnstileStream::from_graph_with_churn(&g, 0.5, 42);
+        let feed = ShardedFeed::partition(&s, 3);
+        let counts = feed.vertex_delivery_counts();
+        let mut expect = vec![0u64; s.num_vertices()];
+        s.replay(&mut |u| {
+            let (a, b) = u.edge.endpoints();
+            expect[a.0 as usize] += 1;
+            expect[b.0 as usize] += 1;
+        });
+        assert_eq!(counts, expect);
+    }
+
+    #[test]
+    fn placed_feed_delivers_every_incident_update_in_order() {
+        // The delivery contract under a non-uniform map — the feed-side
+        // half of the placement-equivalence argument.
+        let g = gen::gnm(40, 200, 43);
+        let s = InsertionStream::from_graph(&g, 44);
+        let source = collect(&s);
+        let shards = 4;
+        let map = ShardMap::balanced(
+            shards,
+            &{
+                let feed = ShardedFeed::partition(&s, shards);
+                feed.vertex_delivery_counts()
+            },
+            16,
+        );
+        let feed = ShardedFeed::partition_with_map(&s, map.clone());
+        assert_eq!(feed.shard_map(), &map);
+        let mut owned_seen = vec![0u32; s.len()];
+        for i in 0..shards {
+            let expected: Vec<EdgeUpdate> = source
+                .iter()
+                .copied()
+                .filter(|u| {
+                    let (a, b) = u.edge.endpoints();
+                    map.shard_of(a.0) == i || map.shard_of(b.0) == i
+                })
+                .collect();
+            let got: Vec<EdgeUpdate> = feed.shard(i).iter().map(|su| su.update).collect();
+            assert_eq!(got, expected, "shard {i}");
+            assert!(feed
+                .shard(i)
+                .windows(2)
+                .all(|w| w[0].position < w[1].position));
+            for su in feed.shard(i) {
+                assert_eq!(su.owned, map.shard_of(su.update.edge.u().0) == i);
+                if su.owned {
+                    owned_seen[su.position as usize] += 1;
+                }
+            }
+        }
+        assert!(owned_seen.iter().all(|&c| c == 1));
+        // Routed cache agrees with the map.
+        for r in feed.routed() {
+            let (u, v) = r.update.edge.endpoints();
+            assert_eq!(r.owner as usize, map.shard_of(u.0));
+            assert_eq!(r.other as usize, map.shard_of(v.0));
+        }
+    }
+
+    #[test]
+    fn from_routed_rejects_non_uniform_placement() {
+        // Checkpoint recovery only accepts the uniform hash; a routed
+        // buffer written under a placement map must be rejected loudly,
+        // not silently re-routed.
+        let g = gen::gnm(20, 80, 45);
+        let s = InsertionStream::from_graph(&g, 46);
+        let counts = ShardedFeed::partition(&s, 3).vertex_delivery_counts();
+        let map = ShardMap::balanced(3, &counts, 8);
+        assert!(!map.is_uniform(), "need a real override to test with");
+        let feed = ShardedFeed::partition_with_map(&s, map);
+        let err = ShardedFeed::from_routed(20, 3, feed.routed().to_vec());
+        assert!(err.is_err(), "non-uniform routing must not recover");
     }
 
     #[test]

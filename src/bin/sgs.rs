@@ -1,7 +1,7 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N] [--checkpoint-dir D [--snapshot-every N] [--wal-block W]]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N] [--checkpoint-dir D [--snapshot-every N] [--wal-block W]]
 //! sgs recover DIR
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
@@ -265,6 +265,20 @@ fn main() {
                 SamplerMode::Indexed
             };
             let opts = sgs_query::PassOpts { block, reservoir };
+            // SGS_SHARD_THREADS=0|1 forces shard workers serial or
+            // threaded (unset = auto: threads when the host has >1
+            // core); --pin additionally asks for one-core-per-worker
+            // affinity (Linux, best-effort). Neither changes answers —
+            // the env var is parsed only here, at the CLI boundary, and
+            // handed down as an explicit ExecPolicy.
+            let policy = {
+                let p = sgs_query::ExecPolicy::from_env();
+                if args.has("pin") {
+                    p.with_pin()
+                } else {
+                    p
+                }
+            };
             // --broadcast runs the serving path: ONE ingest per logical
             // pass fans out over a bounded ring to the shard routers
             // plus side consumers (TRIÈST baseline, exact CSR oracle, a
@@ -291,17 +305,18 @@ fn main() {
                     extra_raw,
                 };
                 let mut arena = sgs_query::RouterArena::new();
+                let bcast = sgs_query::BroadcastOpts::with_policy(policy);
                 let bundle = if turnstile {
                     let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
                     let feed = sgs_stream::ShardedFeed::partition(&s, shards);
-                    sgs_core::fgp::estimate_turnstile_broadcast_with_opts(
-                        &pattern, &feed, trials, seed, &mut arena, block, consumers,
+                    sgs_core::fgp::estimate_turnstile_broadcast_with_exec(
+                        &pattern, &feed, trials, seed, &mut arena, block, consumers, bcast,
                     )
                 } else {
                     let s = InsertionStream::from_graph(&g, seed ^ 0x77);
                     let feed = sgs_stream::ShardedFeed::partition(&s, shards);
-                    sgs_core::fgp::estimate_insertion_broadcast_with_opts(
-                        &pattern, &feed, trials, seed, &mut arena, opts, sampler, consumers,
+                    sgs_core::fgp::estimate_insertion_broadcast_with_exec(
+                        &pattern, &feed, trials, seed, &mut arena, opts, sampler, consumers, bcast,
                     )
                 }
                 .expect("plan validated above");
@@ -462,13 +477,13 @@ fn main() {
                     exit(2);
                 }
                 let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
-                sgs_core::fgp::estimate_turnstile_threaded_with_block(
-                    &pattern, &s, trials, shards, seed, block,
+                sgs_core::fgp::estimate_turnstile_threaded_with_exec(
+                    &pattern, &s, trials, shards, seed, block, policy,
                 )
             } else {
                 let s = InsertionStream::from_graph(&g, seed ^ 0x77);
-                sgs_core::fgp::estimate_insertion_threaded_with_opts(
-                    &pattern, &s, trials, shards, seed, opts, sampler,
+                sgs_core::fgp::estimate_insertion_threaded_with_exec(
+                    &pattern, &s, trials, shards, seed, opts, sampler, policy,
                 )
             }
             .expect("plan validated above");

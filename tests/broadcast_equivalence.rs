@@ -36,10 +36,10 @@ use sgs_query::broadcast::{
 use sgs_query::exec::run_insertion_with_opts;
 use sgs_query::reference::run_insertion_reference;
 use sgs_query::sharded::run_turnstile_sharded_with_block;
-use sgs_query::{Parallel, PassOpts, ReservoirMode, RouterArena};
+use sgs_query::{ExecPolicy, Parallel, PassOpts, ReservoirMode, RouterArena};
 use sgs_stream::hash::split_seed;
 use sgs_stream::sharded::shard_of_vertex;
-use sgs_stream::{InsertionStream, ShardedFeed, TurnstileStream};
+use sgs_stream::{InsertionStream, ShardMap, ShardedFeed, TurnstileStream};
 use subgraph_streams::prelude::*;
 
 const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
@@ -209,6 +209,7 @@ fn ring_geometry_never_changes_answers() {
             BroadcastOpts {
                 ring_capacity: capacity,
                 ring_block: block,
+                ..BroadcastOpts::default()
             },
             &mut [],
         );
@@ -313,5 +314,66 @@ fn turnstile_bundle_consumers_match_their_private_counterparts() {
             assert_eq!(bundle.estimate.hits, single.hits, "{tag}");
             assert_eq!(bundle.estimate.estimate, single.estimate, "{tag}");
         }
+    }
+}
+
+#[test]
+fn placement_and_policy_never_change_broadcast_answers() {
+    // The load-aware ShardMap on the ring path: re-homing hot vertices
+    // onto colder shards changes only *which* consumer does the work,
+    // never an answer, and the injected ExecPolicy (serial vs persistent
+    // threaded workers) is equally invisible. Baseline: the
+    // uniform-placement broadcast run, which the rest of this suite pins
+    // to the single-stream executors.
+    let g = sgs_graph::gen::zipf_hub(100, 700, 1.0, 71);
+    let ins = InsertionStream::from_graph(&g, 72);
+    let tst = TurnstileStream::from_graph_with_churn(&g, 0.5, 73);
+    let shards = 3;
+    let uniform_ins = ShardedFeed::partition(&ins, shards);
+    let uniform_tst = ShardedFeed::partition(&tst, shards);
+    let map = ShardMap::balanced(shards, &uniform_ins.vertex_delivery_counts(), 8);
+    assert!(!map.is_uniform(), "hub workload must produce overrides");
+    let mut arena = RouterArena::new();
+    let (want_i, _) = run_insertion_broadcast_with_opts(
+        bank(&Pattern::triangle(), SamplerMode::Relaxed, 200, 17),
+        &uniform_ins,
+        0x71,
+        &mut arena,
+        PassOpts::default(),
+        BroadcastOpts::default(),
+        &mut [],
+    );
+    let (want_t, _) = run_turnstile_broadcast_with_opts(
+        bank(&Pattern::triangle(), SamplerMode::Relaxed, 150, 18),
+        &uniform_tst,
+        0x72,
+        &mut arena,
+        64,
+        BroadcastOpts::default(),
+        &mut [],
+    );
+    let placed_ins = ShardedFeed::partition_with_map(&ins, map.clone());
+    let placed_tst = ShardedFeed::partition_with_map(&tst, map);
+    for policy in [ExecPolicy::serial(), ExecPolicy::threaded()] {
+        let (got, _) = run_insertion_broadcast_with_opts(
+            bank(&Pattern::triangle(), SamplerMode::Relaxed, 200, 17),
+            &placed_ins,
+            0x71,
+            &mut arena,
+            PassOpts::default(),
+            BroadcastOpts::with_policy(policy),
+            &mut [],
+        );
+        assert_eq!(got, want_i, "insertion, {policy:?}");
+        let (got, _) = run_turnstile_broadcast_with_opts(
+            bank(&Pattern::triangle(), SamplerMode::Relaxed, 150, 18),
+            &placed_tst,
+            0x72,
+            &mut arena,
+            64,
+            BroadcastOpts::with_policy(policy),
+            &mut [],
+        );
+        assert_eq!(got, want_t, "turnstile, {policy:?}");
     }
 }

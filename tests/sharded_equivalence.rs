@@ -200,3 +200,96 @@ fn logical_pass_accounting_under_sharding() {
     assert_eq!(report.passes, 3, "3-pass estimator stays 3 logical passes");
     assert_eq!(feed.logical_passes(), 3, "feed agrees: 3 passes, not 21");
 }
+
+#[test]
+fn placement_never_changes_answers() {
+    // The load-aware ShardMap claim: any vertex -> shard placement
+    // (uniform hash, hand overrides, or the greedy hot-vertex
+    // rebalancer) yields byte-identical per-trial outcomes, because a
+    // shard sees every update incident to every vertex it owns, in
+    // stream order, whichever shard that is. Exercised on a zipf hub
+    // workload -- the skewed family the rebalancer exists for -- in both
+    // stream models, on the relaxed query mix (reservoirs + l0-banks).
+    // Baseline: the uniform-placement sharded run, which the rest of
+    // this suite already pins to the reference oracle (on the indexed
+    // mix; the relaxed mix's skip-ahead reservoirs are by design only
+    // distribution-equivalent to the reference's per-offer scheme).
+    let g = sgs_graph::gen::zipf_hub(120, 900, 1.0, 51);
+    let ins = InsertionStream::from_graph(&g, 52);
+    let tst = TurnstileStream::from_graph_with_churn(&g, 0.5, 53);
+    for &shards in &[2usize, 4, 7] {
+        let uniform_ins = ShardedFeed::partition(&ins, shards);
+        let uniform_tst = ShardedFeed::partition(&tst, shards);
+        let counts = uniform_ins.vertex_delivery_counts();
+        let maps = [
+            sgs_stream::ShardMap::balanced(shards, &counts, 8),
+            sgs_stream::ShardMap::with_overrides(shards, vec![(0, 0), (1, 0), (2, 0)]),
+        ];
+        assert!(!maps[0].is_uniform(), "hub workload must produce overrides");
+        for seed in 0..3u64 {
+            let (want_i, _) = run_insertion_sharded(
+                bank(&Pattern::triangle(), SamplerMode::Relaxed, 300, seed),
+                &uniform_ins,
+                seed ^ 0x91,
+                &mut RouterArena::new(),
+            );
+            let (want_t, _) = run_turnstile_sharded(
+                bank(&Pattern::triangle(), SamplerMode::Relaxed, 200, seed),
+                &uniform_tst,
+                seed ^ 0x92,
+                &mut RouterArena::new(),
+            );
+            for map in &maps {
+                let feed = ShardedFeed::partition_with_map(&ins, map.clone());
+                let mut arena = RouterArena::new();
+                let (got, _) = run_insertion_sharded(
+                    bank(&Pattern::triangle(), SamplerMode::Relaxed, 300, seed),
+                    &feed,
+                    seed ^ 0x91,
+                    &mut arena,
+                );
+                assert_eq!(
+                    got,
+                    want_i,
+                    "{shards} shards, seed {seed}, overrides {:?}",
+                    map.overrides()
+                );
+                let feed = ShardedFeed::partition_with_map(&tst, map.clone());
+                let mut arena = RouterArena::new();
+                let (got, _) = run_turnstile_sharded(
+                    bank(&Pattern::triangle(), SamplerMode::Relaxed, 200, seed),
+                    &feed,
+                    seed ^ 0x92,
+                    &mut arena,
+                );
+                assert_eq!(
+                    got,
+                    want_t,
+                    "turnstile: {shards} shards, seed {seed}, overrides {:?}",
+                    map.overrides()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn balanced_placement_evens_out_zipf_shard_load() {
+    // The perf half of the placement story: on the hub workload the
+    // greedy rebalancer strictly lowers the hottest shard's delivery
+    // count (the critical-path proxy) vs uniform hashing.
+    let g = sgs_graph::gen::zipf_hub(200, 1_500, 1.1, 61);
+    let ins = InsertionStream::from_graph(&g, 62);
+    let shards = 4;
+    let uniform = ShardedFeed::partition(&ins, shards);
+    let counts = uniform.vertex_delivery_counts();
+    let balanced =
+        ShardedFeed::partition_with_map(&ins, sgs_stream::ShardMap::balanced(shards, &counts, 16));
+    let hottest = |f: &ShardedFeed| (0..shards).map(|i| f.shard(i).len()).max().unwrap();
+    assert!(
+        hottest(&balanced) < hottest(&uniform),
+        "rebalance did not help: {} !< {}",
+        hottest(&balanced),
+        hottest(&uniform)
+    );
+}
