@@ -10,6 +10,7 @@ pub mod assemble;
 pub mod broadcast_exec;
 pub mod checkpoint_exec;
 pub mod counter;
+pub mod multi_exec;
 pub mod parallel_exec;
 pub mod plan;
 pub mod sampler;
@@ -27,6 +28,10 @@ pub use checkpoint_exec::{estimate_insertion_checkpointed, estimate_turnstile_ch
 pub use counter::{
     estimate_insertion, estimate_oracle, estimate_turnstile, practical_trials, theory_trials,
     CountEstimate,
+};
+pub use multi_exec::{
+    estimate_multi_insertion, estimate_multi_insertion_broadcast, estimate_multi_turnstile,
+    estimate_multi_turnstile_broadcast, MultiQuerySpec,
 };
 pub use parallel_exec::{
     estimate_insertion_on_feed, estimate_insertion_on_feed_with_block,

@@ -1,0 +1,275 @@
+//! Multi-query estimator serving: many concurrent `#H` estimates from
+//! ONE shared pass per round.
+//!
+//! [`crate::fgp::parallel_exec`] made one estimate cheap per pass;
+//! serving-side traffic asks a different question — N estimates
+//! (different patterns, trial counts, seeds, reservoir modes) arriving
+//! together. Solo they cost `3·N` passes (every sampler is 3-round);
+//! through [`sgs_query::QuerySet`] they cost exactly **3 shared
+//! passes** total, because every trial bank rides the same merged
+//! router. Each estimate is **byte-identical** to its solo
+//! [`crate::fgp::parallel_exec::estimate_insertion_on_feed_with_exec`]
+//! run with the same spec, for any shard count, block size, and engine
+//! — the multiplexer replays each job's private coin chain exactly.
+
+use crate::fgp::counter::{build_parallel, CountEstimate};
+use crate::fgp::plan::SamplerPlan;
+use crate::fgp::sampler::SamplerMode;
+use sgs_graph::Pattern;
+use sgs_query::multiplex::{AdmissionReport, QuerySet};
+use sgs_query::{BroadcastOpts, ExecPolicy, RouterArena};
+use sgs_stream::hash::split_seed;
+use sgs_stream::reservoir::ReservoirMode;
+use sgs_stream::ShardedFeed;
+
+/// One query in a multi-query batch: everything a solo
+/// `estimate_*_on_feed_with_*` call would have taken per estimate.
+#[derive(Clone, Debug)]
+pub struct MultiQuerySpec {
+    /// The pattern `H` to count.
+    pub pattern: Pattern,
+    /// Parallel sampler trials `k` for this query.
+    pub trials: usize,
+    /// The query's private seed — the same value a solo run would take.
+    pub seed: u64,
+    /// Which Theorem-9 query mix the trials ask (insertion model only;
+    /// turnstile always runs relaxed).
+    pub sampler: SamplerMode,
+    /// Relaxed-`f3` reservoir acceptance scheme for this query.
+    pub reservoir: ReservoirMode,
+}
+
+impl MultiQuerySpec {
+    /// A spec with the library defaults: indexed sampler, default
+    /// reservoir mode.
+    pub fn new(pattern: Pattern, trials: usize, seed: u64) -> Self {
+        MultiQuerySpec {
+            pattern,
+            trials,
+            seed,
+            sampler: SamplerMode::Indexed,
+            reservoir: ReservoirMode::default(),
+        }
+    }
+}
+
+fn admit_all(
+    specs: &[MultiQuerySpec],
+    force_relaxed: bool,
+) -> Option<(
+    QuerySet<sgs_query::Parallel<crate::fgp::sampler::SubgraphSampler>>,
+    Vec<sgs_graph::Rho>,
+)> {
+    let mut set = QuerySet::new();
+    let mut rhos = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let plan = SamplerPlan::new(&spec.pattern)?;
+        let sampler = if force_relaxed {
+            SamplerMode::Relaxed
+        } else {
+            spec.sampler
+        };
+        let par = build_parallel(&plan, sampler, spec.trials, spec.seed);
+        set.admit(par, split_seed(spec.seed, u64::MAX), spec.reservoir);
+        rhos.push(plan.rho());
+    }
+    Some((set, rhos))
+}
+
+fn collect(
+    outputs: Vec<Vec<crate::fgp::sampler::SamplerOutcome>>,
+    reports: Vec<sgs_query::ExecReport>,
+    rhos: Vec<sgs_graph::Rho>,
+) -> Vec<CountEstimate> {
+    outputs
+        .into_iter()
+        .zip(reports)
+        .zip(rhos)
+        .map(|((outcomes, report), rho)| CountEstimate::from_outcomes(outcomes, rho, report))
+        .collect()
+}
+
+/// Estimate every spec's `#H` from one shared insertion-model pass per
+/// round on the sharded engine. Returns per-spec estimates (spec order)
+/// plus the multiplexer's admission report; `None` if any pattern has no
+/// sampler plan. Each estimate is byte-identical to its solo run.
+pub fn estimate_multi_insertion(
+    specs: &[MultiQuerySpec],
+    feed: &ShardedFeed,
+    arena: &mut RouterArena,
+    block: usize,
+    policy: ExecPolicy,
+) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
+    let (set, rhos) = admit_all(specs, false)?;
+    let out = set.run_insertion(feed, arena, block, policy);
+    Some((collect(out.outputs, out.reports, rhos), out.admission))
+}
+
+/// Turnstile sibling of [`estimate_multi_insertion`]; every query runs
+/// the relaxed sampler (Definition 10 has no arrival-order watchers).
+pub fn estimate_multi_turnstile(
+    specs: &[MultiQuerySpec],
+    feed: &ShardedFeed,
+    arena: &mut RouterArena,
+    block: usize,
+    policy: ExecPolicy,
+) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
+    let (set, rhos) = admit_all(specs, true)?;
+    let out = set.run_turnstile(feed, arena, block, policy);
+    Some((collect(out.outputs, out.reports, rhos), out.admission))
+}
+
+/// [`estimate_multi_insertion`] riding the broadcast ring: one producer
+/// pushes each shared round's routed stream once. Producer stalls land
+/// in the admission report. Estimates identical to the sharded engine.
+pub fn estimate_multi_insertion_broadcast(
+    specs: &[MultiQuerySpec],
+    feed: &ShardedFeed,
+    arena: &mut RouterArena,
+    block: usize,
+    bcast: BroadcastOpts,
+) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
+    let (set, rhos) = admit_all(specs, false)?;
+    let out = set.run_insertion_broadcast(feed, arena, block, bcast);
+    Some((collect(out.outputs, out.reports, rhos), out.admission))
+}
+
+/// Turnstile sibling of [`estimate_multi_insertion_broadcast`].
+pub fn estimate_multi_turnstile_broadcast(
+    specs: &[MultiQuerySpec],
+    feed: &ShardedFeed,
+    arena: &mut RouterArena,
+    block: usize,
+    bcast: BroadcastOpts,
+) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
+    let (set, rhos) = admit_all(specs, true)?;
+    let out = set.run_turnstile_broadcast(feed, arena, block, bcast);
+    Some((collect(out.outputs, out.reports, rhos), out.admission))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgp::parallel_exec::{
+        estimate_insertion_on_feed_with_exec, estimate_turnstile_on_feed_with_exec,
+    };
+    use sgs_graph::gen;
+    use sgs_query::PassOpts;
+    use sgs_stream::{InsertionStream, TurnstileStream};
+
+    fn specs() -> Vec<MultiQuerySpec> {
+        vec![
+            MultiQuerySpec::new(Pattern::clique(3), 40, 11),
+            MultiQuerySpec {
+                pattern: Pattern::cycle(5),
+                trials: 25,
+                seed: 22,
+                sampler: SamplerMode::Relaxed,
+                reservoir: ReservoirMode::Skip,
+            },
+            MultiQuerySpec {
+                pattern: Pattern::clique(3),
+                trials: 10,
+                seed: 33,
+                sampler: SamplerMode::Relaxed,
+                reservoir: ReservoirMode::Offer,
+            },
+        ]
+    }
+
+    #[test]
+    fn multi_insertion_matches_solo_estimates() {
+        let g = gen::gnm(40, 160, 7);
+        let ins = InsertionStream::from_graph(&g, 8);
+        let feed = ShardedFeed::partition(&ins, 2);
+        let mut arena = RouterArena::new();
+        let (ests, admission) =
+            estimate_multi_insertion(&specs(), &feed, &mut arena, 64, ExecPolicy::serial())
+                .unwrap();
+        assert_eq!(ests.len(), 3);
+        assert_eq!(admission.rounds.len(), 3, "3-round samplers share 3 passes");
+        for (spec, est) in specs().iter().zip(&ests) {
+            let mut solo_arena = RouterArena::new();
+            let solo = estimate_insertion_on_feed_with_exec(
+                &spec.pattern,
+                &feed,
+                spec.trials,
+                spec.seed,
+                &mut solo_arena,
+                PassOpts {
+                    block: 64,
+                    reservoir: spec.reservoir,
+                },
+                spec.sampler,
+                ExecPolicy::serial(),
+            )
+            .unwrap();
+            assert_eq!(est.estimate.to_bits(), solo.estimate.to_bits());
+            assert_eq!(est.hits, solo.hits);
+            assert_eq!(est.trials, solo.trials);
+            assert_eq!(est.report.passes, solo.report.passes);
+        }
+    }
+
+    #[test]
+    fn multi_turnstile_matches_solo_estimates() {
+        let g = gen::gnm(40, 160, 9);
+        let tst = TurnstileStream::from_graph_with_churn(&g, 0.4, 10);
+        let feed = ShardedFeed::partition(&tst, 2);
+        let mut arena = RouterArena::new();
+        let (ests, _) =
+            estimate_multi_turnstile(&specs(), &feed, &mut arena, 64, ExecPolicy::serial())
+                .unwrap();
+        for (spec, est) in specs().iter().zip(&ests) {
+            let mut solo_arena = RouterArena::new();
+            let solo = estimate_turnstile_on_feed_with_exec(
+                &spec.pattern,
+                &feed,
+                spec.trials,
+                spec.seed,
+                &mut solo_arena,
+                64,
+                ExecPolicy::serial(),
+            )
+            .unwrap();
+            assert_eq!(est.estimate.to_bits(), solo.estimate.to_bits());
+            assert_eq!(est.hits, solo.hits);
+        }
+    }
+
+    #[test]
+    fn multi_broadcast_matches_sharded_engine() {
+        let g = gen::gnm(40, 160, 12);
+        let ins = InsertionStream::from_graph(&g, 13);
+        let feed = ShardedFeed::partition(&ins, 3);
+        let mut arena = RouterArena::new();
+        let (sharded, _) =
+            estimate_multi_insertion(&specs(), &feed, &mut arena, 64, ExecPolicy::serial())
+                .unwrap();
+        let mut ring_arena = RouterArena::new();
+        let (ringed, _) = estimate_multi_insertion_broadcast(
+            &specs(),
+            &feed,
+            &mut ring_arena,
+            64,
+            BroadcastOpts::with_policy(ExecPolicy::serial()),
+        )
+        .unwrap();
+        for (a, b) in sharded.iter().zip(&ringed) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.hits, b.hits);
+        }
+    }
+
+    #[test]
+    fn bad_pattern_returns_none() {
+        let ins = InsertionStream::from_edge_order(4, vec![]);
+        let feed = ShardedFeed::partition(&ins, 1);
+        let mut arena = RouterArena::new();
+        // An isolated vertex has no cycle-star decomposition.
+        let bad = vec![MultiQuerySpec::new(Pattern::from_edges(3, [(0, 1)]), 4, 1)];
+        assert!(
+            estimate_multi_insertion(&bad, &feed, &mut arena, 0, ExecPolicy::serial()).is_none()
+        );
+    }
+}

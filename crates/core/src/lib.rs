@@ -28,4 +28,4 @@ pub mod baselines;
 pub mod ers;
 pub mod fgp;
 
-pub use fgp::{CountEstimate, SamplerMode, SamplerPlan, SubgraphSampler};
+pub use fgp::{CountEstimate, MultiQuerySpec, SamplerMode, SamplerPlan, SubgraphSampler};

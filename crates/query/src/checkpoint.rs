@@ -299,7 +299,7 @@ impl CheckpointSession {
         for block in feed.routed().chunks(chunk) {
             wal.append_block(block)?;
         }
-        wal.seal(feed.num_vertices(), feed.num_shards(), chunk)?;
+        wal.seal_with_map(feed.num_vertices(), feed.shard_map(), chunk)?;
         Ok(CheckpointSession {
             dir: dir.to_path_buf(),
             snapshot_every,
@@ -325,8 +325,14 @@ impl CheckpointSession {
                 .located(dir)
         })?;
         let routed = wal.blocks.concat();
-        let feed =
-            ShardedFeed::from_routed(meta.num_vertices as usize, meta.num_shards as usize, routed)?;
+        // The seal carries the placement (uniform hash + overrides) the
+        // stream was routed with; recovery validates the routed buffer
+        // against it, so a load-balanced run resumes into its placement.
+        let feed = ShardedFeed::from_routed_with_map(
+            meta.num_vertices as usize,
+            meta.shard_map(),
+            routed,
+        )?;
         let snap = match read_latest_snapshot(dir)? {
             Some((seq, payload)) => {
                 let snap = decode_snapshot(&payload)

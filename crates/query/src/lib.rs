@@ -25,6 +25,10 @@
 //!   machines drawing from the cursors of one bounded
 //!   [`sgs_stream::Broadcast`] ring, with side consumers (baselines,
 //!   exact oracles, pass counters) riding the same single ingest,
+//! * [`multiplex`] — multi-query serving: a [`multiplex::QuerySet`]
+//!   admission-batches many concurrent round-adaptive jobs and serves
+//!   every round with ONE shared router pass (sharded or ring), each
+//!   job's answers byte-identical to its solo run,
 //! * [`checkpoint`] — durable executor state: a write-ahead log of the
 //!   routed stream plus block-boundary snapshots of mid-run estimator
 //!   state, with byte-identical crash recovery,
@@ -44,6 +48,7 @@ pub mod arena;
 pub mod broadcast;
 pub mod checkpoint;
 pub mod exec;
+pub mod multiplex;
 pub mod oracle;
 pub mod policy;
 pub mod query;
@@ -68,6 +73,7 @@ pub use checkpoint::{
     DEFAULT_CHECKPOINT_CHUNK, DEFAULT_SNAPSHOT_EVERY,
 };
 pub use exec::PassOpts;
+pub use multiplex::{AdmissionReport, MuxJobStats, MuxOutput, MuxRoundStats, QuerySet};
 pub use oracle::{ExactOracle, GraphOracle};
 pub use policy::{host_cores, pin_current_thread, ExecPolicy, ThreadMode};
 pub use query::{Answer, Query};

@@ -570,8 +570,13 @@ fn run_turnstile_shard(
 }
 
 /// Run every shard worker, threaded or inline per the injected
-/// [`ExecPolicy`], collecting outcomes in shard order.
-fn run_shards<F>(slots: &mut [ShardSlot], policy: ExecPolicy, worker: F) -> Vec<ShardOutcome>
+/// [`ExecPolicy`], collecting outcomes in shard order. Shared with the
+/// multiplexer, whose shared-pass workers have the same shape.
+pub(crate) fn run_shards<F>(
+    slots: &mut [ShardSlot],
+    policy: ExecPolicy,
+    worker: F,
+) -> Vec<ShardOutcome>
 where
     F: Fn(usize, &mut ShardSlot) -> ShardOutcome + Sync,
 {

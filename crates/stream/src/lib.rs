@@ -36,6 +36,7 @@ pub mod hash;
 pub mod l0;
 pub mod persist;
 pub mod reservoir;
+pub mod reservoir_c;
 pub mod sharded;
 pub mod source;
 pub mod space;
@@ -44,6 +45,7 @@ pub mod update;
 pub use broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, StallEvent, TryNext};
 pub use broadcast_mutex::{MutexBroadcast, MutexConsumer};
 pub use persist::{PersistError, PersistResult};
+pub use reservoir_c::SizeCReservoir;
 pub use sharded::{shard_of_vertex, RoutedUpdate, ShardMap, ShardUpdate, ShardedFeed};
 pub use source::{EdgeStream, InsertionStream, PassCounter, TurnstileStream};
 pub use space::SpaceUsage;

@@ -46,7 +46,7 @@
 //! its seal record is reported as unsealed — the ingest phase never
 //! completed, so there is nothing consistent to resume.
 
-use crate::sharded::RoutedUpdate;
+use crate::sharded::{RoutedUpdate, ShardMap};
 use crate::update::EdgeUpdate;
 use sgs_graph::{Edge, VertexId};
 use std::fmt;
@@ -56,7 +56,12 @@ use std::path::{Path, PathBuf};
 
 /// On-disk format version. Bumped on any layout change; decoders reject
 /// other versions with [`PersistError::VersionMismatch`].
-pub const PERSIST_VERSION: u16 = 1;
+///
+/// v2: the WAL seal record carries the [`crate::ShardMap`] placement
+/// overrides, so a load-balanced deployment recovers into its placement.
+/// v1 logs (pre-placement) are rejected at the frame level — the loud
+/// rejection for version-mismatched maps.
+pub const PERSIST_VERSION: u16 = 2;
 
 /// Frame magic: every persisted record starts with these four bytes.
 pub const MAGIC: [u8; 4] = *b"SGSP";
@@ -610,8 +615,12 @@ pub fn decode_routed_block(payload: &[u8]) -> PersistResult<Vec<RoutedUpdate>> {
 // ---------------------------------------------------------------------------
 
 /// Totals recorded by the WAL seal record — the proof that the ingest
-/// phase completed and the log holds the whole stream.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// phase completed and the log holds the whole stream. Since format v2
+/// the seal also records the placement the stream was routed with
+/// (uniform hash + [`ShardMap`] overrides), so recovery rebuilds a
+/// load-balanced deployment into its placement instead of assuming
+/// uniform.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalMeta {
     /// Vertex count `n` of the underlying graph.
     pub num_vertices: u64,
@@ -625,9 +634,19 @@ pub struct WalMeta {
     pub total_updates: u64,
     /// Nominal updates per block (the last block may be short).
     pub block_len: u64,
+    /// Per-vertex placement overrides on top of the uniform hash
+    /// (empty = uniform placement).
+    pub overrides: Vec<(u32, u16)>,
 }
 
 impl WalMeta {
+    /// The placement the log's routed buffer was produced under —
+    /// thread this through [`crate::ShardedFeed::from_routed_with_map`]
+    /// on recovery.
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::with_overrides(self.num_shards as usize, self.overrides.clone())
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         enc.u64(self.num_vertices);
@@ -636,19 +655,37 @@ impl WalMeta {
         enc.u64(self.total_blocks);
         enc.u64(self.total_updates);
         enc.u64(self.block_len);
+        enc.u64(self.overrides.len() as u64);
+        for &(v, s) in &self.overrides {
+            enc.u32(v);
+            enc.u16(s);
+        }
         enc.into_bytes()
     }
 
     fn decode(payload: &[u8]) -> PersistResult<Self> {
         let mut dec = Decoder::new(payload);
-        let meta = WalMeta {
+        let mut meta = WalMeta {
             num_vertices: dec.u64("num_vertices")?,
             stream_len: dec.u64("stream_len")?,
             num_shards: dec.u64("num_shards")?,
             total_blocks: dec.u64("total_blocks")?,
             total_updates: dec.u64("total_updates")?,
             block_len: dec.u64("block_len")?,
+            overrides: Vec::new(),
         };
+        let n_over = dec.count(6, "override count")?;
+        for _ in 0..n_over {
+            let v = dec.u32("override vertex")?;
+            let s = dec.u16("override shard")?;
+            if (s as u64) >= meta.num_shards {
+                return Err(dec.corrupt(format!(
+                    "override sends vertex {v} to shard {s}, only {} shards",
+                    meta.num_shards
+                )));
+            }
+            meta.overrides.push((v, s));
+        }
         dec.finish()?;
         Ok(meta)
     }
@@ -729,19 +766,35 @@ impl WalWriter {
 
     /// Write the seal record and fsync: after this returns, the whole
     /// stream is durable and recovery can rebuild the feed from disk.
+    /// Records uniform placement — a feed routed under a non-trivial
+    /// [`ShardMap`] must seal through [`WalWriter::seal_with_map`] or
+    /// recovery will reject the log's routing.
     pub fn seal(
-        mut self,
+        self,
         num_vertices: usize,
         num_shards: usize,
+        block_len: usize,
+    ) -> PersistResult<WalMeta> {
+        self.seal_with_map(num_vertices, &ShardMap::uniform(num_shards), block_len)
+    }
+
+    /// [`WalWriter::seal`] recording an explicit placement: the map's
+    /// overrides ride the seal record, so `sgs recover` rebuilds the
+    /// load-balanced feed with the routing it was written under.
+    pub fn seal_with_map(
+        mut self,
+        num_vertices: usize,
+        map: &ShardMap,
         block_len: usize,
     ) -> PersistResult<WalMeta> {
         let meta = WalMeta {
             num_vertices: num_vertices as u64,
             stream_len: self.updates,
-            num_shards: num_shards as u64,
+            num_shards: map.num_shards() as u64,
             total_blocks: self.blocks,
             total_updates: self.updates,
             block_len: block_len as u64,
+            overrides: map.overrides().to_vec(),
         };
         let rec = frame(KIND_WAL_SEAL, &meta.encode());
         self.file
@@ -861,7 +914,7 @@ pub fn read_wal(dir: &Path) -> PersistResult<RecoveredWal> {
             }
         }
     }
-    if let Some(m) = meta {
+    if let Some(m) = &meta {
         if m.total_blocks != blocks.len() as u64
             || m.total_updates != blocks.iter().map(|b| b.len() as u64).sum::<u64>()
         {

@@ -1,0 +1,376 @@
+//! Size-`C` reservoir with skip-ahead acceptance — Vitter's Algorithm Z.
+//!
+//! The single-slot samplers in [`crate::reservoir`] close their offer/skip
+//! split with an *exact integer inverse transform*: for `C = 1` the gap
+//! law `P(gap ≥ s) = t/(t+s)` inverts in closed form with one uniform.
+//! For a reservoir of `C > 1` slots no closed form exists, so the skip
+//! path needs a different construction. This module supplies it:
+//!
+//! * **Offer mode** is textbook Algorithm R and doubles as the
+//!   statistical oracle: offer `t` (1-based) draws `j ∈ [0, t)` and
+//!   replaces slot `j` when `j < C`. One draw per offer.
+//! * **Skip mode** samples the *gap* (number of consecutive losing
+//!   offers after clock `t`) directly from its exact law
+//!
+//!   ```text
+//!   R(s) = P(gap ≥ s) = ∏_{k=0}^{C−1} (t−k) / (t+s−k)        (O(C))
+//!   p(s) = P(gap = s) = R(s) · C / (t+s+1)
+//!   ```
+//!
+//!   and then touches nothing but a countdown compare until the next
+//!   acceptance — zero floating-point work on losing offers, `O(C log m)`
+//!   draws per pass instead of `O(m)`.
+//!
+//! The gap sampler switches regimes the way Vitter's Algorithm Z does:
+//!
+//! * **Small clocks** (`t < 22·C`): sequential-search inversion with ONE
+//!   uniform `V` — walk `R(s+1) = R(s)·(t+s+1−C)/(t+s+1)` until it drops
+//!   to `V`. Cheap because the gap is short when the clock is small.
+//! * **Large clocks**: rejection from the continuous envelope
+//!   `G(x) = (t/(t+x))^C`. The candidate `X = t·(U^{−1/C} − 1)` has tail
+//!   exactly `G`, so `s = ⌊X⌋` lands in cell `q(s) = G(s) − G(s+1)`.
+//!   Since `R(s) ≤ G(s)` termwise and
+//!   `q(s) ≥ G(s)·(C/(t+s+1))·(1 − (C−1)/(2(t+s+1)))` (binomial lower
+//!   bound on `1 − (1−x)^C`), the constant
+//!   `M = 1 / (1 − (C−1)/(2(t+1)))` dominates `p(s) ≤ M·q(s)` and the
+//!   acceptance test `W·M·q(s) ≤ p(s)` is exact. `M ≤ 2` for every
+//!   `t ≥ C`, so the loop runs ~1–2 iterations. The `powf`s here are per
+//!   *candidate*, not per offer — the skip contract is intact.
+//! * **`C == 1`** reduces to the closed-form inverse transform, the same
+//!   `⌊t/u⌋ − t` law [`crate::reservoir`] schedules through.
+//!
+//! Standalone by design: the executors keep their frozen coin chains
+//! (byte-identity across the repo hangs off them), so this bank is not
+//! wired into any estimator path. It exists so a size-`C` consumer —
+//! multi-sample variance reduction, top-`C` sketches — starts from a
+//! distribution-tested primitive rather than re-deriving the gap law.
+
+use crate::hash::FastRng;
+use crate::reservoir::ReservoirMode;
+
+/// Clock multiple below which sequential-search inversion beats the
+/// rejection envelope (Vitter's measured crossover is ≈ 22·C).
+const SEQ_CUTOFF: u64 = 22;
+
+/// Sequential-search inversion: `S = min{ s ≥ 0 : R(s+1) ≤ V }` with one
+/// uniform, walking the tail ratio `R(s+1)/R(s) = (t+s+1−C)/(t+s+1)`
+/// incrementally. Exact for every `t ≥ C`; intended for small clocks
+/// where the expected gap (≈ `t/(C−1)`) keeps the walk short.
+fn gap_sequential(t: u64, c: u64, rng: &mut FastRng, draws: &mut u64) -> u64 {
+    let v = rng.gen_unit_f64();
+    *draws += 1;
+    let (tf, cf) = (t as f64, c as f64);
+    let mut prod = 1.0f64; // R(s) running tail, R(0) = 1
+    let mut s = 0u64;
+    loop {
+        let denom = tf + s as f64 + 1.0;
+        prod *= (denom - cf) / denom;
+        if prod <= v {
+            return s;
+        }
+        s += 1;
+    }
+}
+
+/// Rejection from the continuous envelope `G(x) = (t/(t+x))^C` — the
+/// large-clock arm of Algorithm Z. Two uniforms per candidate; expected
+/// candidates ≤ `M ≤ 2`. Exact for every `t ≥ C` (the test suite runs it
+/// at small clocks on purpose to pin that).
+fn gap_rejection(t: u64, c: u64, rng: &mut FastRng, draws: &mut u64) -> u64 {
+    let (tf, cf) = (t as f64, c as f64);
+    let m = 1.0 / (1.0 - (cf - 1.0) / (2.0 * (tf + 1.0)));
+    loop {
+        let u = rng.gen_unit_f64();
+        let w = rng.gen_unit_f64();
+        *draws += 2;
+        // Candidate with tail exactly G: X = t·(U^{−1/C} − 1) ≥ 0.
+        let x = tf * (u.powf(-1.0 / cf) - 1.0);
+        let s = x as u64; // floor; saturates at the same tail skip_gap does
+        let sf = s as f64;
+        // Envelope cell mass q(s) = G(s) − G(s+1).
+        let q = (tf / (tf + sf)).powf(cf) - (tf / (tf + sf + 1.0)).powf(cf);
+        // Exact pmf p(s) = R(s) · C/(t+s+1), R(s) as the O(C) product.
+        let mut r = 1.0f64;
+        for k in 0..c {
+            r *= (tf - k as f64) / (tf + sf - k as f64);
+        }
+        let p = r * cf / (tf + sf + 1.0);
+        // q underflowing to 0 in the far tail accepts (p underflows with
+        // it) — same numerics class as skip_gap's saturating cast.
+        if w * m * q <= p {
+            return s;
+        }
+    }
+}
+
+/// Exact gap after clock `t` for a full size-`c` reservoir, dispatching
+/// per the Algorithm Z regime split.
+fn gap_after(t: u64, c: u64, rng: &mut FastRng, draws: &mut u64) -> u64 {
+    debug_assert!(t >= c && c >= 1);
+    if c == 1 {
+        // Closed-form inverse transform: P(gap ≥ s) = t/(t+s).
+        let u = rng.gen_unit_f64();
+        *draws += 1;
+        return ((t as f64 / u) as u64).saturating_sub(t);
+    }
+    if t < SEQ_CUTOFF * c {
+        gap_sequential(t, c, rng, draws)
+    } else {
+        gap_rejection(t, c, rng, draws)
+    }
+}
+
+/// A uniform size-`C` reservoir over items of type `T`: after `m ≥ C`
+/// offers, every `C`-subset of the stream is equally likely to be the
+/// slot set (so each item is retained with probability `C/m`).
+#[derive(Clone, Debug)]
+pub struct SizeCReservoir<T> {
+    rng: FastRng,
+    slots: Vec<Option<T>>,
+    mode: ReservoirMode,
+    /// Offers seen (the clock `t`).
+    seen: u64,
+    /// Skip mode: 1-based offer index of the next acceptance; meaningful
+    /// only once the fill phase ends.
+    next_accept: u64,
+    /// RNG draws consumed — the skip contract's observable.
+    draws: u64,
+}
+
+impl<T> SizeCReservoir<T> {
+    /// A reservoir of `c ≥ 1` slots in the default ([`ReservoirMode::Skip`])
+    /// acceptance scheme.
+    pub fn new(c: usize, seed: u64) -> Self {
+        Self::with_mode(c, seed, ReservoirMode::default())
+    }
+
+    pub fn with_mode(c: usize, seed: u64, mode: ReservoirMode) -> Self {
+        assert!(c >= 1, "a reservoir needs at least one slot");
+        Self {
+            rng: FastRng::seed_from_u64(seed),
+            slots: (0..c).map(|_| None).collect(),
+            mode,
+            seen: 0,
+            next_accept: 0,
+            draws: 0,
+        }
+    }
+
+    /// Offer one item. Fill phase keeps the first `C` verbatim; after
+    /// that, offer mode draws per offer and skip mode compares against
+    /// the precomputed acceptance clock.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        let t = self.seen;
+        let c = self.slots.len() as u64;
+        if t <= c {
+            self.slots[(t - 1) as usize] = Some(item);
+            if self.mode == ReservoirMode::Skip && t == c {
+                self.next_accept = c + gap_after(c, c, &mut self.rng, &mut self.draws) + 1;
+            }
+            return;
+        }
+        match self.mode {
+            ReservoirMode::Offer => {
+                let j = self.rng.gen_range(0..t);
+                self.draws += 1;
+                if j < c {
+                    self.slots[j as usize] = Some(item);
+                }
+            }
+            ReservoirMode::Skip => {
+                if t == self.next_accept {
+                    // Victim slot is uniform in [0, C) independently of
+                    // the gap — Algorithm Z's replacement rule.
+                    let j = self.rng.gen_range(0..c);
+                    self.draws += 1;
+                    self.slots[j as usize] = Some(item);
+                    self.next_accept = t + gap_after(t, c, &mut self.rng, &mut self.draws) + 1;
+                }
+            }
+        }
+    }
+
+    /// The slot array; `None` only while the fill phase is incomplete.
+    pub fn samples(&self) -> &[Option<T>] {
+        &self.slots
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    pub fn mode(&self) -> ReservoirMode {
+        self.mode
+    }
+
+    /// RNG draws consumed so far — offer mode spends exactly one per
+    /// post-fill offer; skip mode spends `O(C log(m/C))` per pass.
+    pub fn rng_draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::split_seed;
+
+    /// Greedy ≥2%-mass cells over the exact gap pmf at clock `t`,
+    /// reservoir size `c`, plus an implicit ≥2% tail: at most 50 cells
+    /// total, so χ²₀.₉₉₉ stays below 86 for every split.
+    fn pmf_cells(t: u64, c: u64) -> Vec<(u64, u64, f64)> {
+        let (tf, cf) = (t as f64, c as f64);
+        let (mut r, mut s, mut cum) = (1.0f64, 0u64, 0.0f64);
+        let mut cells = Vec::new();
+        while cum < 0.98 {
+            let start = s;
+            let mut mass = 0.0;
+            while mass < 0.02 {
+                let denom = tf + s as f64 + 1.0;
+                mass += r * cf / denom;
+                r *= (denom - cf) / denom;
+                s += 1;
+            }
+            cells.push((start, s, mass));
+            cum += mass;
+        }
+        cells.push((s, u64::MAX, 1.0 - cum)); // tail cell, mass ≥ 0.02
+        cells
+    }
+
+    fn chi2_against_pmf(gaps: &[u64], cells: &[(u64, u64, f64)]) -> f64 {
+        let mut obs = vec![0u64; cells.len()];
+        'outer: for &g in gaps {
+            for (i, &(lo, hi, _)) in cells.iter().enumerate() {
+                if g >= lo && g < hi {
+                    obs[i] += 1;
+                    continue 'outer;
+                }
+            }
+            unreachable!("gap {g} fell outside the cell cover");
+        }
+        let n = gaps.len() as f64;
+        obs.iter()
+            .zip(cells)
+            .map(|(&o, &(_, _, mass))| {
+                let e = n * mass;
+                let d = o as f64 - e;
+                d * d / e
+            })
+            .sum()
+    }
+
+    /// Both gap samplers, run *outside their production regime on
+    /// purpose*, must match the exact pmf: the regime split is a cost
+    /// choice, never a distribution choice.
+    #[test]
+    fn gap_law_exact_in_both_regimes() {
+        const N: usize = 40_000;
+        for &(t, c) in &[(40u64, 3u64), (300, 6)] {
+            let cells = pmf_cells(t, c);
+            assert!(cells.len() <= 50, "cell cover too fine: {}", cells.len());
+            for arm in ["sequential", "rejection"] {
+                let mut rng = FastRng::seed_from_u64(split_seed(0xa1f, t ^ c));
+                let mut draws = 0u64;
+                let gaps: Vec<u64> = (0..N)
+                    .map(|_| match arm {
+                        "sequential" => gap_sequential(t, c, &mut rng, &mut draws),
+                        _ => gap_rejection(t, c, &mut rng, &mut draws),
+                    })
+                    .collect();
+                let chi2 = chi2_against_pmf(&gaps, &cells);
+                assert!(
+                    chi2 < 86.0,
+                    "{arm} t={t} C={c}: chi2 {chi2:.1} over {} cells",
+                    cells.len()
+                );
+            }
+        }
+    }
+
+    /// Membership marginal vs the Algorithm R oracle: each of `m` items
+    /// retained with probability `C/m`, in both modes, including the
+    /// `C == 1` closed-form arm. 40 cells / 40k trials → χ² < 73, the
+    /// same gate the single-slot samplers pass.
+    #[test]
+    fn membership_marginal_matches_oracle_chi_square() {
+        let n_items = 40usize;
+        let trials = 40_000u64;
+        for &c in &[1usize, 5] {
+            for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+                let mut kept = vec![0u64; n_items];
+                for t in 0..trials {
+                    let mut r: SizeCReservoir<u32> =
+                        SizeCReservoir::with_mode(c, split_seed(0xc0de, t), mode);
+                    for i in 0..n_items as u32 {
+                        r.offer(i);
+                    }
+                    for s in r.samples() {
+                        kept[s.unwrap() as usize] += 1;
+                    }
+                }
+                let expect = trials as f64 * c as f64 / n_items as f64;
+                let chi2: f64 = kept
+                    .iter()
+                    .map(|&w| {
+                        let d = w as f64 - expect;
+                        d * d / expect
+                    })
+                    .sum();
+                assert!(chi2 < 73.0, "C={c} {mode:?}: chi2 {chi2:.1}");
+            }
+        }
+    }
+
+    /// The skip contract, observed through the draw counter: offer mode
+    /// pays one draw per post-fill offer, skip mode pays per acceptance
+    /// (`O(C log(m/C))` ≪ `m`).
+    #[test]
+    fn skip_mode_draw_budget_is_logarithmic() {
+        let (c, m) = (5usize, 5_000u32);
+        let mut offer: SizeCReservoir<u32> = SizeCReservoir::with_mode(c, 9, ReservoirMode::Offer);
+        let mut skip: SizeCReservoir<u32> = SizeCReservoir::with_mode(c, 9, ReservoirMode::Skip);
+        for i in 0..m {
+            offer.offer(i);
+            skip.offer(i);
+        }
+        assert_eq!(offer.rng_draws(), m as u64 - c as u64);
+        assert!(skip.rng_draws() > 0);
+        // E[draws] ≈ 6·C·ln(m/C) ≈ 210 here; m/10 leaves a wide margin
+        // while still pinning the asymptotic separation from offer mode.
+        assert!(
+            skip.rng_draws() < m as u64 / 10,
+            "skip spent {} draws on {m} offers",
+            skip.rng_draws()
+        );
+        assert!(offer.samples().iter().all(|s| s.is_some()));
+        assert!(skip.samples().iter().all(|s| s.is_some()));
+        assert_eq!(skip.seen(), m as u64);
+    }
+
+    #[test]
+    fn fill_phase_keeps_first_c_and_reruns_are_deterministic() {
+        for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+            let mut r: SizeCReservoir<u32> = SizeCReservoir::with_mode(4, 17, mode);
+            for i in 0..3u32 {
+                r.offer(i);
+            }
+            assert_eq!(r.samples(), &[Some(0), Some(1), Some(2), None]);
+            assert_eq!(r.rng_draws(), 0, "fill phase must not spend coins");
+
+            let run = |seed: u64| {
+                let mut r: SizeCReservoir<u32> = SizeCReservoir::with_mode(4, seed, mode);
+                for i in 0..500u32 {
+                    r.offer(i);
+                }
+                (r.samples().to_vec(), r.rng_draws())
+            };
+            assert_eq!(run(17), run(17), "{mode:?} rerun diverged");
+        }
+    }
+}

@@ -310,17 +310,42 @@ impl ShardedFeed {
     /// the partition invariants (sequential positions, owner/other
     /// matching the stable **uniform** shard hash) so a log that decodes
     /// but lies about its routing is rejected instead of silently
-    /// skewing shard delivery. Checkpointed runs therefore always use
-    /// uniform placement — a feed built with a non-uniform [`ShardMap`]
-    /// is rejected here loudly rather than recovered with the wrong
-    /// routing. The rebuilt feed is field-identical to the original
-    /// (pass counter reset to zero).
+    /// skewing shard delivery. A feed routed with a non-uniform
+    /// [`ShardMap`] is rejected here loudly rather than recovered with
+    /// the wrong routing — placement-aware recovery must go through
+    /// [`ShardedFeed::from_routed_with_map`] with the persisted map.
+    /// The rebuilt feed is field-identical to the original (pass counter
+    /// reset to zero).
     pub fn from_routed(
         n: usize,
         num_shards: usize,
         routed: Vec<RoutedUpdate>,
     ) -> Result<Self, crate::persist::PersistError> {
         use crate::persist::PersistError;
+        if num_shards < 1 || num_shards > u16::MAX as usize {
+            return Err(PersistError::corrupt(
+                0,
+                format!("implausible shard count {num_shards}"),
+            ));
+        }
+        ShardedFeed::from_routed_with_map(n, ShardMap::uniform(num_shards), routed)
+    }
+
+    /// [`ShardedFeed::from_routed`] under an explicit [`ShardMap`] —
+    /// the placement-aware recovery path. Every entry's owner/other is
+    /// validated against `map.shard_of`, so a routed buffer recovered
+    /// with the wrong placement (or a map from a different deployment)
+    /// is rejected loudly at the first mismatching update instead of
+    /// silently skewing shard delivery. The checkpoint layer persists
+    /// the map (uniform hash + overrides) in the WAL seal and threads it
+    /// back through here on resume.
+    pub fn from_routed_with_map(
+        n: usize,
+        map: ShardMap,
+        routed: Vec<RoutedUpdate>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let num_shards = map.num_shards();
         if num_shards < 1 || num_shards > u16::MAX as usize {
             return Err(PersistError::corrupt(
                 0,
@@ -343,13 +368,13 @@ impl ShardedFeed {
                 ));
             }
             let (u, v) = r.update.edge.endpoints();
-            let owner = shard_of_vertex(u.0, num_shards);
-            let other = shard_of_vertex(v.0, num_shards);
+            let owner = map.shard_of(u.0);
+            let other = map.shard_of(v.0);
             if r.owner as usize != owner || r.other as usize != other {
                 return Err(PersistError::corrupt(
                     i as u64,
                     format!(
-                        "update {i} routed to shards {}/{}, hash says {owner}/{other}",
+                        "update {i} routed to shards {}/{}, placement says {owner}/{other}",
                         r.owner, r.other
                     ),
                 ));
@@ -380,7 +405,7 @@ impl ShardedFeed {
             total_delta,
             shards,
             routed,
-            map: ShardMap::uniform(num_shards),
+            map,
             logical_passes: AtomicUsize::new(0),
         })
     }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N] [--checkpoint-dir D [--snapshot-every N] [--wal-block W]]
+//! sgs count   --edges FILE --queries FILE [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--broadcast]
 //! sgs recover DIR
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
@@ -194,6 +195,183 @@ fn decode_cli_config(bytes: &[u8]) -> Result<CliConfig, PersistError> {
     })
 }
 
+/// Parse one `--queries` file line: `PATTERN [trials=N] [seed=S]
+/// [reservoir=offer|skip] [relaxed]`. Blank lines and `#` comments are
+/// skipped by the caller; `line_no` is 1-based for error messages.
+fn parse_query_line(line: &str, line_no: usize, base_seed: u64) -> sgs_core::MultiQuerySpec {
+    let mut toks = line.split_whitespace();
+    let pat_tok = toks.next().expect("caller skips blank lines");
+    let Some(pattern) = parse_pattern(pat_tok) else {
+        eprintln!("error: queries line {line_no}: unknown pattern '{pat_tok}'");
+        exit(2);
+    };
+    let mut spec = sgs_core::MultiQuerySpec {
+        pattern,
+        trials: 0,
+        seed: base_seed.wrapping_add(line_no as u64),
+        sampler: SamplerMode::Indexed,
+        reservoir: sgs_query::ReservoirMode::Skip,
+    };
+    for tok in toks {
+        if tok == "relaxed" {
+            spec.sampler = SamplerMode::Relaxed;
+        } else if let Some(v) = tok.strip_prefix("trials=") {
+            spec.trials = v.parse().unwrap_or_else(|_| {
+                eprintln!("error: queries line {line_no}: bad trials '{v}'");
+                exit(2);
+            });
+        } else if let Some(v) = tok.strip_prefix("seed=") {
+            spec.seed = v.parse().unwrap_or_else(|_| {
+                eprintln!("error: queries line {line_no}: bad seed '{v}'");
+                exit(2);
+            });
+        } else if let Some(v) = tok.strip_prefix("reservoir=") {
+            spec.reservoir = match v {
+                "offer" => sgs_query::ReservoirMode::Offer,
+                "skip" => sgs_query::ReservoirMode::Skip,
+                other => {
+                    eprintln!(
+                        "error: queries line {line_no}: reservoir must be offer|skip, got '{other}'"
+                    );
+                    exit(2);
+                }
+            };
+        } else {
+            eprintln!("error: queries line {line_no}: unknown token '{tok}'");
+            exit(2);
+        }
+    }
+    spec
+}
+
+/// `sgs count --queries FILE`: serve every query in the list from one
+/// shared pass per round, reporting per-query estimates plus aggregate
+/// throughput and the admission report's slow-query diagnosis.
+fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
+    let g = load_graph(args);
+    let m = g.num_edges();
+    let eps: f64 = args.num("eps", 0.2);
+    let shards: usize = args.num("shards", 1).max(1);
+    let block: usize = args.num("block", sgs_query::exec::DEFAULT_BLOCK);
+    let turnstile = args.has("turnstile");
+    let text = std::fs::read_to_string(queries_path)
+        .unwrap_or_else(|e| fail_persist(PersistError::io(Path::new(queries_path), e)));
+    let mut specs: Vec<sgs_core::MultiQuerySpec> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(i, l)| parse_query_line(l.trim(), i + 1, seed))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("error: {queries_path}: no queries (every line blank or comment)");
+        exit(2);
+    }
+    for spec in &mut specs {
+        let Some(plan) = SamplerPlan::new(&spec.pattern) else {
+            eprintln!(
+                "error: pattern '{}' has an isolated vertex (no edge cover)",
+                spec.pattern.name()
+            );
+            exit(2);
+        };
+        if spec.trials == 0 {
+            spec.trials = sgs_core::fgp::practical_trials(m, plan.rho(), eps, 1.0).min(2_000_000);
+        }
+    }
+    let policy = {
+        let p = sgs_query::ExecPolicy::from_env();
+        if args.has("pin") {
+            p.with_pin()
+        } else {
+            p
+        }
+    };
+    let mut arena = sgs_query::RouterArena::new();
+    let t0 = std::time::Instant::now();
+    let (ests, admission) = if turnstile {
+        let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+        let feed = sgs_stream::ShardedFeed::partition(&s, shards);
+        if args.has("broadcast") {
+            sgs_core::fgp::estimate_multi_turnstile_broadcast(
+                &specs,
+                &feed,
+                &mut arena,
+                block,
+                sgs_query::BroadcastOpts::with_policy(policy),
+            )
+        } else {
+            sgs_core::fgp::estimate_multi_turnstile(&specs, &feed, &mut arena, block, policy)
+        }
+    } else {
+        let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+        let feed = sgs_stream::ShardedFeed::partition(&s, shards);
+        if args.has("broadcast") {
+            sgs_core::fgp::estimate_multi_insertion_broadcast(
+                &specs,
+                &feed,
+                &mut arena,
+                block,
+                sgs_query::BroadcastOpts::with_policy(policy),
+            )
+        } else {
+            sgs_core::fgp::estimate_multi_insertion(&specs, &feed, &mut arena, block, policy)
+        }
+    }
+    .expect("plans validated above");
+    let elapsed = t0.elapsed();
+    for (spec, est) in specs.iter().zip(&ests) {
+        println!(
+            "#{} ≈ {:.1}   (hits {}/{}, seed {})",
+            spec.pattern.name(),
+            est.estimate,
+            est.hits,
+            est.trials,
+            spec.seed,
+        );
+    }
+    let n = specs.len();
+    let qps = n as f64 / elapsed.as_secs_f64();
+    println!(
+        "served {n} quer{} in {:.1} ms over {} shared pass{} ({} shard{}): {qps:.0} answers/sec",
+        if n == 1 { "y" } else { "ies" },
+        elapsed.as_secs_f64() * 1e3,
+        admission.rounds.len(),
+        if admission.rounds.len() == 1 {
+            ""
+        } else {
+            "es"
+        },
+        shards,
+        if shards == 1 { "" } else { "s" },
+    );
+    if let Some(slow) = admission.slowest_job() {
+        let js = &admission.jobs[slow as usize];
+        println!(
+            "  slowest query: #{} ({}, {} rounds, {:.1} ms critical-path share)",
+            slow,
+            specs[slow as usize].pattern.name(),
+            js.rounds,
+            js.pass_nanos as f64 / 1e6,
+        );
+    }
+    if !admission.stalls.is_empty() {
+        println!(
+            "  {} ring stall{} recorded (slowest consumer {})",
+            admission.stalls.len(),
+            if admission.stalls.len() == 1 { "" } else { "s" },
+            admission
+                .stalls
+                .iter()
+                .max_by_key(|s| s.blocked_ns)
+                .map(|s| s.consumer)
+                .unwrap_or(0),
+        );
+    }
+}
+
 fn need_pattern(args: &Args) -> Pattern {
     let Some(ps) = args.get("pattern") else {
         eprintln!("error: --pattern NAME is required");
@@ -219,6 +397,16 @@ fn main() {
 
     match cmd.as_str() {
         "count" => {
+            // --queries FILE serves a whole query list (one query per
+            // line: PATTERN [trials=N] [seed=S] [reservoir=offer|skip]
+            // [relaxed]) from ONE shared pass per round — the
+            // multiplexed serving path. Each answer is byte-identical
+            // to the equivalent solo `sgs count` invocation.
+            if let Some(qpath) = args.get("queries") {
+                let qpath = qpath.to_string();
+                run_multi_count(&args, &qpath, seed);
+                return;
+            }
             let pattern = need_pattern(&args);
             let g = load_graph(&args);
             let m = g.num_edges();

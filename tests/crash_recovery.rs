@@ -22,7 +22,7 @@ use sgs_core::fgp::{
 use sgs_query::{CheckpointSession, PassOpts, RouterArena};
 use sgs_stream::persist::PersistError;
 use sgs_stream::reservoir::ReservoirMode;
-use sgs_stream::ShardedFeed;
+use sgs_stream::{ShardMap, ShardedFeed};
 use subgraph_streams::prelude::*;
 
 const SEED: u64 = 41;
@@ -309,8 +309,8 @@ fn version_bumped_or_corrupt_snapshot_is_rejected_cleanly() {
         PersistError::VersionMismatch {
             found, supported, ..
         } => {
-            assert_eq!(found, 2);
-            assert_eq!(supported, 1);
+            assert_eq!(found, sgs_stream::persist::PERSIST_VERSION + 1);
+            assert_eq!(supported, sgs_stream::persist::PERSIST_VERSION);
         }
         other => panic!("expected VersionMismatch, got {other}"),
     }
@@ -327,4 +327,57 @@ fn version_bumped_or_corrupt_snapshot_is_rejected_cleanly() {
     std::fs::write(&snap, &good).unwrap();
     CheckpointSession::resume(&dir, SNAP_EVERY).unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Placement-aware recovery: a feed partitioned under a *non-uniform*
+/// [`ShardMap`] (load-balancing overrides) must checkpoint and resume
+/// into the **same** placement — the v2 WAL seal carries the override
+/// table — and the recovered run must stay byte-identical to the
+/// uninterrupted one. Before the map travelled in the seal, resume
+/// rebuilt the feed under the uniform hash and rejected every override
+/// loudly; the uniform-only constructor still does, which this test
+/// pins as the guard against silently mis-homed recoveries.
+#[test]
+fn placement_overrides_survive_checkpoint_recovery() {
+    let g = sgs_graph::gen::gnm(30, 140, 41);
+    let s = InsertionStream::from_graph(&g, 42);
+    // Derive a skewed-but-real placement from the measured delivery
+    // counts, exactly as a load-balancing caller would.
+    let probe = ShardedFeed::partition(&s, 4);
+    let counts = probe.vertex_delivery_counts();
+    let map = ShardMap::balanced(4, &counts, 8);
+    assert!(
+        !map.is_uniform(),
+        "balanced map produced no overrides; workload too flat to test"
+    );
+    let feed = ShardedFeed::partition_with_map(&s, map.clone());
+
+    let cfg = Cfg::InsertionOffer;
+    let dir = tmp_dir("placement-base");
+    let mut session = CheckpointSession::create(&dir, &feed, SNAP_EVERY, CHUNK).unwrap();
+    let base = drive(cfg, &feed, &mut session).expect("uninterrupted run completes");
+    let total_blocks = session.blocks_processed();
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(total_blocks >= 4, "workload too small to crash anywhere");
+
+    for crash_at in [1, total_blocks / 2, total_blocks] {
+        let dir = tmp_dir(&format!("placement-{crash_at}"));
+        let mut session = CheckpointSession::create(&dir, &feed, SNAP_EVERY, CHUNK).unwrap();
+        session.set_crash_after(crash_at);
+        assert!(drive(cfg, &feed, &mut session).is_none());
+        drop(session);
+        let (mut session, wal_feed) = CheckpointSession::resume(&dir, SNAP_EVERY).unwrap();
+        assert_eq!(
+            wal_feed.shard_map(),
+            feed.shard_map(),
+            "recovered feed lost its placement overrides"
+        );
+        let rec = drive(cfg, &wal_feed, &mut session).expect("recovered run completes");
+        assert_identical(
+            &rec,
+            &base,
+            &format!("placement-aware recovery, crash after block {crash_at}/{total_blocks}"),
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
