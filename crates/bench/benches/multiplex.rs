@@ -98,10 +98,7 @@ fn solo_estimates(
                 spec.trials,
                 spec.seed,
                 arena,
-                PassOpts {
-                    block,
-                    reservoir: spec.reservoir,
-                },
+                PassOpts::with_block(block).reservoir(spec.reservoir),
                 spec.sampler,
                 ExecPolicy::serial(),
             )
@@ -153,9 +150,14 @@ fn main() {
         // Byte-identity guard BEFORE timing: every multiplexed estimate
         // equals its solo run bit for bit.
         let mut mux_arena = RouterArena::new();
-        let (mux_ests, admission) =
-            estimate_multi_insertion(&specs, &feed, &mut mux_arena, block, ExecPolicy::serial())
-                .unwrap();
+        let (mux_ests, admission) = estimate_multi_insertion(
+            &specs,
+            &feed,
+            &mut mux_arena,
+            PassOpts::with_block(block),
+            ExecPolicy::serial(),
+        )
+        .unwrap();
         let mut solo_arena = RouterArena::new();
         let solos = solo_estimates(&specs, &feed, &mut solo_arena, block);
         for (j, (a, b)) in mux_ests.iter().zip(&solos).enumerate() {
@@ -177,8 +179,14 @@ fn main() {
             solo_estimates(&specs, &feed, &mut solo_arena, block)
         });
         let mux_ns = time(samples, || {
-            estimate_multi_insertion(&specs, &feed, &mut mux_arena, block, ExecPolicy::serial())
-                .unwrap()
+            estimate_multi_insertion(
+                &specs,
+                &feed,
+                &mut mux_arena,
+                PassOpts::with_block(block),
+                ExecPolicy::serial(),
+            )
+            .unwrap()
         });
         let speedup = solo_ns as f64 / mux_ns as f64;
         let aps = n as f64 / (mux_ns as f64 / 1e9);

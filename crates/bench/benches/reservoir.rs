@@ -286,10 +286,7 @@ fn main() {
                     batch,
                     &ins,
                     *seed,
-                    PassOpts {
-                        block: 0,
-                        reservoir: mode,
-                    },
+                    PassOpts::with_block(0).reservoir(mode),
                 );
                 let (b, _) = answer_insertion_batch_with_opts(
                     batch,

@@ -31,8 +31,25 @@
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::FastRng;
 use sgs_stream::reservoir::ReservoirMode;
+use sgs_stream::reservoir_c::SizeCReservoir;
 use sgs_stream::EdgeStream;
 use std::collections::{HashMap, HashSet};
+
+/// Which edge bank backs the reservoir. `Frozen` is the hand-rolled
+/// bank whose coin chains the byte-identity suites pin; `SizeC` is the
+/// shared [`SizeCReservoir`] primitive (its first real consumer), with
+/// an adjacency index kept consistent through
+/// [`SizeCReservoir::offer_report`]'s eviction reporting. Both banks
+/// realize the same uniform-`capacity`-subset process law, so the
+/// estimator is unbiased under either; the chi-square test below pins
+/// the SizeC bank's membership marginal against the Algorithm-R oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriestScheme {
+    /// The frozen in-module bank under the given acceptance mode.
+    Frozen(ReservoirMode),
+    /// The shared `SizeCReservoir` bank under the given acceptance mode.
+    SizeC(ReservoirMode),
+}
 
 /// Result of a TRIÈST run.
 #[derive(Clone, Debug)]
@@ -73,6 +90,35 @@ fn algorithm_l_jump(rng: &mut FastRng, w: f64) -> u64 {
     }
 }
 
+type Adjacency = HashMap<VertexId, HashSet<VertexId>>;
+
+fn adj_link(adj: &mut Adjacency, e: Edge) {
+    adj.entry(e.u()).or_default().insert(e.v());
+    adj.entry(e.v()).or_default().insert(e.u());
+}
+
+fn adj_unlink(adj: &mut Adjacency, e: Edge) {
+    if let Some(s) = adj.get_mut(&e.u()) {
+        s.remove(&e.v());
+    }
+    if let Some(s) = adj.get_mut(&e.v()) {
+        s.remove(&e.u());
+    }
+}
+
+/// Common reservoir-neighbors of the endpoints of `e`.
+fn adj_closing_count(adj: &Adjacency, e: Edge) -> usize {
+    let (Some(nu), Some(nv)) = (adj.get(&e.u()), adj.get(&e.v())) else {
+        return 0;
+    };
+    let (small, large) = if nu.len() <= nv.len() {
+        (nu, nv)
+    } else {
+        (nv, nu)
+    };
+    small.iter().filter(|w| large.contains(w)).count()
+}
+
 impl Reservoir {
     fn new(capacity: usize, mode: ReservoirMode) -> Self {
         Reservoir {
@@ -86,30 +132,15 @@ impl Reservoir {
     }
 
     fn link(&mut self, e: Edge) {
-        self.adj.entry(e.u()).or_default().insert(e.v());
-        self.adj.entry(e.v()).or_default().insert(e.u());
+        adj_link(&mut self.adj, e);
     }
 
     fn unlink(&mut self, e: Edge) {
-        if let Some(s) = self.adj.get_mut(&e.u()) {
-            s.remove(&e.v());
-        }
-        if let Some(s) = self.adj.get_mut(&e.v()) {
-            s.remove(&e.u());
-        }
+        adj_unlink(&mut self.adj, e);
     }
 
-    /// Common reservoir-neighbors of the endpoints of `e`.
     fn closing_count(&self, e: Edge) -> usize {
-        let (Some(nu), Some(nv)) = (self.adj.get(&e.u()), self.adj.get(&e.v())) else {
-            return 0;
-        };
-        let (small, large) = if nu.len() <= nv.len() {
-            (nu, nv)
-        } else {
-            (nv, nu)
-        };
-        small.iter().filter(|w| large.contains(w)).count()
+        adj_closing_count(&self.adj, e)
     }
 
     /// Advance the skip-ahead schedule after an acceptance (or the fill)
@@ -159,6 +190,67 @@ impl Reservoir {
     }
 }
 
+/// The shared-primitive edge bank: a [`SizeCReservoir`] over edges with
+/// an adjacency index maintained from its eviction reports. The inner
+/// reservoir owns its coin chain, so the stream-level RNG is never
+/// drawn on this path.
+struct SizeCEdgeBank {
+    res: SizeCReservoir<Edge>,
+    adj: Adjacency,
+}
+
+impl SizeCEdgeBank {
+    fn new(capacity: usize, seed: u64, mode: ReservoirMode) -> Self {
+        SizeCEdgeBank {
+            res: SizeCReservoir::with_mode(capacity, seed, mode),
+            adj: HashMap::new(),
+        }
+    }
+
+    fn offer(&mut self, e: Edge) {
+        if let Some((_, evicted)) = self.res.offer_report(e) {
+            if let Some(old) = evicted {
+                adj_unlink(&mut self.adj, old);
+            }
+            adj_link(&mut self.adj, e);
+        }
+    }
+
+    fn held(&self) -> usize {
+        self.res.samples().iter().flatten().count()
+    }
+}
+
+/// Edge bank dispatch: both variants present the same offer/closing
+/// interface to the estimator loop.
+enum Bank {
+    Frozen(Reservoir),
+    SizeC(SizeCEdgeBank),
+}
+
+impl Bank {
+    fn capacity(&self) -> usize {
+        match self {
+            Bank::Frozen(r) => r.capacity,
+            Bank::SizeC(b) => b.res.capacity(),
+        }
+    }
+
+    fn closing_count(&self, e: Edge) -> usize {
+        match self {
+            Bank::Frozen(r) => r.closing_count(e),
+            Bank::SizeC(b) => adj_closing_count(&b.adj, e),
+        }
+    }
+
+    fn offer(&mut self, e: Edge, t: u64, rng: &mut FastRng) {
+        match self {
+            Bank::Frozen(r) => r.offer(e, t, rng),
+            Bank::SizeC(b) => b.offer(e),
+        }
+    }
+}
+
 /// Incremental TRIÈST run: push edges as they arrive, then
 /// [`TriestStream::finish`]. [`estimate_triest_with_mode`] is exactly
 /// `new` + one `push` per update + `finish`, so a broadcast consumer
@@ -167,7 +259,7 @@ impl Reservoir {
 /// baseline's answers under broadcast ingest.
 pub struct TriestStream {
     rng: FastRng,
-    res: Reservoir,
+    res: Bank,
     t: u64,
     estimate: f64,
 }
@@ -178,12 +270,24 @@ impl TriestStream {
         Self::with_mode(capacity, seed, ReservoirMode::default())
     }
 
-    /// Start a run with an explicit reservoir acceptance scheme.
+    /// Start a run with an explicit reservoir acceptance scheme on the
+    /// frozen bank (the chains the byte-identity suites pin).
     pub fn with_mode(capacity: usize, seed: u64, mode: ReservoirMode) -> Self {
+        Self::with_scheme(capacity, seed, TriestScheme::Frozen(mode))
+    }
+
+    /// Start a run with an explicit edge-bank scheme. `Frozen(mode)` is
+    /// byte-identical to [`TriestStream::with_mode`]; `SizeC(mode)`
+    /// routes every offer through the shared [`SizeCReservoir`].
+    pub fn with_scheme(capacity: usize, seed: u64, scheme: TriestScheme) -> Self {
         assert!(capacity >= 2, "need at least two reservoir slots");
+        let res = match scheme {
+            TriestScheme::Frozen(mode) => Bank::Frozen(Reservoir::new(capacity, mode)),
+            TriestScheme::SizeC(mode) => Bank::SizeC(SizeCEdgeBank::new(capacity, seed, mode)),
+        };
         TriestStream {
             rng: FastRng::seed_from_u64(seed),
-            res: Reservoir::new(capacity, mode),
+            res,
             t: 0,
             estimate: 0.0,
         }
@@ -192,7 +296,7 @@ impl TriestStream {
     /// Absorb the next edge insertion of the stream.
     pub fn push(&mut self, edge: Edge) {
         self.t += 1;
-        let cap = self.res.capacity as f64;
+        let cap = self.res.capacity() as f64;
         let eta = ((self.t.saturating_sub(1) as f64 * self.t.saturating_sub(2) as f64)
             / (cap * (cap - 1.0)))
             .max(1.0);
@@ -207,12 +311,19 @@ impl TriestStream {
 
     /// End of stream: the estimate and its measured footprint.
     pub fn finish(self) -> TriestEstimate {
-        let space_bytes = self.res.edges.len() * 8 + self.res.adj.len() * 16;
+        let (held, adj_len, slot_bytes) = match &self.res {
+            Bank::Frozen(r) => (r.edges.len(), r.adj.len(), r.edges.len() * 8),
+            Bank::SizeC(b) => (
+                b.held(),
+                b.adj.len(),
+                std::mem::size_of_val(b.res.samples()),
+            ),
+        };
         TriestEstimate {
             estimate: self.estimate,
-            reservoir_edges: self.res.edges.len(),
+            reservoir_edges: held,
             passes: 1,
-            space_bytes,
+            space_bytes: slot_bytes + adj_len * 16,
         }
     }
 }
@@ -223,15 +334,29 @@ pub fn estimate_triest(stream: &impl EdgeStream, capacity: usize, seed: u64) -> 
     estimate_triest_with_mode(stream, capacity, seed, ReservoirMode::default())
 }
 
-/// [`estimate_triest`] with an explicit reservoir acceptance scheme —
-/// [`ReservoirMode::Offer`] is the per-edge-draw statistical oracle.
+/// [`estimate_triest`] with an explicit reservoir acceptance scheme on
+/// the frozen edge bank — [`ReservoirMode::Offer`] is the per-edge-draw
+/// statistical oracle. Exactly [`estimate_triest_with_scheme`] under
+/// [`TriestScheme::Frozen`].
 pub fn estimate_triest_with_mode(
     stream: &impl EdgeStream,
     capacity: usize,
     seed: u64,
     mode: ReservoirMode,
 ) -> TriestEstimate {
-    let mut ts = TriestStream::with_mode(capacity, seed, mode);
+    estimate_triest_with_scheme(stream, capacity, seed, TriestScheme::Frozen(mode))
+}
+
+/// [`estimate_triest`] with an explicit edge-bank scheme.
+/// [`TriestScheme::SizeC`] backs the reservoir with the shared
+/// [`SizeCReservoir`] primitive instead of the frozen in-module bank.
+pub fn estimate_triest_with_scheme(
+    stream: &impl EdgeStream,
+    capacity: usize,
+    seed: u64,
+    scheme: TriestScheme,
+) -> TriestEstimate {
+    let mut ts = TriestStream::with_scheme(capacity, seed, scheme);
     stream.replay(&mut |u| {
         assert!(u.is_insert(), "TRIÈST-base is insertion-only");
         ts.push(u.edge);
@@ -314,6 +439,89 @@ mod tests {
             (offer - skip).abs() / exact_t < 0.25,
             "modes diverged: offer {offer} vs skip {skip}"
         );
+    }
+
+    #[test]
+    fn sizec_bank_matches_the_frozen_estimates_in_distribution() {
+        // The SizeC bank draws a different coin chain but realizes the
+        // same uniform-subset process law, so its estimate mean must
+        // land on the exact count alongside the frozen bank's.
+        let g = gen::gnm(50, 500, 20);
+        let exact_t = exact::triangles::count_triangles(&g) as f64;
+        let stream = InsertionStream::from_graph(&g, 21);
+        let runs = 80;
+        let mean = |scheme| {
+            (0..runs)
+                .map(|s| {
+                    estimate_triest_with_scheme(&stream, 150, split_seed(22, s), scheme).estimate
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let frozen = mean(TriestScheme::Frozen(ReservoirMode::Offer));
+        for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+            let sizec = mean(TriestScheme::SizeC(mode));
+            assert!((sizec - exact_t).abs() / exact_t < 0.2, "{mode:?}: {sizec}");
+            assert!(
+                (frozen - sizec).abs() / exact_t < 0.25,
+                "banks diverged: frozen {frozen} vs sizec({mode:?}) {sizec}"
+            );
+        }
+    }
+
+    #[test]
+    fn sizec_bank_membership_matches_algorithm_r_oracle_chi_square() {
+        // Every edge must end in the final reservoir with the same
+        // marginal under the SizeC bank as under the frozen per-offer
+        // Algorithm-R oracle. Two-sample chi-square over per-edge
+        // retention counts; df = m-1 = 39, gate 73 ≈ the 0.999 quantile
+        // plus slack for the fixed-size (non-multinomial) coupling.
+        let g = gen::gnm(20, 40, 23);
+        let stream = InsertionStream::from_graph(&g, 24);
+        let mut order: Vec<Edge> = Vec::new();
+        stream.replay(&mut |u| order.push(u.edge));
+        let index: HashMap<Edge, usize> = order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let m = order.len();
+        let cap = 8;
+        let runs = 4_000u64;
+        let tally = |scheme: TriestScheme| {
+            let mut counts = vec![0u64; m];
+            for s in 0..runs {
+                let mut ts = TriestStream::with_scheme(cap, split_seed(25, s), scheme);
+                for &e in &order {
+                    ts.push(e);
+                }
+                match &ts.res {
+                    Bank::Frozen(r) => {
+                        for e in &r.edges {
+                            counts[index[e]] += 1;
+                        }
+                    }
+                    Bank::SizeC(b) => {
+                        for e in b.res.samples().iter().flatten() {
+                            counts[index[e]] += 1;
+                        }
+                    }
+                }
+            }
+            counts
+        };
+        let oracle = tally(TriestScheme::Frozen(ReservoirMode::Offer));
+        for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+            let sizec = tally(TriestScheme::SizeC(mode));
+            let chi2: f64 = oracle
+                .iter()
+                .zip(&sizec)
+                .filter(|(&a, &b)| a + b > 0)
+                .map(|(&a, &b)| {
+                    let d = a as f64 - b as f64;
+                    d * d / (a + b) as f64
+                })
+                .sum();
+            assert!(chi2 < 73.0, "sizec({mode:?}) vs oracle: chi2 {chi2}");
+            let total: u64 = sizec.iter().sum();
+            assert_eq!(total, runs * cap as u64, "every run retains cap edges");
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use sgs_graph::{exact, AdjListGraph, CsrGraph, Pattern};
 use sgs_query::broadcast::{
     run_insertion_broadcast_with_opts, run_turnstile_broadcast_with_opts, BroadcastOpts, SideSink,
 };
-use sgs_query::exec::{PassOpts, DEFAULT_BLOCK};
+use sgs_query::exec::PassOpts;
 use sgs_query::RouterArena;
 use sgs_stream::hash::split_seed;
 use sgs_stream::sharded::RoutedUpdate;
@@ -246,20 +246,20 @@ pub fn estimate_turnstile_broadcast(
         trials,
         seed,
         arena,
-        DEFAULT_BLOCK,
+        PassOpts::default(),
         ConsumerSet::default(),
     )
 }
 
-/// [`estimate_turnstile_broadcast`] with explicit feed block size and
-/// consumer set.
+/// [`estimate_turnstile_broadcast`] with explicit feed-path options
+/// (block size + ℓ₀ feed path) and consumer set.
 pub fn estimate_turnstile_broadcast_with_opts(
     pattern: &Pattern,
     feed: &ShardedFeed,
     trials: usize,
     seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     consumers: ConsumerSet,
 ) -> Option<BroadcastEstimate> {
     estimate_turnstile_broadcast_with_exec(
@@ -268,7 +268,7 @@ pub fn estimate_turnstile_broadcast_with_opts(
         trials,
         seed,
         arena,
-        block,
+        opts,
         consumers,
         BroadcastOpts::default(),
     )
@@ -282,7 +282,7 @@ pub fn estimate_turnstile_broadcast_with_exec(
     trials: usize,
     seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     consumers: ConsumerSet,
     bcast: BroadcastOpts,
 ) -> Option<BroadcastEstimate> {
@@ -301,7 +301,7 @@ pub fn estimate_turnstile_broadcast_with_exec(
             feed,
             split_seed(seed, u64::MAX),
             arena,
-            block,
+            opts,
             bcast,
             &mut sinks,
         );

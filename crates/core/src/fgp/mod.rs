@@ -39,8 +39,9 @@ pub use parallel_exec::{
     estimate_insertion_threaded, estimate_insertion_threaded_with_block,
     estimate_insertion_threaded_with_exec, estimate_insertion_threaded_with_opts,
     estimate_turnstile_on_feed, estimate_turnstile_on_feed_with_block,
-    estimate_turnstile_on_feed_with_exec, estimate_turnstile_threaded,
-    estimate_turnstile_threaded_with_block, estimate_turnstile_threaded_with_exec,
+    estimate_turnstile_on_feed_with_exec, estimate_turnstile_on_feed_with_opts,
+    estimate_turnstile_threaded, estimate_turnstile_threaded_with_block,
+    estimate_turnstile_threaded_with_exec, estimate_turnstile_threaded_with_opts,
 };
 pub use plan::SamplerPlan;
 pub use sampler::{SamplerMode, SamplerOutcome, SubgraphSampler};

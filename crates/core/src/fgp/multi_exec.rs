@@ -17,7 +17,7 @@ use crate::fgp::plan::SamplerPlan;
 use crate::fgp::sampler::SamplerMode;
 use sgs_graph::Pattern;
 use sgs_query::multiplex::{AdmissionReport, QuerySet};
-use sgs_query::{BroadcastOpts, ExecPolicy, RouterArena};
+use sgs_query::{BroadcastOpts, ExecPolicy, PassOpts, RouterArena};
 use sgs_stream::hash::split_seed;
 use sgs_stream::reservoir::ReservoirMode;
 use sgs_stream::ShardedFeed;
@@ -97,11 +97,11 @@ pub fn estimate_multi_insertion(
     specs: &[MultiQuerySpec],
     feed: &ShardedFeed,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     policy: ExecPolicy,
 ) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
     let (set, rhos) = admit_all(specs, false)?;
-    let out = set.run_insertion(feed, arena, block, policy);
+    let out = set.run_insertion(feed, arena, opts, policy);
     Some((collect(out.outputs, out.reports, rhos), out.admission))
 }
 
@@ -111,11 +111,11 @@ pub fn estimate_multi_turnstile(
     specs: &[MultiQuerySpec],
     feed: &ShardedFeed,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     policy: ExecPolicy,
 ) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
     let (set, rhos) = admit_all(specs, true)?;
-    let out = set.run_turnstile(feed, arena, block, policy);
+    let out = set.run_turnstile(feed, arena, opts, policy);
     Some((collect(out.outputs, out.reports, rhos), out.admission))
 }
 
@@ -126,11 +126,11 @@ pub fn estimate_multi_insertion_broadcast(
     specs: &[MultiQuerySpec],
     feed: &ShardedFeed,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     bcast: BroadcastOpts,
 ) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
     let (set, rhos) = admit_all(specs, false)?;
-    let out = set.run_insertion_broadcast(feed, arena, block, bcast);
+    let out = set.run_insertion_broadcast(feed, arena, opts, bcast);
     Some((collect(out.outputs, out.reports, rhos), out.admission))
 }
 
@@ -139,11 +139,11 @@ pub fn estimate_multi_turnstile_broadcast(
     specs: &[MultiQuerySpec],
     feed: &ShardedFeed,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     bcast: BroadcastOpts,
 ) -> Option<(Vec<CountEstimate>, AdmissionReport)> {
     let (set, rhos) = admit_all(specs, true)?;
-    let out = set.run_turnstile_broadcast(feed, arena, block, bcast);
+    let out = set.run_turnstile_broadcast(feed, arena, opts, bcast);
     Some((collect(out.outputs, out.reports, rhos), out.admission))
 }
 
@@ -183,9 +183,14 @@ mod tests {
         let ins = InsertionStream::from_graph(&g, 8);
         let feed = ShardedFeed::partition(&ins, 2);
         let mut arena = RouterArena::new();
-        let (ests, admission) =
-            estimate_multi_insertion(&specs(), &feed, &mut arena, 64, ExecPolicy::serial())
-                .unwrap();
+        let (ests, admission) = estimate_multi_insertion(
+            &specs(),
+            &feed,
+            &mut arena,
+            PassOpts::with_block(64),
+            ExecPolicy::serial(),
+        )
+        .unwrap();
         assert_eq!(ests.len(), 3);
         assert_eq!(admission.rounds.len(), 3, "3-round samplers share 3 passes");
         for (spec, est) in specs().iter().zip(&ests) {
@@ -196,10 +201,7 @@ mod tests {
                 spec.trials,
                 spec.seed,
                 &mut solo_arena,
-                PassOpts {
-                    block: 64,
-                    reservoir: spec.reservoir,
-                },
+                PassOpts::with_block(64).reservoir(spec.reservoir),
                 spec.sampler,
                 ExecPolicy::serial(),
             )
@@ -217,9 +219,14 @@ mod tests {
         let tst = TurnstileStream::from_graph_with_churn(&g, 0.4, 10);
         let feed = ShardedFeed::partition(&tst, 2);
         let mut arena = RouterArena::new();
-        let (ests, _) =
-            estimate_multi_turnstile(&specs(), &feed, &mut arena, 64, ExecPolicy::serial())
-                .unwrap();
+        let (ests, _) = estimate_multi_turnstile(
+            &specs(),
+            &feed,
+            &mut arena,
+            PassOpts::with_block(64),
+            ExecPolicy::serial(),
+        )
+        .unwrap();
         for (spec, est) in specs().iter().zip(&ests) {
             let mut solo_arena = RouterArena::new();
             let solo = estimate_turnstile_on_feed_with_exec(
@@ -228,7 +235,7 @@ mod tests {
                 spec.trials,
                 spec.seed,
                 &mut solo_arena,
-                64,
+                PassOpts::with_block(64),
                 ExecPolicy::serial(),
             )
             .unwrap();
@@ -243,15 +250,20 @@ mod tests {
         let ins = InsertionStream::from_graph(&g, 13);
         let feed = ShardedFeed::partition(&ins, 3);
         let mut arena = RouterArena::new();
-        let (sharded, _) =
-            estimate_multi_insertion(&specs(), &feed, &mut arena, 64, ExecPolicy::serial())
-                .unwrap();
+        let (sharded, _) = estimate_multi_insertion(
+            &specs(),
+            &feed,
+            &mut arena,
+            PassOpts::with_block(64),
+            ExecPolicy::serial(),
+        )
+        .unwrap();
         let mut ring_arena = RouterArena::new();
         let (ringed, _) = estimate_multi_insertion_broadcast(
             &specs(),
             &feed,
             &mut ring_arena,
-            64,
+            PassOpts::with_block(64),
             BroadcastOpts::with_policy(ExecPolicy::serial()),
         )
         .unwrap();
@@ -268,8 +280,13 @@ mod tests {
         let mut arena = RouterArena::new();
         // An isolated vertex has no cycle-star decomposition.
         let bad = vec![MultiQuerySpec::new(Pattern::from_edges(3, [(0, 1)]), 4, 1)];
-        assert!(
-            estimate_multi_insertion(&bad, &feed, &mut arena, 0, ExecPolicy::serial()).is_none()
-        );
+        assert!(estimate_multi_insertion(
+            &bad,
+            &feed,
+            &mut arena,
+            PassOpts::with_block(0),
+            ExecPolicy::serial()
+        )
+        .is_none());
     }
 }

@@ -140,13 +140,36 @@ pub fn estimate_turnstile_on_feed_with_block(
     arena: &mut RouterArena,
     block: usize,
 ) -> Option<CountEstimate> {
+    estimate_turnstile_on_feed_with_opts(
+        pattern,
+        feed,
+        trials,
+        seed,
+        arena,
+        PassOpts::with_block(block),
+    )
+}
+
+/// Turnstile sibling of [`estimate_insertion_on_feed_with_opts`]:
+/// `opts.l0` selects the ℓ₀-bank feed path (survivor-level dispatch by
+/// default, predicated full-bank scan as the statistical oracle);
+/// `opts.reservoir` is ignored — turnstile `f3` runs on ℓ₀-samplers.
+/// The estimate is bit-identical for every option combination.
+pub fn estimate_turnstile_on_feed_with_opts(
+    pattern: &Pattern,
+    feed: &ShardedFeed,
+    trials: usize,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+) -> Option<CountEstimate> {
     estimate_turnstile_on_feed_with_exec(
         pattern,
         feed,
         trials,
         seed,
         arena,
-        block,
+        opts,
         ExecPolicy::default(),
     )
 }
@@ -158,19 +181,13 @@ pub fn estimate_turnstile_on_feed_with_exec(
     trials: usize,
     seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     policy: ExecPolicy,
 ) -> Option<CountEstimate> {
     let plan = SamplerPlan::new(pattern)?;
     let par = build_parallel(&plan, SamplerMode::Relaxed, trials, seed);
-    let (outcomes, report) = run_turnstile_sharded_with_exec(
-        par,
-        feed,
-        split_seed(seed, u64::MAX),
-        arena,
-        block,
-        policy,
-    );
+    let (outcomes, report) =
+        run_turnstile_sharded_with_exec(par, feed, split_seed(seed, u64::MAX), arena, opts, policy);
     Some(CountEstimate::from_outcomes(outcomes, plan.rho(), report))
 }
 
@@ -278,13 +295,33 @@ pub fn estimate_turnstile_threaded_with_block<S: EdgeStream + Sync>(
     seed: u64,
     block: usize,
 ) -> Option<CountEstimate> {
+    estimate_turnstile_threaded_with_opts(
+        pattern,
+        stream,
+        trials,
+        threads,
+        seed,
+        PassOpts::with_block(block),
+    )
+}
+
+/// Turnstile sibling of [`estimate_insertion_threaded_with_opts`]; see
+/// [`estimate_turnstile_on_feed_with_opts`] for what `opts` selects.
+pub fn estimate_turnstile_threaded_with_opts<S: EdgeStream + Sync>(
+    pattern: &Pattern,
+    stream: &S,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+    opts: PassOpts,
+) -> Option<CountEstimate> {
     estimate_turnstile_threaded_with_exec(
         pattern,
         stream,
         trials,
         threads,
         seed,
-        block,
+        opts,
         ExecPolicy::default(),
     )
 }
@@ -296,13 +333,13 @@ pub fn estimate_turnstile_threaded_with_exec<S: EdgeStream + Sync>(
     trials: usize,
     threads: usize,
     seed: u64,
-    block: usize,
+    opts: PassOpts,
     policy: ExecPolicy,
 ) -> Option<CountEstimate> {
     assert!(threads >= 1);
     let feed = ShardedFeed::partition(stream, threads);
     let mut arena = RouterArena::new();
-    estimate_turnstile_on_feed_with_exec(pattern, &feed, trials, seed, &mut arena, block, policy)
+    estimate_turnstile_on_feed_with_exec(pattern, &feed, trials, seed, &mut arena, opts, policy)
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@
 
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
-use crate::exec::{PassOpts, ANSWER_BYTES, DEFAULT_BLOCK};
+use crate::exec::{PassOpts, ANSWER_BYTES};
 use crate::policy::ExecPolicy;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
@@ -279,14 +279,14 @@ fn run_turnstile_broadcast_pass(
     slots: &mut [ShardSlot],
     f1_slots: &[u32],
     pass_seed: u64,
-    block: usize,
+    opts: PassOpts,
     bcast: BroadcastOpts,
     side: &mut [SideSink<'_>],
 ) -> Vec<ShardOutcome> {
     let n = feed.num_vertices();
     let passes: Vec<TurnstileShardPass<'_>> = slots
         .iter_mut()
-        .map(|slot| TurnstileShardPass::new(slot, n, f1_slots, pass_seed, block))
+        .map(|slot| TurnstileShardPass::new(slot, n, f1_slots, pass_seed, opts))
         .collect();
     drive_ring(feed, passes, bcast, side)
 }
@@ -351,20 +351,21 @@ pub fn answer_turnstile_batch_broadcast(
         feed,
         pass_seed,
         arena,
-        DEFAULT_BLOCK,
+        PassOpts::default(),
         BroadcastOpts::default(),
         &mut [],
     )
 }
 
-/// [`answer_turnstile_batch_broadcast`] with explicit feed block size,
-/// ring geometry, and side consumers.
+/// [`answer_turnstile_batch_broadcast`] with explicit feed-path options
+/// ([`PassOpts`]: block size + ℓ₀ feed path), ring geometry, and side
+/// consumers.
 pub fn answer_turnstile_batch_broadcast_with_opts(
     batch: &[Query],
     feed: &ShardedFeed,
     pass_seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     bcast: BroadcastOpts,
     side: &mut [SideSink<'_>],
 ) -> (Vec<Answer>, usize) {
@@ -373,7 +374,7 @@ pub fn answer_turnstile_batch_broadcast_with_opts(
     let f1_slots = std::mem::take(&mut arena.scratch_edge);
     let mut outcomes = {
         let slots = &mut arena.slots[..shards];
-        run_turnstile_broadcast_pass(feed, slots, &f1_slots, pass_seed, block, bcast, side)
+        run_turnstile_broadcast_pass(feed, slots, &f1_slots, pass_seed, opts, bcast, side)
     };
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>();
     // Merge the per-shard f1 banks into shard 0's (linear sketches):
@@ -473,20 +474,20 @@ pub fn run_turnstile_broadcast<A: RoundAdaptive>(
         feed,
         seed,
         arena,
-        DEFAULT_BLOCK,
+        PassOpts::default(),
         BroadcastOpts::default(),
         side,
     )
 }
 
-/// [`run_turnstile_broadcast`] with explicit feed block size and ring
+/// [`run_turnstile_broadcast`] with explicit feed-path options and ring
 /// geometry.
 pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
     mut alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     bcast: BroadcastOpts,
     side: &mut [SideSink<'_>],
 ) -> (A::Output, ExecReport) {
@@ -511,9 +512,9 @@ pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
         let pass_seed = split_seed(seed, report.passes as u64);
         let side_now: &mut [SideSink<'_>] = if report.passes == 1 { side } else { &mut [] };
         let (a, space) = match runtime.as_mut() {
-            Some(rt) => rt.turnstile_pass(&batch, feed, pass_seed, arena, block, bcast, side_now),
+            Some(rt) => rt.turnstile_pass(&batch, feed, pass_seed, arena, opts, bcast, side_now),
             None => answer_turnstile_batch_broadcast_with_opts(
-                &batch, feed, pass_seed, arena, block, bcast, side_now,
+                &batch, feed, pass_seed, arena, opts, bcast, side_now,
             ),
         };
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);

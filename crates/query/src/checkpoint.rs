@@ -632,9 +632,7 @@ fn run_checkpointed<A: RoundAdaptive>(
                 if model == 0 {
                     Pass::Insertion(InsertionShardPass::new(slot, &targets, pass_seed, opts))
                 } else {
-                    Pass::Turnstile(TurnstileShardPass::new(
-                        slot, n, &f1_slots, pass_seed, opts.block,
-                    ))
+                    Pass::Turnstile(TurnstileShardPass::new(slot, n, &f1_slots, pass_seed, opts))
                 }
             })
             .collect();

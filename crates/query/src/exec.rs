@@ -49,7 +49,7 @@ use crate::router::{QueryRouter, RouterMode};
 use crate::sharded::run_turnstile_sharded;
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::hash::{split_seed, FastRng};
-use sgs_stream::l0::L0Sampler;
+use sgs_stream::l0::{L0Mode, L0Sampler};
 use sgs_stream::reservoir::{ReservoirBank, ReservoirMode};
 use sgs_stream::{EdgeStream, ShardedFeed, SpaceUsage};
 
@@ -80,6 +80,14 @@ pub const DEFAULT_BLOCK: usize = 128;
 /// baseline). The two modes consume different coins, so they are
 /// distribution-equivalent, not byte-identical; `seen()` accounting and
 /// every non-sampler answer are exact in both.
+///
+/// `l0` picks the turnstile ℓ₀-bank feed path (insertion passes carry
+/// no ℓ₀ state and ignore it): [`L0Mode::Dispatch`] (default) walks
+/// only the survivor-level prefix of each repetition, with level-cohort
+/// slicing on blocked feeds; [`L0Mode::Predicated`] is the PR-3
+/// full-bank masked scan. The two paths are **byte-identical** — same
+/// draws, same wrapping sums — at every shard count, block size,
+/// engine, and under recovery.
 #[derive(Clone, Copy, Debug)]
 pub struct PassOpts {
     /// Feed block size; `<= 1` selects the scalar per-update path.
@@ -87,6 +95,8 @@ pub struct PassOpts {
     /// Relaxed-`f3` reservoir acceptance scheme (insertion model only —
     /// turnstile `f3` runs on ℓ₀-samplers and ignores this).
     pub reservoir: ReservoirMode,
+    /// Turnstile ℓ₀-bank feed path (turnstile model only).
+    pub l0: L0Mode,
 }
 
 impl Default for PassOpts {
@@ -94,6 +104,7 @@ impl Default for PassOpts {
         PassOpts {
             block: DEFAULT_BLOCK,
             reservoir: ReservoirMode::default(),
+            l0: L0Mode::default(),
         }
     }
 }
@@ -115,13 +126,32 @@ impl PassOpts {
         }
     }
 
+    /// Default opts with an explicit ℓ₀ feed path.
+    pub fn with_l0(l0: L0Mode) -> Self {
+        PassOpts {
+            l0,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style override of the ℓ₀ feed path.
+    pub fn l0(self, l0: L0Mode) -> Self {
+        PassOpts { l0, ..self }
+    }
+
+    /// Builder-style override of the reservoir acceptance scheme.
+    pub fn reservoir(self, reservoir: ReservoirMode) -> Self {
+        PassOpts { reservoir, ..self }
+    }
+
     /// The statistical-oracle configuration: scalar feed, per-offer
-    /// reservoirs — the exact coin sequence of the frozen reference
-    /// executors.
+    /// reservoirs, predicated ℓ₀ scans — the exact instruction sequence
+    /// of the frozen reference executors.
     pub fn oracle() -> Self {
         PassOpts {
             block: 0,
             reservoir: ReservoirMode::Offer,
+            l0: L0Mode::Predicated,
         }
     }
 }
@@ -442,10 +472,12 @@ struct TurnstilePass {
     /// Blocked-feed scratch: the current block as `(edge key, delta)`
     /// pairs, fed to each `f1` ℓ₀-bank sampler-hot.
     kd_scratch: Vec<(u64, i64)>,
+    /// ℓ₀-bank feed path; bit-identical either way ([`PassOpts::l0`]).
+    l0: L0Mode,
 }
 
 impl TurnstilePass {
-    fn build(batch: &[Query], n: usize, pass_seed: u64) -> Self {
+    fn build(batch: &[Query], n: usize, pass_seed: u64, l0: L0Mode) -> Self {
         let router = QueryRouter::build(batch, RouterMode::Turnstile);
         let edge_samplers = router
             .edge_slots()
@@ -464,6 +496,7 @@ impl TurnstilePass {
             nbr_samplers,
             nbr_verts,
             kd_scratch: Vec::new(),
+            l0,
         }
     }
 
@@ -471,17 +504,18 @@ impl TurnstilePass {
     fn feed(&mut self, u: sgs_stream::EdgeUpdate) {
         let d = u.delta as i64;
         let key = u.edge.key();
+        let l0 = self.l0;
         // Every f1 sampler summarizes the whole edge domain, so each one
         // absorbs every update — inherent to ℓ₀-sampling, not routing.
         for s in &mut self.edge_samplers {
-            s.update(key, d);
+            s.update_with(l0, key, d);
         }
         let edge = u.edge;
         let nbr_samplers = &mut self.nbr_samplers;
         let nbr_verts = &self.nbr_verts;
         self.router.feed(u, |s, e| {
             for i in s as usize..e as usize {
-                nbr_samplers[i].update(edge.other(nbr_verts[i]).0 as u64, d);
+                nbr_samplers[i].update_with(l0, edge.other(nbr_verts[i]).0 as u64, d);
             }
         });
     }
@@ -496,15 +530,20 @@ impl TurnstilePass {
         self.kd_scratch.clear();
         self.kd_scratch
             .extend(block.iter().map(|u| (u.edge.key(), u.delta as i64)));
+        let l0 = self.l0;
         for s in &mut self.edge_samplers {
-            s.update_batch(&self.kd_scratch);
+            s.update_batch_with(l0, &self.kd_scratch);
         }
         let nbr_samplers = &mut self.nbr_samplers;
         let nbr_verts = &self.nbr_verts;
         self.router.feed_block(block, |j, s, e| {
             let u = block[j];
             for i in s as usize..e as usize {
-                nbr_samplers[i].update(u.edge.other(nbr_verts[i]).0 as u64, u.delta as i64);
+                nbr_samplers[i].update_with(
+                    l0,
+                    u.edge.other(nbr_verts[i]).0 as u64,
+                    u.delta as i64,
+                );
             }
         });
     }
@@ -555,7 +594,7 @@ pub fn answer_turnstile_batch(
     stream: &impl EdgeStream,
     pass_seed: u64,
 ) -> (Vec<Answer>, usize) {
-    answer_turnstile_batch_with_block(batch, stream, pass_seed, DEFAULT_BLOCK)
+    answer_turnstile_batch_with_opts(batch, stream, pass_seed, PassOpts::default())
 }
 
 /// [`answer_turnstile_batch`] with an explicit feed block size; see
@@ -566,8 +605,20 @@ pub fn answer_turnstile_batch_with_block(
     pass_seed: u64,
     block: usize,
 ) -> (Vec<Answer>, usize) {
-    let mut pass = TurnstilePass::build(batch, stream.num_vertices(), pass_seed);
-    replay_blocked(stream, block, &mut pass);
+    answer_turnstile_batch_with_opts(batch, stream, pass_seed, PassOpts::with_block(block))
+}
+
+/// [`answer_turnstile_batch`] with full feed-path options: block size
+/// plus the ℓ₀-bank feed path ([`PassOpts::l0`]). Answers are
+/// byte-identical across every option combination.
+pub fn answer_turnstile_batch_with_opts(
+    batch: &[Query],
+    stream: &impl EdgeStream,
+    pass_seed: u64,
+    opts: PassOpts,
+) -> (Vec<Answer>, usize) {
+    let mut pass = TurnstilePass::build(batch, stream.num_vertices(), pass_seed, opts.l0);
+    replay_blocked(stream, opts.block, &mut pass);
     let space = pass.space_bytes();
     (pass.into_answers(), space)
 }

@@ -81,6 +81,7 @@ pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
 pub use router::{QueryRouter, RouterMode};
 pub use runtime::ShardRuntime;
+pub use sgs_stream::l0::L0Mode;
 pub use sgs_stream::reservoir::ReservoirMode;
 pub use sharded::{
     answer_insertion_batch_sharded, answer_insertion_batch_sharded_with_block,

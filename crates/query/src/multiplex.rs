@@ -55,7 +55,7 @@
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
 use crate::broadcast::BroadcastOpts;
-use crate::exec::{sort_targets, ANSWER_BYTES};
+use crate::exec::{sort_targets, PassOpts, ANSWER_BYTES};
 use crate::policy::ExecPolicy;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
@@ -64,7 +64,7 @@ use crate::sharded::{merge_answers, run_shards, split_batch, ShardOutcome};
 use sgs_graph::{Edge, VertexId};
 use sgs_stream::broadcast::{Broadcast, BroadcastConsumer, RoutedProducer, TryNext};
 use sgs_stream::hash::{split_seed, FastRng};
-use sgs_stream::l0::L0Sampler;
+use sgs_stream::l0::{L0Mode, L0Sampler};
 use sgs_stream::reservoir::{ReservoirBank, ReservoirMode};
 use sgs_stream::sharded::{ShardUpdate, ShardedFeed};
 use sgs_stream::EdgeUpdate;
@@ -212,37 +212,39 @@ impl<A: RoundAdaptive> QuerySet<A> {
     }
 
     /// Run every job to completion over shared **insertion-model**
-    /// passes on the scoped-thread sharded engine. `block <= 1` is the
-    /// scalar feed path; answers are identical for any block size and
-    /// policy.
+    /// passes on the scoped-thread sharded engine. `opts.block <= 1` is
+    /// the scalar feed path; answers are identical for any block size
+    /// and policy. `opts.reservoir` is ignored — each job's admitted
+    /// reservoir mode governs its own lanes.
     pub fn run_insertion(
         self,
         feed: &ShardedFeed,
         arena: &mut RouterArena,
-        block: usize,
+        opts: PassOpts,
         policy: ExecPolicy,
     ) -> MuxOutput<A::Output> {
         self.run_inner(
             feed,
             arena,
-            block,
+            opts,
             MuxModel::Insertion,
             Engine::Sharded(policy),
         )
     }
 
-    /// Turnstile sibling of [`QuerySet::run_insertion`].
+    /// Turnstile sibling of [`QuerySet::run_insertion`]; `opts.l0`
+    /// selects the ℓ₀ bank feed path for every lane of the shared pass.
     pub fn run_turnstile(
         self,
         feed: &ShardedFeed,
         arena: &mut RouterArena,
-        block: usize,
+        opts: PassOpts,
         policy: ExecPolicy,
     ) -> MuxOutput<A::Output> {
         self.run_inner(
             feed,
             arena,
-            block,
+            opts,
             MuxModel::Turnstile,
             Engine::Sharded(policy),
         )
@@ -257,10 +259,10 @@ impl<A: RoundAdaptive> QuerySet<A> {
         self,
         feed: &ShardedFeed,
         arena: &mut RouterArena,
-        block: usize,
+        opts: PassOpts,
         bcast: BroadcastOpts,
     ) -> MuxOutput<A::Output> {
-        self.run_inner(feed, arena, block, MuxModel::Insertion, Engine::Ring(bcast))
+        self.run_inner(feed, arena, opts, MuxModel::Insertion, Engine::Ring(bcast))
     }
 
     /// Turnstile sibling of [`QuerySet::run_insertion_broadcast`].
@@ -268,17 +270,17 @@ impl<A: RoundAdaptive> QuerySet<A> {
         self,
         feed: &ShardedFeed,
         arena: &mut RouterArena,
-        block: usize,
+        opts: PassOpts,
         bcast: BroadcastOpts,
     ) -> MuxOutput<A::Output> {
-        self.run_inner(feed, arena, block, MuxModel::Turnstile, Engine::Ring(bcast))
+        self.run_inner(feed, arena, opts, MuxModel::Turnstile, Engine::Ring(bcast))
     }
 
     fn run_inner(
         mut self,
         feed: &ShardedFeed,
         arena: &mut RouterArena,
-        block: usize,
+        opts: PassOpts,
         model: MuxModel,
         engine: Engine,
     ) -> MuxOutput<A::Output> {
@@ -339,10 +341,10 @@ impl<A: RoundAdaptive> QuerySet<A> {
             round_no += 1;
             let (answers, space) = match model {
                 MuxModel::Insertion => {
-                    mux_insertion_pass(&plan, feed, arena, block, &engine, &mut admission.stalls)
+                    mux_insertion_pass(&plan, feed, arena, opts, &engine, &mut admission.stalls)
                 }
                 MuxModel::Turnstile => {
-                    mux_turnstile_pass(&plan, feed, arena, block, &engine, &mut admission.stalls)
+                    mux_turnstile_pass(&plan, feed, arena, opts, &engine, &mut admission.stalls)
                 }
             };
             // Critical-path pass time via the arena's per-shard timing.
@@ -528,7 +530,7 @@ impl<'a> MuxInsertionShardPass<'a> {
         slot: &'a mut ShardSlot,
         targets: &'a [(u64, u32)],
         plan: &RoundPlan,
-        block: usize,
+        opts: PassOpts,
     ) -> Self {
         slot.router.rebuild(&slot.sub_batch, RouterMode::Insertion);
         let (lane_seeds, lane_owner, segments, group_segs) = build_lane_tables(slot, plan);
@@ -549,7 +551,7 @@ impl<'a> MuxInsertionShardPass<'a> {
         MuxInsertionShardPass {
             slot,
             targets,
-            block,
+            block: opts.block,
             banks,
             segments,
             group_segs,
@@ -669,6 +671,7 @@ impl<'a> MuxInsertionShardPass<'a> {
 struct MuxTurnstileShardPass<'a> {
     slot: &'a mut ShardSlot,
     block: usize,
+    l0: L0Mode,
     f1_bank: Vec<L0Sampler>,
     nbr_samplers: Vec<L0Sampler>,
     nbr_verts: Vec<VertexId>,
@@ -682,7 +685,7 @@ impl<'a> MuxTurnstileShardPass<'a> {
         num_vertices: usize,
         f1_slots: &[u32],
         plan: &RoundPlan,
-        block: usize,
+        opts: PassOpts,
     ) -> Self {
         slot.router.rebuild(&slot.sub_batch, RouterMode::Turnstile);
         let f1_bank: Vec<L0Sampler> = f1_slots
@@ -703,7 +706,8 @@ impl<'a> MuxTurnstileShardPass<'a> {
         let nbr_verts: Vec<VertexId> = slot.router.neighbor_vertices().collect();
         MuxTurnstileShardPass {
             slot,
-            block,
+            block: opts.block,
+            l0: opts.l0,
             f1_bank,
             nbr_samplers,
             nbr_verts,
@@ -715,13 +719,14 @@ impl<'a> MuxTurnstileShardPass<'a> {
     /// Absorb the next run of deliveries (callable repeatedly) — the
     /// same delivery loop as the solo turnstile shard pass.
     fn feed(&mut self, deliveries: &[ShardUpdate]) {
+        let l0 = self.l0;
         if self.block <= 1 {
             for su in deliveries {
                 let d = su.update.delta as i64;
                 if su.owned {
                     let key = su.update.edge.key();
                     for s in &mut self.f1_bank {
-                        s.update(key, d);
+                        s.update_with(l0, key, d);
                     }
                 }
                 let edge = su.update.edge;
@@ -729,7 +734,7 @@ impl<'a> MuxTurnstileShardPass<'a> {
                 let verts = &self.nbr_verts;
                 self.slot.router.feed(su.update, |s, e| {
                     for i in s as usize..e as usize {
-                        samplers[i].update(edge.other(verts[i]).0 as u64, d);
+                        samplers[i].update_with(l0, edge.other(verts[i]).0 as u64, d);
                     }
                 });
             }
@@ -746,14 +751,18 @@ impl<'a> MuxTurnstileShardPass<'a> {
                     buf.push(su.update);
                 }
                 for s in &mut self.f1_bank {
-                    s.update_batch(&owned_kd);
+                    s.update_batch_with(l0, &owned_kd);
                 }
                 let samplers = &mut self.nbr_samplers;
                 let verts = &self.nbr_verts;
                 self.slot.router.feed_block(&buf, |j, s, e| {
                     let u = buf[j];
                     for i in s as usize..e as usize {
-                        samplers[i].update(u.edge.other(verts[i]).0 as u64, u.delta as i64);
+                        samplers[i].update_with(
+                            l0,
+                            u.edge.other(verts[i]).0 as u64,
+                            u.delta as i64,
+                        );
                     }
                 });
             }
@@ -802,7 +811,7 @@ fn mux_insertion_pass(
     plan: &RoundPlan,
     feed: &ShardedFeed,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     engine: &Engine,
     stalls: &mut Vec<StallEvent>,
 ) -> (Vec<Answer>, usize) {
@@ -815,7 +824,7 @@ fn mux_insertion_pass(
             feed.begin_pass();
             run_shards(&mut arena.slots[..shards], *policy, |i, slot| {
                 let t0 = Instant::now();
-                let mut pass = MuxInsertionShardPass::new(&mut *slot, &targets, plan, block);
+                let mut pass = MuxInsertionShardPass::new(&mut *slot, &targets, plan, opts);
                 pass.feed(feed.shard(i));
                 let out = pass.finish();
                 slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
@@ -825,7 +834,7 @@ fn mux_insertion_pass(
         Engine::Ring(bcast) => {
             let passes: Vec<MuxInsertionShardPass<'_>> = arena.slots[..shards]
                 .iter_mut()
-                .map(|slot| MuxInsertionShardPass::new(slot, &targets, plan, block))
+                .map(|slot| MuxInsertionShardPass::new(slot, &targets, plan, opts))
                 .collect();
             drive_mux_ring(feed, passes, *bcast, stalls)
         }
@@ -843,7 +852,7 @@ fn mux_turnstile_pass(
     plan: &RoundPlan,
     feed: &ShardedFeed,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     engine: &Engine,
     stalls: &mut Vec<StallEvent>,
 ) -> (Vec<Answer>, usize) {
@@ -856,7 +865,7 @@ fn mux_turnstile_pass(
             feed.begin_pass();
             run_shards(&mut arena.slots[..shards], *policy, |i, slot| {
                 let t0 = Instant::now();
-                let mut pass = MuxTurnstileShardPass::new(&mut *slot, n, &f1_slots, plan, block);
+                let mut pass = MuxTurnstileShardPass::new(&mut *slot, n, &f1_slots, plan, opts);
                 pass.feed(feed.shard(i));
                 let out = pass.finish();
                 slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
@@ -866,7 +875,7 @@ fn mux_turnstile_pass(
         Engine::Ring(bcast) => {
             let passes: Vec<MuxTurnstileShardPass<'_>> = arena.slots[..shards]
                 .iter_mut()
-                .map(|slot| MuxTurnstileShardPass::new(slot, n, &f1_slots, plan, block))
+                .map(|slot| MuxTurnstileShardPass::new(slot, n, &f1_slots, plan, opts))
                 .collect();
             drive_mux_ring(feed, passes, *bcast, stalls)
         }
@@ -1064,10 +1073,7 @@ mod tests {
         block: usize,
     ) -> Vec<Answer> {
         let mut arena = RouterArena::new();
-        let opts = PassOpts {
-            block,
-            reservoir: mode,
-        };
+        let opts = PassOpts::with_block(block).reservoir(mode);
         let (out, _) = run_insertion_sharded_with_exec(
             Walker::new(start, depth),
             feed,
@@ -1096,7 +1102,12 @@ mod tests {
                     set.admit(Walker::new(start, depth), seed, mode);
                 }
                 let mut arena = RouterArena::new();
-                let out = set.run_insertion(&feed, &mut arena, block, ExecPolicy::serial());
+                let out = set.run_insertion(
+                    &feed,
+                    &mut arena,
+                    PassOpts::with_block(block),
+                    ExecPolicy::serial(),
+                );
                 for (j, &(start, depth, seed, mode)) in specs.iter().enumerate() {
                     let solo = solo_insertion(&feed, start, depth, seed, mode, block);
                     assert_eq!(
@@ -1124,7 +1135,12 @@ mod tests {
             set.admit(Walker::new(start, depth), seed, ReservoirMode::Offer);
         }
         let mut arena = RouterArena::new();
-        let out = set.run_turnstile(&feed, &mut arena, 32, ExecPolicy::serial());
+        let out = set.run_turnstile(
+            &feed,
+            &mut arena,
+            PassOpts::with_block(32),
+            ExecPolicy::serial(),
+        );
         for (j, &(start, depth, seed)) in specs.iter().enumerate() {
             let mut solo_arena = RouterArena::new();
             let (solo, _) = run_turnstile_sharded_with_exec(
@@ -1132,7 +1148,7 @@ mod tests {
                 &feed,
                 seed,
                 &mut solo_arena,
-                32,
+                PassOpts::with_block(32),
                 ExecPolicy::serial(),
             );
             assert_eq!(out.outputs[j], solo, "job {j}");
@@ -1153,13 +1169,18 @@ mod tests {
             set
         };
         let mut arena = RouterArena::new();
-        let sharded = build(true).run_insertion(&feed, &mut arena, 16, ExecPolicy::serial());
+        let sharded = build(true).run_insertion(
+            &feed,
+            &mut arena,
+            PassOpts::with_block(16),
+            ExecPolicy::serial(),
+        );
         for policy in [ExecPolicy::serial(), ExecPolicy::threaded()] {
             let mut ring_arena = RouterArena::new();
             let ringed = build(true).run_insertion_broadcast(
                 &feed,
                 &mut ring_arena,
-                16,
+                PassOpts::with_block(16),
                 BroadcastOpts::with_policy(policy),
             );
             assert_eq!(ringed.outputs, sharded.outputs, "{policy:?}");
@@ -1175,7 +1196,12 @@ mod tests {
         set.admit(Walker::new(0, 1), 900, ReservoirMode::Offer);
         let long = set.admit(Walker::new(3, 5), 901, ReservoirMode::Offer);
         let mut arena = RouterArena::new();
-        let out = set.run_insertion(&feed, &mut arena, 0, ExecPolicy::serial());
+        let out = set.run_insertion(
+            &feed,
+            &mut arena,
+            PassOpts::with_block(0),
+            ExecPolicy::serial(),
+        );
         assert_eq!(out.admission.slowest_job(), Some(long as u32));
         assert_eq!(out.admission.jobs[long].rounds, 5);
         assert_eq!(out.admission.jobs[0].rounds, 1);
@@ -1190,7 +1216,12 @@ mod tests {
         let feed = ShardedFeed::partition(&ins, 2);
         let mut arena = RouterArena::new();
         let set: QuerySet<Walker> = QuerySet::new();
-        let out = set.run_insertion(&feed, &mut arena, 0, ExecPolicy::serial());
+        let out = set.run_insertion(
+            &feed,
+            &mut arena,
+            PassOpts::with_block(0),
+            ExecPolicy::serial(),
+        );
         assert!(out.outputs.is_empty());
         assert!(out.admission.rounds.is_empty());
         assert_eq!(feed.logical_passes(), 0);
@@ -1206,7 +1237,12 @@ mod tests {
             set.admit(Walker::new(j as u32, 3), 1000 + j, ReservoirMode::Skip);
         }
         let mut arena = RouterArena::new();
-        let _ = set.run_insertion(&feed, &mut arena, 64, ExecPolicy::serial());
+        let _ = set.run_insertion(
+            &feed,
+            &mut arena,
+            PassOpts::with_block(64),
+            ExecPolicy::serial(),
+        );
         assert_eq!(
             feed.logical_passes(),
             3,

@@ -71,7 +71,7 @@ enum Task {
         f1_slots: Arc<[u32]>,
         num_vertices: usize,
         pass_seed: u64,
-        block: usize,
+        opts: PassOpts,
     },
 }
 
@@ -130,13 +130,13 @@ fn worker_loop(sid: usize, pin_core: Option<usize>, tasks: Receiver<Task>, repli
                 f1_slots,
                 num_vertices,
                 pass_seed,
-                block,
+                opts,
             } => {
                 slot.sub_batch = sub_batch;
                 slot.slot_map = slot_map;
                 let t0 = Instant::now();
                 let mut pass =
-                    TurnstileShardPass::new(&mut slot, num_vertices, &f1_slots, pass_seed, block);
+                    TurnstileShardPass::new(&mut slot, num_vertices, &f1_slots, pass_seed, opts);
                 for b in consumer {
                     filter_block(&b, sid, &mut scratch);
                     pass.feed(&scratch);
@@ -334,7 +334,7 @@ impl ShardRuntime {
         feed: &ShardedFeed,
         pass_seed: u64,
         arena: &mut RouterArena,
-        block: usize,
+        opts: PassOpts,
         bcast: BroadcastOpts,
         side: &mut [SideSink<'_>],
     ) -> (Vec<Answer>, usize) {
@@ -362,7 +362,7 @@ impl ShardRuntime {
                     f1_slots: shared_f1.clone(),
                     num_vertices: feed.num_vertices(),
                     pass_seed,
-                    block,
+                    opts,
                 })
                 .expect("shard worker gone");
         }
@@ -459,7 +459,7 @@ mod tests {
                     &feed,
                     pass_seed,
                     &mut arena,
-                    crate::exec::DEFAULT_BLOCK,
+                    PassOpts::default(),
                     BroadcastOpts::default(),
                     &mut [],
                 );

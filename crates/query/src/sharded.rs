@@ -44,7 +44,7 @@
 
 use crate::accounting::ExecReport;
 use crate::arena::{RouterArena, ShardSlot};
-use crate::exec::{sort_targets, PassOpts, ANSWER_BYTES, DEFAULT_BLOCK};
+use crate::exec::{sort_targets, PassOpts, ANSWER_BYTES};
 use crate::policy::ExecPolicy;
 use crate::query::{Answer, Query};
 use crate::round::RoundAdaptive;
@@ -356,7 +356,7 @@ fn run_insertion_shard(
 /// [`InsertionShardPass`]).
 pub(crate) struct TurnstileShardPass<'a> {
     slot: &'a mut ShardSlot,
-    block: usize,
+    opts: PassOpts,
     f1_bank: Vec<L0Sampler>,
     nbr_samplers: Vec<L0Sampler>,
     nbr_verts: Vec<VertexId>,
@@ -375,7 +375,7 @@ impl<'a> TurnstileShardPass<'a> {
         num_vertices: usize,
         f1_slots: &[u32],
         pass_seed: u64,
-        block: usize,
+        opts: PassOpts,
     ) -> Self {
         slot.router.rebuild(&slot.sub_batch, RouterMode::Turnstile);
         let f1_bank: Vec<L0Sampler> = f1_slots
@@ -396,7 +396,7 @@ impl<'a> TurnstileShardPass<'a> {
         let nbr_verts: Vec<VertexId> = slot.router.neighbor_vertices().collect();
         TurnstileShardPass {
             slot,
-            block,
+            opts,
             f1_bank,
             nbr_samplers,
             nbr_verts,
@@ -407,13 +407,14 @@ impl<'a> TurnstileShardPass<'a> {
 
     /// Absorb the next run of deliveries (callable repeatedly).
     pub(crate) fn feed(&mut self, deliveries: &[ShardUpdate]) {
-        if self.block <= 1 {
+        let l0 = self.opts.l0;
+        if self.opts.block <= 1 {
             for su in deliveries {
                 let d = su.update.delta as i64;
                 if su.owned {
                     let key = su.update.edge.key();
                     for s in &mut self.f1_bank {
-                        s.update(key, d);
+                        s.update_with(l0, key, d);
                     }
                 }
                 let edge = su.update.edge;
@@ -421,7 +422,7 @@ impl<'a> TurnstileShardPass<'a> {
                 let verts = &self.nbr_verts;
                 self.slot.router.feed(su.update, |s, e| {
                     for i in s as usize..e as usize {
-                        samplers[i].update(edge.other(verts[i]).0 as u64, d);
+                        samplers[i].update_with(l0, edge.other(verts[i]).0 as u64, d);
                     }
                 });
             }
@@ -433,7 +434,7 @@ impl<'a> TurnstileShardPass<'a> {
             // through its batched probes.
             let mut buf = std::mem::take(&mut self.buf);
             let mut owned_kd = std::mem::take(&mut self.owned_kd);
-            for chunk in deliveries.chunks(self.block) {
+            for chunk in deliveries.chunks(self.opts.block) {
                 buf.clear();
                 owned_kd.clear();
                 for su in chunk {
@@ -443,14 +444,18 @@ impl<'a> TurnstileShardPass<'a> {
                     buf.push(su.update);
                 }
                 for s in &mut self.f1_bank {
-                    s.update_batch(&owned_kd);
+                    s.update_batch_with(l0, &owned_kd);
                 }
                 let samplers = &mut self.nbr_samplers;
                 let verts = &self.nbr_verts;
                 self.slot.router.feed_block(&buf, |j, s, e| {
                     let u = buf[j];
                     for i in s as usize..e as usize {
-                        samplers[i].update(u.edge.other(verts[i]).0 as u64, u.delta as i64);
+                        samplers[i].update_with(
+                            l0,
+                            u.edge.other(verts[i]).0 as u64,
+                            u.delta as i64,
+                        );
                     }
                 });
             }
@@ -558,11 +563,11 @@ fn run_turnstile_shard(
     shard_id: usize,
     f1_slots: &[u32],
     pass_seed: u64,
-    block: usize,
+    opts: PassOpts,
 ) -> ShardOutcome {
     let t0 = Instant::now();
     let mut pass =
-        TurnstileShardPass::new(&mut *slot, feed.num_vertices(), f1_slots, pass_seed, block);
+        TurnstileShardPass::new(&mut *slot, feed.num_vertices(), f1_slots, pass_seed, opts);
     pass.feed(feed.shard(shard_id));
     let out = pass.finish();
     slot.pass_nanos.push(t0.elapsed().as_nanos() as u64);
@@ -729,7 +734,7 @@ pub fn answer_turnstile_batch_sharded(
     pass_seed: u64,
     arena: &mut RouterArena,
 ) -> (Vec<Answer>, usize) {
-    answer_turnstile_batch_sharded_with_block(batch, feed, pass_seed, arena, DEFAULT_BLOCK)
+    answer_turnstile_batch_sharded_with_opts(batch, feed, pass_seed, arena, PassOpts::default())
 }
 
 /// [`answer_turnstile_batch_sharded`] with an explicit feed block size
@@ -741,24 +746,44 @@ pub fn answer_turnstile_batch_sharded_with_block(
     arena: &mut RouterArena,
     block: usize,
 ) -> (Vec<Answer>, usize) {
+    answer_turnstile_batch_sharded_with_opts(
+        batch,
+        feed,
+        pass_seed,
+        arena,
+        PassOpts::with_block(block),
+    )
+}
+
+/// [`answer_turnstile_batch_sharded`] with full feed-path options
+/// ([`PassOpts`]: block size + ℓ₀ feed path). Both knobs are
+/// byte-identity-preserving, so the sharded answers match the
+/// single-stream pass at any shard count under every combination.
+pub fn answer_turnstile_batch_sharded_with_opts(
+    batch: &[Query],
+    feed: &ShardedFeed,
+    pass_seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+) -> (Vec<Answer>, usize) {
     answer_turnstile_batch_sharded_with_exec(
         batch,
         feed,
         pass_seed,
         arena,
-        block,
+        opts,
         ExecPolicy::default(),
     )
 }
 
-/// [`answer_turnstile_batch_sharded_with_block`] with an injected
+/// [`answer_turnstile_batch_sharded_with_opts`] with an injected
 /// [`ExecPolicy`]. Answers are identical under every policy.
 pub fn answer_turnstile_batch_sharded_with_exec(
     batch: &[Query],
     feed: &ShardedFeed,
     pass_seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     policy: ExecPolicy,
 ) -> (Vec<Answer>, usize) {
     let shards = feed.num_shards();
@@ -766,7 +791,7 @@ pub fn answer_turnstile_batch_sharded_with_exec(
         // See answer_insertion_batch_sharded: direct pass over the feed.
         arena.ensure_shards(1);
         let t0 = Instant::now();
-        let out = crate::exec::answer_turnstile_batch_with_block(batch, feed, pass_seed, block);
+        let out = crate::exec::answer_turnstile_batch_with_opts(batch, feed, pass_seed, opts);
         arena.slots[0]
             .pass_nanos
             .push(t0.elapsed().as_nanos() as u64);
@@ -776,7 +801,7 @@ pub fn answer_turnstile_batch_sharded_with_exec(
     split_batch(batch, RouterMode::Turnstile, feed.shard_map(), arena);
     let f1_slots = std::mem::take(&mut arena.scratch_edge);
     let mut outcomes = run_shards(&mut arena.slots[..shards], policy, |i, slot| {
-        run_turnstile_shard(slot, feed, i, &f1_slots, pass_seed, block)
+        run_turnstile_shard(slot, feed, i, &f1_slots, pass_seed, opts)
     });
     let space = outcomes.iter().map(|o| o.space_bytes).sum::<usize>();
     // Merge the per-shard f1 banks into shard 0's (linear sketches):
@@ -877,7 +902,7 @@ pub fn run_turnstile_sharded<A: RoundAdaptive>(
     seed: u64,
     arena: &mut RouterArena,
 ) -> (A::Output, ExecReport) {
-    run_turnstile_sharded_with_block(alg, feed, seed, arena, DEFAULT_BLOCK)
+    run_turnstile_sharded_with_opts(alg, feed, seed, arena, PassOpts::default())
 }
 
 /// [`run_turnstile_sharded`] with an explicit feed block size.
@@ -888,17 +913,28 @@ pub fn run_turnstile_sharded_with_block<A: RoundAdaptive>(
     arena: &mut RouterArena,
     block: usize,
 ) -> (A::Output, ExecReport) {
-    run_turnstile_sharded_with_exec(alg, feed, seed, arena, block, ExecPolicy::default())
+    run_turnstile_sharded_with_opts(alg, feed, seed, arena, PassOpts::with_block(block))
 }
 
-/// [`run_turnstile_sharded_with_block`] with an explicit execution
+/// [`run_turnstile_sharded`] with full feed-path options ([`PassOpts`]).
+pub fn run_turnstile_sharded_with_opts<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+) -> (A::Output, ExecReport) {
+    run_turnstile_sharded_with_exec(alg, feed, seed, arena, opts, ExecPolicy::default())
+}
+
+/// [`run_turnstile_sharded_with_opts`] with an explicit execution
 /// policy governing the shard workers.
 pub fn run_turnstile_sharded_with_exec<A: RoundAdaptive>(
     mut alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
-    block: usize,
+    opts: PassOpts,
     policy: ExecPolicy,
 ) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
@@ -918,7 +954,7 @@ pub fn run_turnstile_sharded_with_exec<A: RoundAdaptive>(
             feed,
             split_seed(seed, report.passes as u64),
             arena,
-            block,
+            opts,
             policy,
         );
         report.max_pass_space_bytes = report.max_pass_space_bytes.max(space);
@@ -1025,8 +1061,14 @@ mod tests {
         let feed = ShardedFeed::partition(&tst, 4);
         let mut arena = RouterArena::new();
         for policy in [ExecPolicy::threaded(), ExecPolicy::serial()] {
-            let (got, _) =
-                answer_turnstile_batch_sharded_with_exec(&batch, &feed, 5, &mut arena, 64, policy);
+            let (got, _) = answer_turnstile_batch_sharded_with_exec(
+                &batch,
+                &feed,
+                5,
+                &mut arena,
+                PassOpts::with_block(64),
+                policy,
+            );
             assert_eq!(got, expected, "{policy:?}");
         }
     }

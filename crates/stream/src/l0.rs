@@ -43,6 +43,17 @@
 //!   inner loop over scattered level vectors. The
 //!   `soa_bank_is_bit_identical_to_aos_bank` test pins the new layout
 //!   against a replica of the old one detector for detector.
+//! * **Survivor-level dispatch** — the shared draw fixes, per (update,
+//!   repetition), the deepest level ℓ the update survives into, and
+//!   `P[ℓ ≥ l] = 2^-l` makes the expected touched prefix ~2 rows of
+//!   L ≈ 16. The default feed path ([`L0Mode::Dispatch`]) therefore
+//!   walks only rows `0..=ℓ` per repetition instead of predicating
+//!   through the whole bank, and the blocked variant counting-sorts
+//!   each prehashed block into per-level cohorts so every detector row
+//!   takes one accumulated add per block. The predicated scan stays as
+//!   the bit-identity oracle ([`L0Mode::Predicated`]); the three-way
+//!   pin in `soa_bank_is_bit_identical_to_aos_bank` holds all paths to
+//!   the same detector bits.
 //! * **Linearity** — every detector field is additive, so
 //!   [`L0Sampler::merge`] of identically-seeded samplers that absorbed
 //!   disjoint update subsets is *bit-identical* to one sampler that
@@ -53,6 +64,51 @@
 use crate::hash::{split_seed, splitmix64, SeededHash};
 use crate::persist::{frame, read_frame_of, Decoder, Encoder, PersistResult, KIND_L0};
 use crate::space::SpaceUsage;
+
+/// Which feed path an ℓ₀ bank consumer drives.
+///
+/// Both paths produce bit-identical detector planes for any update
+/// sequence (every plane field is a commutative wrapping sum), so the
+/// knob trades instruction mix, not answers:
+///
+/// * [`L0Mode::Predicated`] — the PR 3 path: every update visits every
+///   level row up to the bank's deepest draw, masking inactive lanes
+///   with a sign-extended AND. Wide, branch-free, autovectorizes; kept
+///   as the bit-identity oracle.
+/// * [`L0Mode::Dispatch`] — survivor-level dispatch: the shared base
+///   draw already fixes, per (update, repetition), the deepest level ℓ
+///   the update belongs to (`P[survive to ℓ] = 2^-ℓ`, so `E[ℓ] ≈ 2`
+///   rows of L ≈ 16). The bank walks only rows `0..=ℓ` unconditionally;
+///   blocked feeds additionally counting-sort each prehashed block into
+///   per-level cohorts so each detector row takes **one** accumulated
+///   add per block instead of one per update.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum L0Mode {
+    /// Full-bank predicated lane scan (the pre-dispatch oracle path).
+    Predicated,
+    /// Survivor-level dispatch with block-level level-cohort slicing.
+    #[default]
+    Dispatch,
+}
+
+impl L0Mode {
+    /// Stable lowercase name (CLI flags, bench labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            L0Mode::Predicated => "predicated",
+            L0Mode::Dispatch => "dispatch",
+        }
+    }
+
+    /// Parse a CLI-style name; inverse of [`L0Mode::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "predicated" => Some(L0Mode::Predicated),
+            "dispatch" => Some(L0Mode::Dispatch),
+            _ => None,
+        }
+    }
+}
 
 /// A turnstile ℓ₀-sampler over `u64` keys.
 ///
@@ -89,11 +145,26 @@ pub struct L0Sampler {
     lvl_scratch: Vec<u32>,
     /// Per-update lane scratch: this update's fingerprint per repetition.
     fp_scratch: Vec<u64>,
+    /// Dispatch-block scratch, one slot per level: this block's cohort
+    /// sums for the repetition being drained (net delta, split 128-bit
+    /// key·delta, fingerprint delta). Derived state — zeroed between
+    /// uses, never persisted.
+    coh_count: Vec<i64>,
+    coh_kd_lo: Vec<u64>,
+    coh_kd_hi: Vec<u64>,
+    coh_fp: Vec<u64>,
     updates_absorbed: u64,
 }
 
 /// Default number of independent repetitions.
 pub const DEFAULT_REPS: usize = 8;
+
+/// Updates sharing one cohort drain on the dispatch batch path. The
+/// drain walks `(deepest+1)·reps` detector rows per chunk, so the
+/// per-update drain cost falls roughly linearly in the chunk width;
+/// 64 keeps the stack-side key·delta split buffers small while putting
+/// the drain near one row-add per update.
+pub const DISPATCH_CHUNK: usize = 128;
 
 impl L0Sampler {
     /// Create a sampler with `reps` repetitions and `max_level + 1`
@@ -123,6 +194,10 @@ impl L0Sampler {
             fingerprint: vec![0; levels * reps],
             lvl_scratch: vec![0; reps],
             fp_scratch: vec![0; reps],
+            coh_count: vec![0; levels],
+            coh_kd_lo: vec![0; levels],
+            coh_kd_hi: vec![0; levels],
+            coh_fp: vec![0; levels],
             updates_absorbed: 0,
         }
     }
@@ -246,6 +321,241 @@ impl L0Sampler {
             }
         }
         self.updates_absorbed += updates.len() as u64;
+    }
+
+    /// Survivor-level dispatch body: per repetition, derive the deepest
+    /// level ℓ from the shared draw and add to exactly the rows `0..=ℓ`
+    /// at lane stride. Same rows, same wrapping adds as [`absorb`]'s
+    /// predicated scan — only the rows that never sample are skipped —
+    /// so the resulting planes are bit-identical.
+    ///
+    /// [`absorb`]: L0Sampler::absorb
+    #[inline]
+    fn absorb_dispatch(&mut self, key: u64, delta: i64, base: u64) {
+        let reps = self.reps;
+        let max = (self.levels - 1) as u32;
+        let du = delta as u64;
+        let kd = key as i128 * delta as i128;
+        let (kd_lo, kd_hi) = (kd as u64, (kd >> 64) as u64);
+        for r in 0..reps {
+            let lvl = splitmix64(base ^ self.level_salt[r])
+                .trailing_zeros()
+                .min(max) as usize;
+            let fpd = du.wrapping_mul(splitmix64(base ^ self.fp_salt[r]));
+            let mut i = r;
+            for _ in 0..=lvl {
+                self.count[i] = self.count[i].wrapping_add(delta);
+                self.fingerprint[i] = self.fingerprint[i].wrapping_add(fpd);
+                let nl = self.key_sum_lo[i].wrapping_add(kd_lo);
+                self.key_sum_hi[i] = self.key_sum_hi[i]
+                    .wrapping_add(kd_hi)
+                    .wrapping_add((nl < kd_lo) as u64);
+                self.key_sum_lo[i] = nl;
+                i += reps;
+            }
+        }
+    }
+
+    /// [`L0Sampler::update`] through the survivor-level dispatch path
+    /// ([`L0Mode::Dispatch`]). Bit-identical to the predicated path for
+    /// any update sequence.
+    #[inline]
+    pub fn update_dispatch(&mut self, key: u64, delta: i64) {
+        self.updates_absorbed += 1;
+        let base = self.base_hash.hash64(key);
+        self.absorb_dispatch(key, delta, base);
+    }
+
+    /// Dispatch a prehashed block with level-cohort slicing: for one
+    /// repetition, bucket every update's (delta, key·delta, fingerprint
+    /// delta) by its exact survivor level, then drain the cohorts
+    /// deepest→0 with a running suffix sum — each detector row of the
+    /// prefix `0..=deepest` takes **one** accumulated add for the whole
+    /// block. Every plane field is a commutative wrapping sum, so the
+    /// re-association leaves the final plane bits identical to per-update
+    /// dispatch (and hence to the predicated scan). The chunk width
+    /// ([`DISPATCH_CHUNK`]) sets how many updates share one drain: the
+    /// drain touches `(deepest+1)·reps` rows per chunk, so widening the
+    /// chunk amortizes it — 64 puts the drain near one row-add per
+    /// update while the cohort scratch (4 planes × levels) stays L1-hot.
+    fn absorb_block_dispatch(&mut self, chunk: &[(u64, i64)], bases: &[u64]) {
+        let reps = self.reps;
+        let max = (self.levels - 1) as u32;
+        let n = chunk.len();
+        // Repetition-independent work, once per chunk: split key·delta,
+        // copy deltas into a flat lane array, and pre-total the row-0
+        // contribution — *every* update survives to level 0, so the
+        // chunk's delta and key·delta row-0 adds are shared by all
+        // repetitions.
+        let mut kd_lo = [0u64; DISPATCH_CHUNK];
+        let mut kd_hi = [0u64; DISPATCH_CHUNK];
+        let mut del = [0i64; DISPATCH_CHUNK];
+        let mut dtot = 0i64;
+        let mut ktot = 0i128;
+        for (((kl, kh), dl), &(key, delta)) in kd_lo[..n]
+            .iter_mut()
+            .zip(kd_hi[..n].iter_mut())
+            .zip(del[..n].iter_mut())
+            .zip(chunk)
+        {
+            let kd = key as i128 * delta as i128;
+            *kl = kd as u64;
+            *kh = (kd >> 64) as u64;
+            *dl = delta;
+            dtot = dtot.wrapping_add(delta);
+            // A plain wrapping i128 sum lands the same 2^128-modular
+            // value as the per-element lo/hi carry chain, so the row-0
+            // total stays bit-exact.
+            ktot = ktot.wrapping_add(kd);
+        }
+        let (ktot_lo, ktot_hi) = (ktot as u64, ((ktot as u128) >> 64) as u64);
+        let mut lvl = [0u32; DISPATCH_CHUNK];
+        let mut fpd = [0u64; DISPATCH_CHUNK];
+        for r in 0..reps {
+            let lsalt = self.level_salt[r];
+            let fsalt = self.fp_salt[r];
+            // Lane passes — two SplitMix64 chains, a trailing-zeros
+            // count, one multiply per update, stores only into the flat
+            // lane arrays. Written as zipped iterators so no bounds
+            // check survives into the loop bodies: these loops
+            // autovectorize, which is where the predicated scan got its
+            // throughput. The scattered work below is left with only
+            // the survivors.
+            let bs = &bases[..n];
+            let mut ftot = 0u64;
+            for (((l, f), &b), &d) in lvl[..n]
+                .iter_mut()
+                .zip(fpd[..n].iter_mut())
+                .zip(bs)
+                .zip(&del[..n])
+            {
+                *l = splitmix64(b ^ lsalt).trailing_zeros().min(max);
+                let fp = (d as u64).wrapping_mul(splitmix64(b ^ fsalt));
+                *f = fp;
+                // Row-0 fingerprint total folds into the same reduction.
+                ftot = ftot.wrapping_add(fp);
+            }
+            // Branchless survivor compaction: collect the indices that
+            // survive past level 0 (P = 1/2 each) without a data-
+            // dependent branch — the store always happens, the cursor
+            // advances conditionally, so there is nothing to mispredict.
+            let mut surv = [0u8; DISPATCH_CHUNK];
+            let mut ns = 0usize;
+            for (j, &l) in lvl[..n].iter().enumerate() {
+                surv[ns] = j as u8;
+                ns += (l != 0) as usize;
+            }
+            // Deepest survivor level: a vectorizable max reduction over
+            // the lane array, so the scatter below carries no extra
+            // loop-carried dependency.
+            let mut deepest = 0u32;
+            for &l in &lvl[..n] {
+                deepest = deepest.max(l);
+            }
+            let deepest = deepest as usize;
+            // Counting-sort pass over the compacted half: each survivor
+            // pays one scattered cohort add. The cohort planes are
+            // sliced to `levels` up front and the index re-clamped so
+            // every bounds check hoists out of the loop.
+            {
+                let levels = self.levels;
+                let cc = &mut self.coh_count[..levels];
+                let cf = &mut self.coh_fp[..levels];
+                let cklo = &mut self.coh_kd_lo[..levels];
+                let ckhi = &mut self.coh_kd_hi[..levels];
+                for &j8 in &surv[..ns] {
+                    // `% DISPATCH_CHUNK` is a no-op (j8 < n <= DISPATCH_CHUNK)
+                    // that lets the compiler drop the lane-array bounds
+                    // checks inside the loop.
+                    let j = j8 as usize % DISPATCH_CHUNK;
+                    let l = (lvl[j] as usize).min(levels - 1);
+                    cc[l] = cc[l].wrapping_add(del[j]);
+                    cf[l] = cf[l].wrapping_add(fpd[j]);
+                    let nl = cklo[l].wrapping_add(kd_lo[j]);
+                    ckhi[l] = ckhi[l]
+                        .wrapping_add(kd_hi[j])
+                        .wrapping_add((nl < kd_lo[j]) as u64);
+                    cklo[l] = nl;
+                }
+            }
+            // Drain pass: a level-ℓ survivor contributes to every row
+            // `0..=ℓ`, so the running suffix sum over cohorts is exactly
+            // each row's block total. Rows deepest..=1 take one
+            // accumulated add each; cohorts are re-zeroed as they are
+            // consumed, leaving the scratch clean for the next lane.
+            let (mut dsum, mut fsum) = (0i64, 0u64);
+            let (mut klo, mut khi) = (0u64, 0u64);
+            for level in (1..=deepest).rev() {
+                dsum = dsum.wrapping_add(self.coh_count[level]);
+                fsum = fsum.wrapping_add(self.coh_fp[level]);
+                let (c_lo, c_hi) = (self.coh_kd_lo[level], self.coh_kd_hi[level]);
+                let nl = klo.wrapping_add(c_lo);
+                khi = khi.wrapping_add(c_hi).wrapping_add((nl < c_lo) as u64);
+                klo = nl;
+                self.coh_count[level] = 0;
+                self.coh_fp[level] = 0;
+                self.coh_kd_lo[level] = 0;
+                self.coh_kd_hi[level] = 0;
+                let i = level * reps + r;
+                self.count[i] = self.count[i].wrapping_add(dsum);
+                self.fingerprint[i] = self.fingerprint[i].wrapping_add(fsum);
+                let nl = self.key_sum_lo[i].wrapping_add(klo);
+                self.key_sum_hi[i] = self.key_sum_hi[i]
+                    .wrapping_add(khi)
+                    .wrapping_add((nl < klo) as u64);
+                self.key_sum_lo[i] = nl;
+            }
+            // Row 0 lands the precomputed chunk totals. Every plane
+            // field is a commutative wrapping sum (the 128-bit key sum
+            // is carried exactly), so the re-association leaves the
+            // final bits identical to per-update dispatch — and hence
+            // to the predicated scan.
+            self.count[r] = self.count[r].wrapping_add(dtot);
+            self.fingerprint[r] = self.fingerprint[r].wrapping_add(ftot);
+            let nl = self.key_sum_lo[r].wrapping_add(ktot_lo);
+            self.key_sum_hi[r] = self.key_sum_hi[r]
+                .wrapping_add(ktot_hi)
+                .wrapping_add((nl < ktot_lo) as u64);
+            self.key_sum_lo[r] = nl;
+        }
+    }
+
+    /// [`L0Sampler::update_batch`] through the survivor-level dispatch
+    /// path: base hashes are computed a chunk ahead exactly as in the
+    /// predicated batch, then each chunk is fed via level-cohort slicing
+    /// ([`L0Sampler::absorb_block_dispatch`]). Bit-identical to both the
+    /// scalar paths and the predicated batch at every block size.
+    pub fn update_batch_dispatch(&mut self, updates: &[(u64, i64)]) {
+        const CHUNK: usize = DISPATCH_CHUNK;
+        let mut keys = [0u64; CHUNK];
+        let mut bases = [0u64; CHUNK];
+        for chunk in updates.chunks(CHUNK) {
+            for (k, &(key, _)) in keys.iter_mut().zip(chunk) {
+                *k = key;
+            }
+            self.base_hash
+                .hash64_batch(&keys[..chunk.len()], &mut bases[..chunk.len()]);
+            self.absorb_block_dispatch(chunk, &bases[..chunk.len()]);
+        }
+        self.updates_absorbed += updates.len() as u64;
+    }
+
+    /// Mode-selected scalar update: dispatch or predicated per `mode`.
+    #[inline]
+    pub fn update_with(&mut self, mode: L0Mode, key: u64, delta: i64) {
+        match mode {
+            L0Mode::Predicated => self.update(key, delta),
+            L0Mode::Dispatch => self.update_dispatch(key, delta),
+        }
+    }
+
+    /// Mode-selected batch update: dispatch or predicated per `mode`.
+    #[inline]
+    pub fn update_batch_with(&mut self, mode: L0Mode, updates: &[(u64, i64)]) {
+        match mode {
+            L0Mode::Predicated => self.update_batch(updates),
+            L0Mode::Dispatch => self.update_batch_dispatch(updates),
+        }
     }
 
     /// The 128-bit key-sum accumulator of detector `i`, reassembled from
@@ -421,6 +731,7 @@ impl SpaceUsage for L0Sampler {
         self.count.len() * per_detector
             + self.reps * 2 * std::mem::size_of::<u64>() // per-rep salts
             + self.reps * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>()) // lane scratch
+            + self.levels * 4 * std::mem::size_of::<u64>() // dispatch cohort scratch
             + std::mem::size_of::<SeededHash>() // shared base hash
     }
 }
@@ -532,13 +843,25 @@ mod tests {
             .collect()
     }
 
+    /// Assert that two SoA banks hold bit-identical detector planes.
+    fn assert_planes_eq(a: &L0Sampler, b: &L0Sampler, what: &str) {
+        assert_eq!(a.count, b.count, "{what}: count plane");
+        assert_eq!(a.key_sum_lo, b.key_sum_lo, "{what}: key-sum-lo plane");
+        assert_eq!(a.key_sum_hi, b.key_sum_hi, "{what}: key-sum-hi plane");
+        assert_eq!(a.fingerprint, b.fingerprint, "{what}: fingerprint plane");
+    }
+
     #[test]
     fn soa_bank_is_bit_identical_to_aos_bank() {
-        // The tentpole claim: the SoA re-layout changes the memory walk,
-        // not one bit of detector state. Every detector of every
-        // repetition must match the array-of-structs replica, via both
-        // the scalar and the batched update path, across lane counts
-        // (including non-multiples of the vector width).
+        // The layout/feed-path tentpole claim, as a three-way pin: the
+        // SoA re-layout changes the memory walk and survivor-level
+        // dispatch changes the instruction mix, but neither changes one
+        // bit of detector state. Every detector of every repetition must
+        // match the array-of-structs replica via the predicated scalar,
+        // predicated batched, dispatch scalar, and dispatch level-cohort
+        // paths, across lane counts (including non-multiples of the
+        // vector width) — and negate/merge/persist round-trips after
+        // dispatch-fed updates must land on the same bits too.
         for &reps in &[1usize, 3, 4, 8, 16, 31] {
             let updates = mixed_updates(0x50a ^ reps as u64, 300);
             let max_level = 24u32;
@@ -546,12 +869,16 @@ mod tests {
             let mut aos = AosSampler::new(max_level, reps, seed);
             let mut soa = L0Sampler::new(max_level, reps, seed);
             let mut soa_blocked = L0Sampler::new(max_level, reps, seed);
+            let mut disp = L0Sampler::new(max_level, reps, seed);
+            let mut disp_blocked = L0Sampler::new(max_level, reps, seed);
             for &(k, d) in &updates {
                 aos.update(k, d);
                 soa.update(k, d);
+                disp.update_dispatch(k, d);
             }
             for block in updates.chunks(13) {
                 soa_blocked.update_batch(block);
+                disp_blocked.update_batch_dispatch(block);
             }
             for rep in 0..reps {
                 let (_, _, levels) = &aos.reps[rep];
@@ -569,14 +896,120 @@ mod tests {
                     );
                 }
             }
-            assert_eq!(soa_blocked.count, soa.count);
-            assert_eq!(soa_blocked.key_sum_lo, soa.key_sum_lo);
-            assert_eq!(soa_blocked.key_sum_hi, soa.key_sum_hi);
-            assert_eq!(soa_blocked.fingerprint, soa.fingerprint);
+            assert_planes_eq(&soa_blocked, &soa, "predicated blocked vs scalar");
+            assert_planes_eq(&disp, &soa, "dispatch scalar vs predicated");
+            assert_planes_eq(&disp_blocked, &soa, "dispatch blocked vs predicated");
             assert_eq!(soa.sample(), aos.sample(), "reps {reps}");
             assert_eq!(soa_blocked.sample(), aos.sample(), "reps {reps}");
+            assert_eq!(disp.sample(), aos.sample(), "reps {reps}");
+            assert_eq!(disp_blocked.sample(), aos.sample(), "reps {reps}");
             assert_eq!(soa_blocked.updates_absorbed(), updates.len() as u64);
+            assert_eq!(disp_blocked.updates_absorbed(), updates.len() as u64);
+
+            // Negate after dispatch feeding: same bits as negating the
+            // predicated bank.
+            let mut disp_neg = disp_blocked.clone();
+            let mut soa_neg = soa.clone();
+            disp_neg.negate();
+            soa_neg.negate();
+            assert_planes_eq(&disp_neg, &soa_neg, "negate after dispatch");
+
+            // Merge a dispatch-fed half into a predicated-fed half: the
+            // merged bank must equal the whole-stream bank bit for bit.
+            let split = updates.len() / 3;
+            let mut a = L0Sampler::new(max_level, reps, seed);
+            let mut b = L0Sampler::new(max_level, reps, seed);
+            a.update_batch_dispatch(&updates[..split]);
+            b.update_batch(&updates[split..]);
+            a.merge(&b);
+            assert_planes_eq(&a, &soa, "merge dispatch+predicated halves");
+
+            // Persist round-trip of a dispatch-fed bank, then keep
+            // feeding the decoded bank through dispatch: identical to
+            // the uninterrupted predicated run.
+            let restored = L0Sampler::from_persist_bytes(&disp_blocked.to_persist_bytes()).unwrap();
+            assert_planes_eq(&restored, &soa, "persist round-trip after dispatch");
+            let mut resumed = restored.clone();
+            let mut oracle = soa.clone();
+            resumed.update_batch_dispatch(&updates[..40.min(updates.len())]);
+            oracle.update_batch(&updates[..40.min(updates.len())]);
+            assert_planes_eq(&resumed, &oracle, "dispatch feed after restore");
+            assert_eq!(resumed.updates_absorbed(), oracle.updates_absorbed());
         }
+    }
+
+    #[test]
+    fn dispatch_matches_predicated_at_every_block_size() {
+        let updates = mixed_updates(0xd15b, 157);
+        let mut scalar = L0Sampler::new(30, DEFAULT_REPS, 5);
+        for &(k, d) in &updates {
+            scalar.update(k, d);
+        }
+        for block in [1usize, 2, 7, 16, 64, 157, 400] {
+            let mut batched = L0Sampler::new(30, DEFAULT_REPS, 5);
+            for chunk in updates.chunks(block) {
+                batched.update_batch_dispatch(chunk);
+            }
+            batched.update_batch_dispatch(&[]); // empty block is a no-op
+            assert_planes_eq(&batched, &scalar, "dispatch block");
+            assert_eq!(batched.updates_absorbed(), scalar.updates_absorbed());
+            assert_eq!(batched.sample(), scalar.sample(), "block {block}");
+        }
+    }
+
+    #[test]
+    fn dispatch_handles_level_clamp_zero_deltas_and_duplicates() {
+        // Three dispatch edge cases in one sweep. Tiny level budgets
+        // (max_level 0/1/2) force the trailing-zeros draw to clamp at
+        // ℓ = L-1 constantly — the all-levels-survive case where the
+        // dispatched prefix is the whole bank. Zero deltas must add
+        // zeros everywhere (planes identical to never feeding them), and
+        // duplicate-heavy blocks pile many updates into one cohort.
+        for max_level in [0u32, 1, 2, 24] {
+            let mut updates = mixed_updates(0xc1a + max_level as u64, 120);
+            for i in (0..updates.len()).step_by(5) {
+                updates[i].1 = 0; // interleave zero-delta updates
+            }
+            let dup_key = updates[0].0;
+            updates.extend(std::iter::repeat_n((dup_key, 1), 40));
+            updates.extend(std::iter::repeat_n((dup_key, -1), 40));
+            let mut pred = L0Sampler::new(max_level, DEFAULT_REPS, 77);
+            let mut disp = L0Sampler::new(max_level, DEFAULT_REPS, 77);
+            let mut disp_blocked = L0Sampler::new(max_level, DEFAULT_REPS, 77);
+            for &(k, d) in &updates {
+                pred.update(k, d);
+                disp.update_dispatch(k, d);
+            }
+            disp_blocked.update_batch_dispatch(&updates);
+            assert_planes_eq(&disp, &pred, "clamp/zero/dup scalar");
+            assert_planes_eq(&disp_blocked, &pred, "clamp/zero/dup blocked");
+            assert_eq!(disp.sample(), pred.sample(), "max_level {max_level}");
+        }
+    }
+
+    #[test]
+    fn mode_selected_helpers_route_to_the_right_path() {
+        let updates = mixed_updates(0x30de, 90);
+        let mut oracle = L0Sampler::new(24, 4, 9);
+        for &(k, d) in &updates {
+            oracle.update(k, d);
+        }
+        for mode in [L0Mode::Predicated, L0Mode::Dispatch] {
+            let mut scalar = L0Sampler::new(24, 4, 9);
+            let mut blocked = L0Sampler::new(24, 4, 9);
+            for &(k, d) in &updates {
+                scalar.update_with(mode, k, d);
+            }
+            for chunk in updates.chunks(17) {
+                blocked.update_batch_with(mode, chunk);
+            }
+            assert_planes_eq(&scalar, &oracle, mode.as_str());
+            assert_planes_eq(&blocked, &oracle, mode.as_str());
+        }
+        assert_eq!(L0Mode::default(), L0Mode::Dispatch);
+        assert_eq!(L0Mode::parse("predicated"), Some(L0Mode::Predicated));
+        assert_eq!(L0Mode::parse("dispatch"), Some(L0Mode::Dispatch));
+        assert_eq!(L0Mode::parse("bogus"), None);
     }
 
     #[test]

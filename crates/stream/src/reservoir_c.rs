@@ -39,11 +39,12 @@
 //! * **`C == 1`** reduces to the closed-form inverse transform, the same
 //!   `⌊t/u⌋ − t` law [`crate::reservoir`] schedules through.
 //!
-//! Standalone by design: the executors keep their frozen coin chains
-//! (byte-identity across the repo hangs off them), so this bank is not
-//! wired into any estimator path. It exists so a size-`C` consumer —
-//! multi-sample variance reduction, top-`C` sketches — starts from a
-//! distribution-tested primitive rather than re-deriving the gap law.
+//! The executors keep their frozen coin chains (byte-identity across
+//! the repo hangs off them), so this bank never replaces them. Its
+//! first real consumer is the TRIÈST baseline's edge bank
+//! (`sgs_core::baselines::triest`, scheme `TriestScheme::SizeC`), which
+//! tracks evictions through [`SizeCReservoir::offer_report`] to keep an
+//! adjacency index over the retained edges.
 
 use crate::hash::FastRng;
 use crate::reservoir::ReservoirMode;
@@ -160,23 +161,36 @@ impl<T> SizeCReservoir<T> {
     /// that, offer mode draws per offer and skip mode compares against
     /// the precomputed acceptance clock.
     pub fn offer(&mut self, item: T) {
+        let _ = self.offer_report(item);
+    }
+
+    /// [`SizeCReservoir::offer`] that reports what happened: `None` if
+    /// the item lost, `Some((slot, evicted))` if it was stored —
+    /// `evicted` is `None` during the fill phase. Consumers that index
+    /// the retained set (e.g. an adjacency map over reservoir edges)
+    /// need the eviction to stay consistent; the coin chain is exactly
+    /// `offer`'s.
+    pub fn offer_report(&mut self, item: T) -> Option<(usize, Option<T>)> {
         self.seen += 1;
         let t = self.seen;
         let c = self.slots.len() as u64;
         if t <= c {
-            self.slots[(t - 1) as usize] = Some(item);
+            let slot = (t - 1) as usize;
+            let evicted = self.slots[slot].replace(item);
             if self.mode == ReservoirMode::Skip && t == c {
                 self.next_accept = c + gap_after(c, c, &mut self.rng, &mut self.draws) + 1;
             }
-            return;
+            return Some((slot, evicted));
         }
         match self.mode {
             ReservoirMode::Offer => {
                 let j = self.rng.gen_range(0..t);
                 self.draws += 1;
                 if j < c {
-                    self.slots[j as usize] = Some(item);
+                    let evicted = self.slots[j as usize].replace(item);
+                    return Some((j as usize, evicted));
                 }
+                None
             }
             ReservoirMode::Skip => {
                 if t == self.next_accept {
@@ -184,9 +198,11 @@ impl<T> SizeCReservoir<T> {
                     // the gap — Algorithm Z's replacement rule.
                     let j = self.rng.gen_range(0..c);
                     self.draws += 1;
-                    self.slots[j as usize] = Some(item);
+                    let evicted = self.slots[j as usize].replace(item);
                     self.next_accept = t + gap_after(t, c, &mut self.rng, &mut self.draws) + 1;
+                    return Some((j as usize, evicted));
                 }
+                None
             }
         }
     }
@@ -351,6 +367,33 @@ mod tests {
         assert!(offer.samples().iter().all(|s| s.is_some()));
         assert!(skip.samples().iter().all(|s| s.is_some()));
         assert_eq!(skip.seen(), m as u64);
+    }
+
+    #[test]
+    fn offer_report_is_coin_identical_to_offer() {
+        // Same seed, same offers: the reporting path must hold the same
+        // slots and spend the same draws, while telling the truth about
+        // fills, wins, and evictions.
+        for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
+            let mut plain: SizeCReservoir<u32> = SizeCReservoir::with_mode(6, 23, mode);
+            let mut report: SizeCReservoir<u32> = SizeCReservoir::with_mode(6, 23, mode);
+            let mut wins = 0usize;
+            for i in 0..2_000u32 {
+                plain.offer(i);
+                match report.offer_report(i) {
+                    Some((slot, evicted)) => {
+                        wins += 1;
+                        assert!(slot < 6);
+                        assert_eq!(report.samples()[slot], Some(i));
+                        assert_eq!(evicted.is_none(), i < 6, "{mode:?} offer {i}");
+                    }
+                    None => assert!(i >= 6, "fill-phase offers always win"),
+                }
+            }
+            assert_eq!(plain.samples(), report.samples(), "{mode:?}");
+            assert_eq!(plain.rng_draws(), report.rng_draws(), "{mode:?}");
+            assert!(wins >= 6, "at least the fill phase wins");
+        }
     }
 
     #[test]

@@ -244,6 +244,21 @@ fn parse_query_line(line: &str, line_no: usize, base_seed: u64) -> sgs_core::Mul
     spec
 }
 
+/// Parse `--l0 {dispatch,predicated}`: which ℓ₀-bank feed path
+/// turnstile passes run. Bit-identical either way — `dispatch` walks
+/// only the survivor-level row prefix, `predicated` replays the
+/// full-bank masked scan (the original oracle instruction sequence).
+fn parse_l0(args: &Args) -> sgs_query::L0Mode {
+    let s = args.get("l0").unwrap_or("dispatch");
+    match sgs_query::L0Mode::parse(if s.is_empty() { "dispatch" } else { s }) {
+        Some(mode) => mode,
+        None => {
+            eprintln!("error: --l0 must be 'dispatch' or 'predicated', got '{s}'");
+            exit(2);
+        }
+    }
+}
+
 /// `sgs count --queries FILE`: serve every query in the list from one
 /// shared pass per round, reporting per-query estimates plus aggregate
 /// throughput and the admission report's slow-query diagnosis.
@@ -253,6 +268,7 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
     let eps: f64 = args.num("eps", 0.2);
     let shards: usize = args.num("shards", 1).max(1);
     let block: usize = args.num("block", sgs_query::exec::DEFAULT_BLOCK);
+    let opts = sgs_query::PassOpts::with_block(block).l0(parse_l0(args));
     let turnstile = args.has("turnstile");
     let text = std::fs::read_to_string(queries_path)
         .unwrap_or_else(|e| fail_persist(PersistError::io(Path::new(queries_path), e)));
@@ -299,11 +315,11 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
                 &specs,
                 &feed,
                 &mut arena,
-                block,
+                opts,
                 sgs_query::BroadcastOpts::with_policy(policy),
             )
         } else {
-            sgs_core::fgp::estimate_multi_turnstile(&specs, &feed, &mut arena, block, policy)
+            sgs_core::fgp::estimate_multi_turnstile(&specs, &feed, &mut arena, opts, policy)
         }
     } else {
         let s = InsertionStream::from_graph(&g, seed ^ 0x77);
@@ -313,11 +329,11 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
                 &specs,
                 &feed,
                 &mut arena,
-                block,
+                opts,
                 sgs_query::BroadcastOpts::with_policy(policy),
             )
         } else {
-            sgs_core::fgp::estimate_multi_insertion(&specs, &feed, &mut arena, block, policy)
+            sgs_core::fgp::estimate_multi_insertion(&specs, &feed, &mut arena, opts, policy)
         }
     }
     .expect("plans validated above");
@@ -452,7 +468,9 @@ fn main() {
             } else {
                 SamplerMode::Indexed
             };
-            let opts = sgs_query::PassOpts { block, reservoir };
+            let opts = sgs_query::PassOpts::with_block(block)
+                .reservoir(reservoir)
+                .l0(parse_l0(&args));
             // SGS_SHARD_THREADS=0|1 forces shard workers serial or
             // threaded (unset = auto: threads when the host has >1
             // core); --pin additionally asks for one-core-per-worker
@@ -498,7 +516,7 @@ fn main() {
                     let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
                     let feed = sgs_stream::ShardedFeed::partition(&s, shards);
                     sgs_core::fgp::estimate_turnstile_broadcast_with_exec(
-                        &pattern, &feed, trials, seed, &mut arena, block, consumers, bcast,
+                        &pattern, &feed, trials, seed, &mut arena, opts, consumers, bcast,
                     )
                 } else {
                     let s = InsertionStream::from_graph(&g, seed ^ 0x77);
@@ -666,7 +684,7 @@ fn main() {
                 }
                 let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
                 sgs_core::fgp::estimate_turnstile_threaded_with_exec(
-                    &pattern, &s, trials, shards, seed, block, policy,
+                    &pattern, &s, trials, shards, seed, opts, policy,
                 )
             } else {
                 let s = InsertionStream::from_graph(&g, seed ^ 0x77);
@@ -752,14 +770,13 @@ fn main() {
             } else {
                 println!("no snapshot found; replaying the run from the sealed WAL");
             }
-            let opts = sgs_query::PassOpts {
-                block: cfg.block as usize,
-                reservoir: if cfg.reservoir == 0 {
+            let opts = sgs_query::PassOpts::with_block(cfg.block as usize).reservoir(
+                if cfg.reservoir == 0 {
                     sgs_query::ReservoirMode::Offer
                 } else {
                     sgs_query::ReservoirMode::Skip
                 },
-            };
+            );
             let mut arena = sgs_query::RouterArena::new();
             let est = if cfg.model == 1 {
                 sgs_core::fgp::estimate_turnstile_checkpointed(

@@ -182,3 +182,112 @@ fn duplicate_heavy_streams_keep_reservoir_accounting_exact() {
         }
     }
 }
+
+/// Survivor-level dispatch under adversarial orders: duplicate-heavy
+/// turnstile streams (the same edge arriving several times inside one
+/// block, including insert/delete pairs that cancel to zero) and
+/// clamp-stressing ℓ₀ banks must answer bit-identically to the
+/// predicated oracle — the dispatch rework changes which rows are
+/// *touched*, never what any row accumulates.
+#[test]
+fn dispatch_feed_is_duplicate_and_cancellation_independent() {
+    use sgs_query::exec::answer_turnstile_batch_with_opts;
+    use sgs_query::{L0Mode, PassOpts, Query};
+    use sgs_stream::update::EdgeUpdate;
+
+    let g = sgs_graph::gen::gnm(14, 40, 41);
+    // Every edge arrives five times back to back (insert, delete,
+    // insert, delete, insert — weight bouncing inside the strict {0,1}
+    // band): net weight one, but a blocked feed sees heavy in-block
+    // duplication with cancelling pairs. Every third edge then gets a
+    // final delete, cancelling its whole detector traffic to zero.
+    let mut updates = Vec::new();
+    for (i, e) in g.edge_vec().into_iter().enumerate() {
+        for _ in 0..2 {
+            updates.push(EdgeUpdate::insert(e));
+            updates.push(EdgeUpdate::delete(e));
+        }
+        updates.push(EdgeUpdate::insert(e));
+        if i % 3 == 0 {
+            updates.push(EdgeUpdate::delete(e));
+        }
+    }
+    let stream = TurnstileStream::from_updates(g.num_vertices(), updates);
+    let batch: Vec<Query> = (0..g.num_vertices() as u32)
+        .flat_map(|v| {
+            [
+                Query::Degree(VertexId(v)),
+                Query::RandomNeighbor(VertexId(v)),
+            ]
+        })
+        .chain([Query::EdgeCount, Query::RandomEdge])
+        .collect();
+    for seed in 0..10u64 {
+        let (oracle, _) =
+            answer_turnstile_batch_with_opts(&batch, &stream, seed, PassOpts::oracle());
+        for block in [0usize, 1, 13, 16, 64] {
+            for mode in [L0Mode::Predicated, L0Mode::Dispatch] {
+                let opts = PassOpts::with_block(block).l0(mode);
+                let (got, _) = answer_turnstile_batch_with_opts(&batch, &stream, seed, opts);
+                assert_eq!(got, oracle, "seed {seed} block {block} {mode:?}");
+            }
+        }
+    }
+}
+
+/// Dispatch with a shallow bank: `max_level + 1 = 2` rows means roughly
+/// half of all survivor draws clamp to ℓ = L-1, the geometry where an
+/// off-by-one in the prefix walk or the cohort drain would corrupt the
+/// deepest row. Feed duplicate-heavy key sequences in adversarial
+/// orders (sorted, reversed, interleaved) plus literal zero-delta
+/// updates through every path and demand identical planes.
+#[test]
+fn dispatch_survives_level_clamp_under_adversarial_key_orders() {
+    use sgs_stream::hash::FastRng;
+    use sgs_stream::l0::{L0Mode, L0Sampler};
+    use sgs_stream::SpaceUsage;
+
+    let mut rng = FastRng::seed_from_u64(43);
+    let mut sorted: Vec<(u64, i64)> = (0..500)
+        .map(|i| (rng.gen_range(1..64u64), if i % 3 == 2 { -1 } else { 1 }))
+        .collect();
+    sorted.extend((0..20).map(|i| (i + 1, 0i64))); // zero-delta updates
+    sorted.sort_unstable();
+    let mut reversed = sorted.clone();
+    reversed.reverse();
+    let half = sorted.len() / 2;
+    let mut interleaved = Vec::with_capacity(sorted.len());
+    for i in 0..half {
+        interleaved.push(sorted[i]);
+        interleaved.push(sorted[half + i]);
+    }
+    interleaved.extend_from_slice(&sorted[2 * half..]);
+    for (name, updates) in [
+        ("sorted", &sorted),
+        ("reversed", &reversed),
+        ("interleaved", &interleaved),
+    ] {
+        let mut oracle = L0Sampler::new(1, 6, 44);
+        for &(k, d) in updates {
+            oracle.update_with(L0Mode::Predicated, k, d);
+        }
+        let expect = oracle.sample();
+        for block in [1usize, 7, 16, 64] {
+            let mut s = L0Sampler::new(1, 6, 44);
+            for chunk in updates.chunks(block) {
+                s.update_batch_with(L0Mode::Dispatch, chunk);
+            }
+            assert_eq!(s.sample(), expect, "{name} block {block}");
+            assert_eq!(
+                s.space_bytes(),
+                oracle.space_bytes(),
+                "{name} block {block}"
+            );
+        }
+        let mut s = L0Sampler::new(1, 6, 44);
+        for &(k, d) in updates {
+            s.update_with(L0Mode::Dispatch, k, d);
+        }
+        assert_eq!(s.sample(), expect, "{name} scalar dispatch");
+    }
+}

@@ -211,3 +211,68 @@ fn estimates_are_bit_identical_across_block_sizes_and_shards() {
         "sanity: estimate {estimate} vs exact {exact}"
     );
 }
+
+/// Survivor-level dispatch across every awkward block geometry: the
+/// remainder chunk of the cohort drain (`len % DISPATCH_CHUNK`) must be
+/// handled for every size, so sweep turnstile blocks 1..=17 on an
+/// odd-length stream and pin both ℓ₀ modes to the scalar predicated
+/// oracle — answers and measured space alike.
+#[test]
+fn turnstile_dispatch_matches_predicated_at_block_remainders_1_to_17() {
+    use sgs_query::exec::answer_turnstile_batch_with_opts;
+    use sgs_query::{L0Mode, PassOpts};
+    let g = sgs_graph::gen::gnm(22, 83, 37);
+    let tst = TurnstileStream::from_graph_with_churn(&g, 1.0, 38);
+    let batch = mixed_batch(false);
+    for pass_seed in 0..3u64 {
+        let (oracle, _) =
+            answer_turnstile_batch_with_opts(&batch, &tst, pass_seed, PassOpts::oracle());
+        for block in 1usize..=17 {
+            let mut space_at_block = None;
+            for mode in [L0Mode::Predicated, L0Mode::Dispatch] {
+                let opts = PassOpts::with_block(block).l0(mode);
+                let (got, space) = answer_turnstile_batch_with_opts(&batch, &tst, pass_seed, opts);
+                assert_eq!(got, oracle, "block {block} {mode:?} seed {pass_seed}");
+                // The ℓ₀ mode never changes measured space — the cohort
+                // scratch is part of the bank either way.
+                let expect = *space_at_block.get_or_insert(space);
+                assert_eq!(space, expect, "block {block} {mode:?} changed space");
+            }
+        }
+    }
+}
+
+/// End to end through the turnstile estimator entry point: hits and
+/// estimate are bit-identical under both ℓ₀ modes, at 1 and 4 shards,
+/// scalar and blocked.
+#[test]
+fn turnstile_estimates_bit_identical_across_l0_modes() {
+    use sgs_core::fgp::estimate_turnstile_on_feed_with_opts;
+    use sgs_query::{L0Mode, PassOpts};
+    let g = sgs_graph::gen::gnm(30, 140, 31);
+    let tst = TurnstileStream::from_graph_with_churn(&g, 0.5, 33);
+    let mut reference = None;
+    for &shards in &[1usize, 4] {
+        let feed = ShardedFeed::partition(&tst, shards);
+        for block in [0usize, 5, 128] {
+            for mode in [L0Mode::Predicated, L0Mode::Dispatch] {
+                let mut arena = RouterArena::new();
+                let est = estimate_turnstile_on_feed_with_opts(
+                    &Pattern::triangle(),
+                    &feed,
+                    600,
+                    35,
+                    &mut arena,
+                    PassOpts::with_block(block).l0(mode),
+                )
+                .unwrap();
+                let (hits, estimate) = *reference.get_or_insert((est.hits, est.estimate));
+                assert_eq!(est.hits, hits, "{shards} shards block {block} {mode:?}");
+                assert_eq!(
+                    est.estimate, estimate,
+                    "{shards} shards block {block} {mode:?}"
+                );
+            }
+        }
+    }
+}

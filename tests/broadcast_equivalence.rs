@@ -87,10 +87,7 @@ fn broadcast_insertion_matches_single_stream_all_modes_and_blocks() {
     for (pattern, trials) in [(Pattern::triangle(), 250), (Pattern::cycle(5), 150)] {
         for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
             for &block in &BLOCK_SWEEP {
-                let opts = PassOpts {
-                    block,
-                    reservoir: mode,
-                };
+                let opts = PassOpts::with_block(block).reservoir(mode);
                 let sampler = SamplerMode::Relaxed; // exercises reservoirs
                 let (want, want_rep) =
                     run_insertion_with_opts(bank(&pattern, sampler, trials, 5), &ins, 0xb0, opts);
@@ -170,7 +167,7 @@ fn broadcast_turnstile_matches_single_stream_all_blocks() {
                     &feed,
                     0x71,
                     &mut arena,
-                    block,
+                    PassOpts::with_block(block),
                     BroadcastOpts::default(),
                     &mut [],
                 );
@@ -231,10 +228,7 @@ fn insertion_bundle_consumers_match_their_private_counterparts() {
     let private_triest = estimate_triest(&ins, 64, triest_seed(91));
     for mode in [ReservoirMode::Offer, ReservoirMode::Skip] {
         for &block in &[0usize, 128] {
-            let opts = PassOpts {
-                block,
-                reservoir: mode,
-            };
+            let opts = PassOpts::with_block(block).reservoir(mode);
             for &shards in &SHARD_SWEEP {
                 let feed = ShardedFeed::partition(&ins, shards);
                 let mut arena = RouterArena::new();
@@ -303,7 +297,7 @@ fn turnstile_bundle_consumers_match_their_private_counterparts() {
                 300,
                 93,
                 &mut arena,
-                block,
+                PassOpts::with_block(block),
                 ConsumerSet::default(),
             )
             .unwrap();
@@ -348,7 +342,7 @@ fn placement_and_policy_never_change_broadcast_answers() {
         &uniform_tst,
         0x72,
         &mut arena,
-        64,
+        PassOpts::with_block(64),
         BroadcastOpts::default(),
         &mut [],
     );
@@ -370,7 +364,7 @@ fn placement_and_policy_never_change_broadcast_answers() {
             &placed_tst,
             0x72,
             &mut arena,
-            64,
+            PassOpts::with_block(64),
             BroadcastOpts::with_policy(policy),
             &mut [],
         );

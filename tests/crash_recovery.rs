@@ -45,13 +45,10 @@ impl Cfg {
     }
 
     fn opts(self) -> PassOpts {
-        PassOpts {
-            block: 16,
-            reservoir: match self {
-                Cfg::InsertionOffer => ReservoirMode::Offer,
-                _ => ReservoirMode::Skip,
-            },
-        }
+        PassOpts::with_block(16).reservoir(match self {
+            Cfg::InsertionOffer => ReservoirMode::Offer,
+            _ => ReservoirMode::Skip,
+        })
     }
 }
 

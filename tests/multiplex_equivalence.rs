@@ -77,9 +77,14 @@ fn insertion_mux_matches_solo_across_shards_and_blocks() {
         let feed = ShardedFeed::partition(&ins, shards);
         for &block in &[0usize, 128] {
             let mut arena = RouterArena::new();
-            let (ests, admission) =
-                estimate_multi_insertion(&specs, &feed, &mut arena, block, ExecPolicy::serial())
-                    .unwrap();
+            let (ests, admission) = estimate_multi_insertion(
+                &specs,
+                &feed,
+                &mut arena,
+                PassOpts::with_block(block),
+                ExecPolicy::serial(),
+            )
+            .unwrap();
             // Every sampler is 3-round: 4 jobs share exactly 3 passes.
             assert_eq!(admission.rounds.len(), 3, "{shards} shards, block {block}");
             assert_eq!(feed.logical_passes() % 3, 0);
@@ -91,10 +96,7 @@ fn insertion_mux_matches_solo_across_shards_and_blocks() {
                     spec.trials,
                     spec.seed,
                     &mut solo_arena,
-                    PassOpts {
-                        block,
-                        reservoir: spec.reservoir,
-                    },
+                    PassOpts::with_block(block).reservoir(spec.reservoir),
                     spec.sampler,
                     ExecPolicy::serial(),
                 )
@@ -118,9 +120,14 @@ fn turnstile_mux_matches_solo_across_shards_and_blocks() {
         let feed = ShardedFeed::partition(&tst, shards);
         for &block in &[0usize, 128] {
             let mut arena = RouterArena::new();
-            let (ests, admission) =
-                estimate_multi_turnstile(&specs, &feed, &mut arena, block, ExecPolicy::serial())
-                    .unwrap();
+            let (ests, admission) = estimate_multi_turnstile(
+                &specs,
+                &feed,
+                &mut arena,
+                PassOpts::with_block(block),
+                ExecPolicy::serial(),
+            )
+            .unwrap();
             assert_eq!(admission.rounds.len(), 3);
             for (j, spec) in specs.iter().enumerate() {
                 let mut solo_arena = RouterArena::new();
@@ -130,7 +137,7 @@ fn turnstile_mux_matches_solo_across_shards_and_blocks() {
                     spec.trials,
                     spec.seed,
                     &mut solo_arena,
-                    block,
+                    PassOpts::with_block(block),
                     ExecPolicy::serial(),
                 )
                 .unwrap();
@@ -148,11 +155,23 @@ fn threaded_policy_is_byte_identical_to_serial() {
     let feed = ShardedFeed::partition(&ins, 4);
     let specs = mixed_specs();
     let mut arena = RouterArena::new();
-    let (serial, _) =
-        estimate_multi_insertion(&specs, &feed, &mut arena, 128, ExecPolicy::serial()).unwrap();
+    let (serial, _) = estimate_multi_insertion(
+        &specs,
+        &feed,
+        &mut arena,
+        PassOpts::with_block(128),
+        ExecPolicy::serial(),
+    )
+    .unwrap();
     let mut arena2 = RouterArena::new();
-    let (threaded, _) =
-        estimate_multi_insertion(&specs, &feed, &mut arena2, 128, ExecPolicy::threaded()).unwrap();
+    let (threaded, _) = estimate_multi_insertion(
+        &specs,
+        &feed,
+        &mut arena2,
+        PassOpts::with_block(128),
+        ExecPolicy::threaded(),
+    )
+    .unwrap();
     for (j, (a, b)) in serial.iter().zip(&threaded).enumerate() {
         assert_estimates_equal(a, b, &format!("job {j}"));
     }
@@ -166,15 +185,21 @@ fn ring_engine_matches_sharded_engine() {
     for &shards in &SHARD_SWEEP {
         let feed = ShardedFeed::partition(&ins, shards);
         let mut arena = RouterArena::new();
-        let (sharded, _) =
-            estimate_multi_insertion(&specs, &feed, &mut arena, 64, ExecPolicy::serial()).unwrap();
+        let (sharded, _) = estimate_multi_insertion(
+            &specs,
+            &feed,
+            &mut arena,
+            PassOpts::with_block(64),
+            ExecPolicy::serial(),
+        )
+        .unwrap();
         for policy in [ExecPolicy::serial(), ExecPolicy::threaded()] {
             let mut ring_arena = RouterArena::new();
             let (ringed, _) = estimate_multi_insertion_broadcast(
                 &specs,
                 &feed,
                 &mut ring_arena,
-                64,
+                PassOpts::with_block(64),
                 BroadcastOpts::with_policy(policy),
             )
             .unwrap();
@@ -192,10 +217,22 @@ fn arena_reuse_across_mux_runs_is_stable() {
     let feed = ShardedFeed::partition(&ins, 2);
     let specs = mixed_specs();
     let mut arena = RouterArena::new();
-    let (first, _) =
-        estimate_multi_insertion(&specs, &feed, &mut arena, 64, ExecPolicy::serial()).unwrap();
-    let (second, _) =
-        estimate_multi_insertion(&specs, &feed, &mut arena, 64, ExecPolicy::serial()).unwrap();
+    let (first, _) = estimate_multi_insertion(
+        &specs,
+        &feed,
+        &mut arena,
+        PassOpts::with_block(64),
+        ExecPolicy::serial(),
+    )
+    .unwrap();
+    let (second, _) = estimate_multi_insertion(
+        &specs,
+        &feed,
+        &mut arena,
+        PassOpts::with_block(64),
+        ExecPolicy::serial(),
+    )
+    .unwrap();
     for (j, (a, b)) in first.iter().zip(&second).enumerate() {
         assert_estimates_equal(a, b, &format!("warm-arena job {j}"));
     }
