@@ -15,6 +15,7 @@ pub mod parallel_exec;
 pub mod plan;
 pub mod sampler;
 pub mod search;
+pub mod serve_exec;
 pub mod uniform;
 
 pub use assemble::FoundCopy;
@@ -46,4 +47,5 @@ pub use parallel_exec::{
 pub use plan::SamplerPlan;
 pub use sampler::{SamplerMode, SamplerOutcome, SubgraphSampler};
 pub use search::{distinguish_insertion, search_count_insertion, GapDecision, SearchResult};
+pub use serve_exec::{estimate_insertion_on_runtime, estimate_turnstile_on_runtime};
 pub use uniform::{sample_uniform_insertion, sample_uniform_turnstile, uniform_trials};

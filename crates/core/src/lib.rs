@@ -27,5 +27,7 @@
 pub mod baselines;
 pub mod ers;
 pub mod fgp;
+pub mod serve;
 
 pub use fgp::{CountEstimate, MultiQuerySpec, SamplerMode, SamplerPlan, SubgraphSampler};
+pub use serve::{run_server, Listeners, ServeOptions};

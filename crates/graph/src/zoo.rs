@@ -48,6 +48,35 @@ pub fn all_zoo() -> Vec<Pattern> {
     vec![paw(), diamond(), bull(), bowtie(), house(), tadpole(2)]
 }
 
+/// Parse a pattern name as the CLI and the serve protocol spell it:
+/// `triangle`/`T`/`K3`/`C3`, any named zoo pattern, or a parameterized
+/// family `K<r>` / `C<k>` / `S<k>` / `P<k>` (case-insensitive prefix).
+pub fn parse_pattern(s: &str) -> Option<Pattern> {
+    let p = match s {
+        "triangle" | "T" | "K3" | "C3" => Pattern::triangle(),
+        "paw" => paw(),
+        "diamond" => diamond(),
+        "bull" => bull(),
+        "bowtie" => bowtie(),
+        "house" => house(),
+        _ => {
+            if s.len() < 2 || !s.is_char_boundary(1) {
+                return None;
+            }
+            let (kind, num) = s.split_at(1);
+            let k: usize = num.parse().ok()?;
+            match kind {
+                "K" | "k" => Pattern::clique(k),
+                "C" | "c" => Pattern::cycle(k),
+                "S" | "s" => Pattern::star(k),
+                "P" | "p" => Pattern::path(k),
+                _ => return None,
+            }
+        }
+    };
+    Some(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +156,23 @@ mod tests {
         // is K4 minus an edge; in K4 every 4-subset (just one) induces
         // K4 which contains 6 diamond copies (one per omitted edge).
         assert_eq!(count_pattern(&k4, &diamond()), 6);
+    }
+
+    #[test]
+    fn parse_pattern_covers_the_cli_grammar() {
+        assert_eq!(parse_pattern("triangle").unwrap().num_edges(), 3);
+        assert_eq!(parse_pattern("K4").unwrap().num_vertices(), 4);
+        assert_eq!(parse_pattern("c5").unwrap().num_edges(), 5);
+        assert_eq!(parse_pattern("S3").unwrap().num_edges(), 3);
+        // P_k has k edges and k + 1 vertices.
+        assert_eq!(parse_pattern("P4").unwrap().num_vertices(), 5);
+        assert_eq!(parse_pattern("P4").unwrap().num_edges(), 4);
+        assert_eq!(parse_pattern("paw").unwrap().num_edges(), 4);
+        assert!(parse_pattern("").is_none());
+        assert!(parse_pattern("K").is_none());
+        assert!(parse_pattern("Q7").is_none());
+        assert!(parse_pattern("Kx").is_none());
+        assert!(parse_pattern("é7").is_none());
     }
 
     #[test]

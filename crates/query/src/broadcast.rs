@@ -418,7 +418,7 @@ pub fn run_insertion_broadcast<A: RoundAdaptive>(
 /// [`run_insertion_broadcast`] with explicit feed-path options and ring
 /// geometry.
 pub fn run_insertion_broadcast_with_opts<A: RoundAdaptive>(
-    mut alg: A,
+    alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
@@ -433,6 +433,45 @@ pub fn run_insertion_broadcast_with_opts<A: RoundAdaptive>(
         .policy
         .use_threads((shards + side.len()).max(2))
         .then(|| crate::runtime::ShardRuntime::new(shards, bcast.policy));
+    run_insertion_rounds(alg, feed, seed, arena, opts, bcast, side, runtime.as_mut())
+}
+
+/// [`run_insertion_broadcast_with_opts`] on a caller-owned persistent
+/// [`ShardRuntime`] — the serving path, where one long-lived worker
+/// pool answers every query instead of standing up threads per run.
+/// Byte-identical to the internally-pooled run: both dispatch the same
+/// `insertion_pass` per round. The runtime's shard count must match
+/// the feed's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_insertion_broadcast_on_runtime<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    bcast: BroadcastOpts,
+    side: &mut [SideSink<'_>],
+    runtime: &mut crate::runtime::ShardRuntime,
+) -> (A::Output, ExecReport) {
+    assert_eq!(
+        runtime.shards(),
+        feed.num_shards(),
+        "runtime pool and feed must agree on the shard count"
+    );
+    run_insertion_rounds(alg, feed, seed, arena, opts, bcast, side, Some(runtime))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_insertion_rounds<A: RoundAdaptive>(
+    mut alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    bcast: BroadcastOpts,
+    side: &mut [SideSink<'_>],
+    mut runtime: Option<&mut crate::runtime::ShardRuntime>,
+) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
     let mut answers: Vec<Answer> = Vec::new();
@@ -447,7 +486,7 @@ pub fn run_insertion_broadcast_with_opts<A: RoundAdaptive>(
         report.answer_bytes += batch.len() * ANSWER_BYTES;
         let pass_seed = split_seed(seed, report.passes as u64);
         let side_now: &mut [SideSink<'_>] = if report.passes == 1 { side } else { &mut [] };
-        let (a, space) = match runtime.as_mut() {
+        let (a, space) = match runtime.as_deref_mut() {
             Some(rt) => rt.insertion_pass(&batch, feed, pass_seed, arena, opts, bcast, side_now),
             None => answer_insertion_batch_broadcast_with_opts(
                 &batch, feed, pass_seed, arena, opts, bcast, side_now,
@@ -483,7 +522,7 @@ pub fn run_turnstile_broadcast<A: RoundAdaptive>(
 /// [`run_turnstile_broadcast`] with explicit feed-path options and ring
 /// geometry.
 pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
-    mut alg: A,
+    alg: A,
     feed: &ShardedFeed,
     seed: u64,
     arena: &mut RouterArena,
@@ -497,6 +536,40 @@ pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
         .policy
         .use_threads((shards + side.len()).max(2))
         .then(|| crate::runtime::ShardRuntime::new(shards, bcast.policy));
+    run_turnstile_rounds(alg, feed, seed, arena, opts, bcast, side, runtime.as_mut())
+}
+
+/// Turnstile sibling of [`run_insertion_broadcast_on_runtime`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_turnstile_broadcast_on_runtime<A: RoundAdaptive>(
+    alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    bcast: BroadcastOpts,
+    side: &mut [SideSink<'_>],
+    runtime: &mut crate::runtime::ShardRuntime,
+) -> (A::Output, ExecReport) {
+    assert_eq!(
+        runtime.shards(),
+        feed.num_shards(),
+        "runtime pool and feed must agree on the shard count"
+    );
+    run_turnstile_rounds(alg, feed, seed, arena, opts, bcast, side, Some(runtime))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_turnstile_rounds<A: RoundAdaptive>(
+    mut alg: A,
+    feed: &ShardedFeed,
+    seed: u64,
+    arena: &mut RouterArena,
+    opts: PassOpts,
+    bcast: BroadcastOpts,
+    side: &mut [SideSink<'_>],
+    mut runtime: Option<&mut crate::runtime::ShardRuntime>,
+) -> (A::Output, ExecReport) {
     let mut report = ExecReport::default();
     arena.begin_run();
     let mut answers: Vec<Answer> = Vec::new();
@@ -511,7 +584,7 @@ pub fn run_turnstile_broadcast_with_opts<A: RoundAdaptive>(
         report.answer_bytes += batch.len() * ANSWER_BYTES;
         let pass_seed = split_seed(seed, report.passes as u64);
         let side_now: &mut [SideSink<'_>] = if report.passes == 1 { side } else { &mut [] };
-        let (a, space) = match runtime.as_mut() {
+        let (a, space) = match runtime.as_deref_mut() {
             Some(rt) => rt.turnstile_pass(&batch, feed, pass_seed, arena, opts, bcast, side_now),
             None => answer_turnstile_batch_broadcast_with_opts(
                 &batch, feed, pass_seed, arena, opts, bcast, side_now,

@@ -57,6 +57,7 @@ pub mod relaxed;
 pub mod round;
 pub mod router;
 pub mod runtime;
+pub mod serve;
 pub mod sharded;
 pub mod triangle_finder;
 
@@ -65,8 +66,9 @@ pub use arena::RouterArena;
 pub use broadcast::{
     answer_insertion_batch_broadcast, answer_insertion_batch_broadcast_with_opts,
     answer_turnstile_batch_broadcast, answer_turnstile_batch_broadcast_with_opts,
-    run_insertion_broadcast, run_insertion_broadcast_with_opts, run_turnstile_broadcast,
-    run_turnstile_broadcast_with_opts, BroadcastOpts, SideSink,
+    run_insertion_broadcast, run_insertion_broadcast_on_runtime, run_insertion_broadcast_with_opts,
+    run_turnstile_broadcast, run_turnstile_broadcast_on_runtime, run_turnstile_broadcast_with_opts,
+    BroadcastOpts, SideSink,
 };
 pub use checkpoint::{
     run_insertion_checkpointed, run_turnstile_checkpointed, CheckpointSession,
@@ -81,6 +83,10 @@ pub use relaxed::RelaxedOracle;
 pub use round::{Parallel, RoundAdaptive};
 pub use router::{QueryRouter, RouterMode};
 pub use runtime::ShardRuntime;
+pub use serve::{
+    decode_serve_config, encode_serve_config, read_serve_snapshot, ServeConfig, ServeError,
+    ServeSnapshot, ServeStats, ServerNode, DEFAULT_SERVE_BLOCK, SERVE_CONFIG_TAG,
+};
 pub use sgs_stream::l0::L0Mode;
 pub use sgs_stream::reservoir::ReservoirMode;
 pub use sharded::{

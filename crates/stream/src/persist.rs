@@ -36,8 +36,11 @@
 //!
 //! **fsync points** (documented contract): the current WAL segment is
 //! synced when it rolls and again at seal; a snapshot file is synced
-//! before its rename; `MANIFEST` is synced before its rename. Everything
-//! else is replayable from those.
+//! before its rename; `MANIFEST` is synced before its rename; and the
+//! checkpoint *directory* is synced after every entry change (segment
+//! create, seal, atomic rename) — file-level fsync alone leaves the
+//! directory entry itself volatile. Everything else is replayable from
+//! those.
 //!
 //! Recovery of a torn WAL tail: [`read_wal`] scans records in order and,
 //! at the first bad checksum or short record, truncates that segment at
@@ -51,7 +54,7 @@ use crate::update::EdgeUpdate;
 use sgs_graph::{Edge, VertexId};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 /// On-disk format version. Bumped on any layout change; decoders reject
@@ -552,8 +555,28 @@ fn read_file(path: &Path) -> PersistResult<Vec<u8>> {
     Ok(buf)
 }
 
+/// Fsync a directory so creates/renames/removals of its entries are
+/// durable — the complement of the file-level fsync points. A file's
+/// `sync_all` makes its *contents* durable, but the directory entry
+/// naming it lives in the parent directory's data: a crash after an
+/// atomic rename can lose the rename itself unless the directory is
+/// synced too.
+pub fn fsync_dir(dir: &Path) -> PersistResult<()> {
+    let d = File::open(dir).map_err(|e| PersistError::io(dir, e))?;
+    d.sync_all().map_err(|e| PersistError::io(dir, e))
+}
+
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
 /// Write `bytes` to `path` via a temporary file + atomic rename, syncing
-/// the temporary before the rename (one of the documented fsync points).
+/// the temporary before the rename and the parent directory after it
+/// (two of the documented fsync points — without the latter, a crash
+/// after the rename can lose the directory-entry swing entirely).
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> PersistResult<()> {
     let tmp = path.with_extension("tmp");
     let mut f = File::create(&tmp).map_err(|e| PersistError::io(&tmp, e))?;
@@ -561,7 +584,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> PersistResult<()> {
     f.sync_all().map_err(|e| PersistError::io(&tmp, e))?;
     drop(f);
     fs::rename(&tmp, path).map_err(|e| PersistError::io(path, e))?;
-    Ok(())
+    fsync_dir(parent_dir(path))
 }
 
 // ---------------------------------------------------------------------------
@@ -725,6 +748,8 @@ impl WalWriter {
         clear_run_files(dir)?;
         let path = segment_path(dir, 0);
         let file = File::create(&path).map_err(|e| PersistError::io(&path, e))?;
+        // Make the removals above and the new segment's entry durable.
+        fsync_dir(dir)?;
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             segment_bytes: segment_bytes.max(1),
@@ -747,6 +772,7 @@ impl WalWriter {
             self.seg_index += 1;
             self.path = segment_path(&self.dir, self.seg_index);
             self.file = File::create(&self.path).map_err(|e| PersistError::io(&self.path, e))?;
+            fsync_dir(&self.dir)?;
             self.written = 0;
         }
         let rec = frame(KIND_WAL_BLOCK, &encode_routed_block(block));
@@ -759,9 +785,16 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Blocks appended so far.
+    /// Blocks appended so far (including blocks recovered by
+    /// [`WalWriter::reopen`]).
     pub fn blocks(&self) -> u64 {
         self.blocks
+    }
+
+    /// Updates appended so far (including updates recovered by
+    /// [`WalWriter::reopen`]).
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// Write the seal record and fsync: after this returns, the whole
@@ -800,11 +833,87 @@ impl WalWriter {
         self.file
             .write_all(&rec)
             .map_err(|e| PersistError::io(&self.path, e))?;
-        // fsync point: seal + every record before it hit the platter.
+        // fsync point: seal + every record before it hit the platter,
+        // and the directory so every segment's entry survives with it.
         self.file
             .sync_all()
             .map_err(|e| PersistError::io(&self.path, e))?;
+        fsync_dir(&self.dir)?;
         Ok(meta)
+    }
+
+    /// Reopen an existing WAL for continued appends — the serve restart
+    /// path. Scans the log first ([`read_wal`], truncating any torn
+    /// tail in place), strips the seal record if present (a gracefully
+    /// stopped server reopens its log unsealed and keeps ingesting),
+    /// and resumes appending to the last surviving segment. The
+    /// returned [`RecoveredWal`] holds every intact block; the writer's
+    /// block/update counters continue from those totals, so a later
+    /// seal records whole-history totals.
+    pub fn reopen(dir: &Path, segment_bytes: usize) -> PersistResult<(Self, RecoveredWal)> {
+        let recovered = read_wal(dir)?;
+        let mut seg_paths = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| PersistError::io(dir, e))? {
+            let entry = entry.map_err(|e| PersistError::io(dir, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("wal-") && name.ends_with(".seg") {
+                seg_paths.push(entry.path());
+            }
+        }
+        seg_paths.sort();
+        let path = seg_paths.last().cloned().expect("read_wal saw segments");
+        if recovered.meta.is_some() {
+            // The seal is the last record of the last segment; cut the
+            // segment back to just before it so appends continue the
+            // block sequence.
+            let buf = read_file(&path)?;
+            let mut off = 0usize;
+            let mut seal_at = None;
+            while off < buf.len() {
+                let f = read_frame(&buf[off..], off as u64).map_err(|e| e.located(&path))?;
+                if f.kind == KIND_WAL_SEAL {
+                    seal_at = Some(off);
+                }
+                off += f.len;
+            }
+            let seal_at = seal_at.ok_or_else(|| {
+                PersistError::corrupt(0, "sealed WAL lost its seal record").located(&path)
+            })?;
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| PersistError::io(&path, e))?;
+            f.set_len(seal_at as u64)
+                .map_err(|e| PersistError::io(&path, e))?;
+            f.sync_all().map_err(|e| PersistError::io(&path, e))?;
+        }
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        let written = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| PersistError::io(&path, e))? as usize;
+        let seg_index = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("wal-"))
+            .and_then(|n| n.strip_suffix(".seg"))
+            .and_then(|n| n.parse::<u64>().ok())
+            .expect("segment names are wal-NNNNNN.seg");
+        Ok((
+            WalWriter {
+                dir: dir.to_path_buf(),
+                segment_bytes: segment_bytes.max(1),
+                seg_index,
+                file,
+                path,
+                written,
+                blocks: recovered.blocks.len() as u64,
+                updates: recovered.blocks.iter().map(|b| b.len() as u64).sum(),
+            },
+            recovered,
+        ))
     }
 }
 
@@ -969,6 +1078,18 @@ pub fn read_latest_snapshot(dir: &Path) -> PersistResult<Option<(u64, Vec<u8>)>>
     let seq = dec.u64("snapshot seq").map_err(|e| e.located(&manifest))?;
     dec.finish().map_err(|e| e.located(&manifest))?;
     let spath = snapshot_path(dir, seq);
+    if !spath.exists() {
+        // A structured error, not a raw NotFound: the manifest is the
+        // authority and it names a snapshot that is gone.
+        return Err(PersistError::corrupt(
+            0,
+            format!(
+                "MANIFEST points at missing snapshot {} (directory entry lost?)",
+                spath.display()
+            ),
+        )
+        .located(&manifest));
+    }
     let sbuf = read_file(&spath)?;
     let sf = read_frame_of(&sbuf, 0, KIND_SNAPSHOT).map_err(|e| e.located(&spath))?;
     Ok(Some((seq, sf.payload.to_vec())))
@@ -1106,6 +1227,71 @@ mod tests {
         let again = read_wal(&dir).unwrap();
         assert!(again.truncation.is_none());
         assert_eq!(again.blocks.len(), rec.blocks.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_reopen_unsealed_continues_the_block_sequence() {
+        let dir = std::env::temp_dir().join("sgs_persist_wal_reopen");
+        let all = routed(2);
+        let mut w = WalWriter::create(&dir, 256).unwrap();
+        for chunk in all[..30].chunks(10) {
+            w.append_block(chunk).unwrap();
+        }
+        drop(w); // a killed server: no seal
+        let (mut w2, recovered) = WalWriter::reopen(&dir, 256).unwrap();
+        assert!(recovered.meta.is_none());
+        assert_eq!(w2.blocks(), 3);
+        assert_eq!(w2.updates(), 30);
+        for chunk in all[30..].chunks(10) {
+            w2.append_block(chunk).unwrap();
+        }
+        let sealed = w2.seal(20, 2, 10).unwrap();
+        assert_eq!(sealed.total_updates, all.len() as u64);
+        let rec = read_wal(&dir).unwrap();
+        assert_eq!(rec.meta, Some(sealed));
+        let flat: Vec<RoutedUpdate> = rec.blocks.into_iter().flatten().collect();
+        assert_eq!(flat, all);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_reopen_after_seal_strips_the_seal_and_continues() {
+        let dir = std::env::temp_dir().join("sgs_persist_wal_reseal");
+        let all = routed(2);
+        let mut w = WalWriter::create(&dir, usize::MAX).unwrap();
+        for chunk in all[..20].chunks(10) {
+            w.append_block(chunk).unwrap();
+        }
+        w.seal(20, 2, 10).unwrap(); // graceful shutdown
+        let (mut w2, recovered) = WalWriter::reopen(&dir, usize::MAX).unwrap();
+        assert!(recovered.meta.is_some(), "the sealed log was consistent");
+        assert_eq!(w2.blocks(), 2);
+        for chunk in all[20..].chunks(10) {
+            w2.append_block(chunk).unwrap();
+        }
+        let resealed = w2.seal(20, 2, 10).unwrap();
+        let rec = read_wal(&dir).unwrap();
+        assert_eq!(rec.meta, Some(resealed));
+        let flat: Vec<RoutedUpdate> = rec.blocks.into_iter().flatten().collect();
+        assert_eq!(flat, all, "whole history survives a seal/reopen cycle");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_pointing_at_missing_snapshot_is_a_structured_error() {
+        let dir = std::env::temp_dir().join("sgs_persist_snap_gone");
+        std::fs::create_dir_all(&dir).unwrap();
+        clear_run_files(&dir).unwrap();
+        publish_snapshot(&dir, 3, b"payload").unwrap();
+        std::fs::remove_file(snapshot_path(&dir, 3)).unwrap();
+        match read_latest_snapshot(&dir) {
+            Err(PersistError::Corrupt { path, detail, .. }) => {
+                assert!(path.ends_with("MANIFEST"));
+                assert!(detail.contains("missing snapshot"), "got: {detail}");
+            }
+            other => panic!("expected a structured Corrupt error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

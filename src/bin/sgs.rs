@@ -1,8 +1,10 @@
 //! `sgs` — command-line streaming subgraph counter.
 //!
 //! ```text
-//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N] [--checkpoint-dir D [--snapshot-every N] [--wal-block W]]
-//! sgs count   --edges FILE --queries FILE [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--broadcast]
+//! sgs count   --edges FILE --pattern triangle [--trials N] [--eps E] [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--reservoir offer|skip] [--relaxed] [--broadcast] [--consumers N] [--checkpoint-dir D [--snapshot-every N] [--wal-block W]] [--bits]
+//! sgs count   --updates FILE ...      (raw update order instead of a shuffled graph)
+//! sgs count   --edges FILE --queries FILE [--seed S] [--turnstile] [--shards N] [--block B] [--pin] [--broadcast] [--bits]
+//! sgs serve   DIR [--listen ADDR] [--unix PATH] [--shards N] [--wal-block W] [--snapshot-every N] [--ring-capacity C] [--seed S] [--block B] [--l0 M] [--pin] [--eps E]
 //! sgs recover DIR
 //! sgs search  --edges FILE --pattern K4 [--eps E] [--seed S]
 //! sgs cliques --edges FILE -r 4 [--eps E] [--instances Q] [--seed S]
@@ -13,33 +15,12 @@
 //! Patterns: `triangle`, `K<r>`, `C<k>`, `S<k>`, `P<k>`, `paw`, `diamond`,
 //! `bull`, `bowtie`, `house`.
 
-use sgs_stream::persist::{read_config, write_config, Decoder, Encoder, PersistError};
+use sgs_graph::zoo::parse_pattern;
+use sgs_stream::persist::{read_config, read_wal, write_config, Decoder, Encoder, PersistError};
+use sgs_stream::EdgeUpdate;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use subgraph_streams::prelude::*;
-
-fn parse_pattern(s: &str) -> Option<Pattern> {
-    let p = match s {
-        "triangle" | "T" | "K3" | "C3" => Pattern::triangle(),
-        "paw" => sgs_graph::zoo::paw(),
-        "diamond" => sgs_graph::zoo::diamond(),
-        "bull" => sgs_graph::zoo::bull(),
-        "bowtie" => sgs_graph::zoo::bowtie(),
-        "house" => sgs_graph::zoo::house(),
-        _ => {
-            let (kind, num) = s.split_at(1);
-            let k: usize = num.parse().ok()?;
-            match kind {
-                "K" | "k" => Pattern::clique(k),
-                "C" | "c" => Pattern::cycle(k),
-                "S" | "s" => Pattern::star(k),
-                "P" | "p" => Pattern::path(k),
-                _ => return None,
-            }
-        }
-    };
-    Some(p)
-}
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -96,16 +77,25 @@ fn fail_persist(e: PersistError) -> ! {
     exit(2);
 }
 
-/// Pull the `line N` position out of an edge-list parse message so the
-/// structured error can carry it as an offset.
-fn parse_error_line(msg: &str) -> u64 {
-    msg.split("line ")
-        .nth(1)
-        .and_then(|rest| {
-            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-            digits.parse().ok()
-        })
-        .unwrap_or(0)
+/// Pull the 1-based `line N` position out of an edge-list parse message
+/// so the structured error can carry it as an offset. `None` when the
+/// message names no line — never a fabricated "line 0".
+fn parse_error_line(msg: &str) -> Option<u64> {
+    msg.split("line ").nth(1).and_then(|rest| {
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse().ok()
+    })
+}
+
+/// Wrap an edge-list parse message as a structured error: the offset is
+/// the offending 1-based line when the message names one, otherwise the
+/// message is tagged `(unknown line)` instead of claiming line 0.
+fn graph_parse_error(path: &Path, msg: String) -> PersistError {
+    match parse_error_line(&msg) {
+        Some(line) => PersistError::corrupt(line, msg),
+        None => PersistError::corrupt(0, format!("{msg} (unknown line)")),
+    }
+    .located(path)
 }
 
 /// Load an edge list, routing open failures and malformed lines through
@@ -115,7 +105,7 @@ fn parse_error_line(msg: &str) -> u64 {
 fn read_graph_file(path: &Path) -> Result<AdjListGraph, PersistError> {
     let file = std::fs::File::open(path).map_err(|e| PersistError::io(path, e))?;
     sgs_graph::io::read_edge_list(std::io::BufReader::new(file))
-        .map_err(|msg| PersistError::corrupt(parse_error_line(&msg), msg).located(path))
+        .map_err(|msg| graph_parse_error(path, msg))
 }
 
 fn load_graph(args: &Args) -> AdjListGraph {
@@ -126,6 +116,127 @@ fn load_graph(args: &Args) -> AdjListGraph {
     match read_graph_file(Path::new(path)) {
         Ok(g) => g,
         Err(e) => fail_persist(e),
+    }
+}
+
+/// Where a `count` run's stream comes from.
+///
+/// `--edges FILE` shuffles a static graph into a stream (seeded with
+/// `seed ^ 0x77`, the historical CLI behavior). `--updates FILE` replays
+/// a raw update sequence (`u v ±1` per line) in file order — the exact
+/// order a serve node ingests, so a batch run over the same file is
+/// byte-comparable to the live node's answers.
+enum SourceSpec {
+    Graph(AdjListGraph),
+    Updates { n: usize, updates: Vec<EdgeUpdate> },
+}
+
+impl SourceSpec {
+    /// Edge count the default trial budget is sized from: live edges
+    /// (inserts minus deletes) for an update log, `m` for a graph.
+    fn live_edges(&self) -> usize {
+        match self {
+            SourceSpec::Graph(g) => g.num_edges(),
+            SourceSpec::Updates { updates, .. } => {
+                updates.iter().map(|u| u.delta as i64).sum::<i64>().max(0) as usize
+            }
+        }
+    }
+
+    fn has_deletions(&self) -> bool {
+        match self {
+            SourceSpec::Graph(_) => false,
+            SourceSpec::Updates { updates, .. } => updates.iter().any(|u| u.delta < 0),
+        }
+    }
+
+    fn insertion_stream(&self, seed: u64) -> InsertionStream {
+        match self {
+            SourceSpec::Graph(g) => InsertionStream::from_graph(g, seed ^ 0x77),
+            SourceSpec::Updates { n, updates } => {
+                if self.has_deletions() {
+                    eprintln!(
+                        "error: --updates file contains deletions; insertion-model runs \
+                         need --turnstile"
+                    );
+                    exit(2);
+                }
+                InsertionStream::from_edge_order(*n, updates.iter().map(|u| u.edge).collect())
+            }
+        }
+    }
+
+    fn turnstile_stream(&self, seed: u64) -> TurnstileStream {
+        match self {
+            SourceSpec::Graph(g) => TurnstileStream::from_graph_with_churn(g, 1.0, seed ^ 0x77),
+            SourceSpec::Updates { n, updates } => {
+                TurnstileStream::from_updates(*n, updates.clone())
+            }
+        }
+    }
+}
+
+/// Parse a `--updates` file: one `u v delta` triple per line (delta `+1`
+/// or `-1`), blank lines and `#` comments skipped. Malformed lines are
+/// structured errors carrying the 1-based line number.
+fn read_updates_file(path: &Path) -> Result<(usize, Vec<EdgeUpdate>), PersistError> {
+    let text = std::fs::read_to_string(path).map_err(|e| PersistError::io(path, e))?;
+    let mut updates = Vec::new();
+    let mut n = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u64;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            PersistError::corrupt(line_no, format!("updates line {line_no}: {what}: '{raw}'"))
+                .located(path)
+        };
+        let mut toks = line.split_whitespace();
+        let u: u32 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad vertex id for u"))?;
+        let v: u32 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad vertex id for v"))?;
+        let delta: i8 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("delta must be +1 or -1"))?;
+        if toks.next().is_some() {
+            return Err(bad("expected exactly 'u v delta'"));
+        }
+        if u == v {
+            return Err(bad("self-loop"));
+        }
+        if delta != 1 && delta != -1 {
+            return Err(bad("delta must be +1 or -1"));
+        }
+        n = n.max(u.max(v) as usize + 1);
+        updates.push(EdgeUpdate {
+            edge: Edge::new(VertexId(u), VertexId(v)),
+            delta,
+        });
+    }
+    Ok((n.max(1), updates))
+}
+
+/// Resolve `--edges` / `--updates` into a stream source (exactly one of
+/// the two is required).
+fn load_source(args: &Args) -> SourceSpec {
+    match (args.get("updates"), args.get("edges")) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --edges and --updates are mutually exclusive");
+            exit(2);
+        }
+        (Some(path), None) => match read_updates_file(Path::new(path)) {
+            Ok((n, updates)) => SourceSpec::Updates { n, updates },
+            Err(e) => fail_persist(e),
+        },
+        (None, _) => SourceSpec::Graph(load_graph(args)),
     }
 }
 
@@ -195,15 +306,44 @@ fn decode_cli_config(bytes: &[u8]) -> Result<CliConfig, PersistError> {
     })
 }
 
-/// Parse one `--queries` file line: `PATTERN [trials=N] [seed=S]
-/// [reservoir=offer|skip] [relaxed]`. Blank lines and `#` comments are
-/// skipped by the caller; `line_no` is 1-based for error messages.
-fn parse_query_line(line: &str, line_no: usize, base_seed: u64) -> sgs_core::MultiQuerySpec {
+/// Strip an inline `#` comment and surrounding whitespace from one
+/// `--queries` file line. `None` means the line carries no query at all
+/// (blank, or whitespace-only once the comment is gone) and must be
+/// skipped — it is NOT an error and NOT a panic.
+fn effective_query_line(raw: &str) -> Option<&str> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Parse one effective `--queries` file line: `PATTERN [trials=N]
+/// [seed=S] [reservoir=offer|skip] [relaxed]`. `line_no` is 1-based.
+/// Malformed lines come back as structured errors (the caller routes
+/// them through the exit-2 [`fail_persist`] path with the file path
+/// attached) — never a panic, even for key=value-only lines.
+fn parse_query_line(
+    line: &str,
+    line_no: usize,
+    base_seed: u64,
+) -> Result<sgs_core::MultiQuerySpec, PersistError> {
+    let bad = |what: String| PersistError::corrupt(line_no as u64, what);
     let mut toks = line.split_whitespace();
-    let pat_tok = toks.next().expect("caller skips blank lines");
+    let Some(pat_tok) = toks.next() else {
+        return Err(bad(format!("queries line {line_no}: no pattern name")));
+    };
     let Some(pattern) = parse_pattern(pat_tok) else {
-        eprintln!("error: queries line {line_no}: unknown pattern '{pat_tok}'");
-        exit(2);
+        if pat_tok.contains('=') {
+            return Err(bad(format!(
+                "queries line {line_no}: line starts with '{pat_tok}' — the first token \
+                 must be a pattern name, options come after it"
+            )));
+        }
+        return Err(bad(format!(
+            "queries line {line_no}: unknown pattern '{pat_tok}'"
+        )));
     };
     let mut spec = sgs_core::MultiQuerySpec {
         pattern,
@@ -216,32 +356,30 @@ fn parse_query_line(line: &str, line_no: usize, base_seed: u64) -> sgs_core::Mul
         if tok == "relaxed" {
             spec.sampler = SamplerMode::Relaxed;
         } else if let Some(v) = tok.strip_prefix("trials=") {
-            spec.trials = v.parse().unwrap_or_else(|_| {
-                eprintln!("error: queries line {line_no}: bad trials '{v}'");
-                exit(2);
-            });
+            spec.trials = v
+                .parse()
+                .map_err(|_| bad(format!("queries line {line_no}: bad trials '{v}'")))?;
         } else if let Some(v) = tok.strip_prefix("seed=") {
-            spec.seed = v.parse().unwrap_or_else(|_| {
-                eprintln!("error: queries line {line_no}: bad seed '{v}'");
-                exit(2);
-            });
+            spec.seed = v
+                .parse()
+                .map_err(|_| bad(format!("queries line {line_no}: bad seed '{v}'")))?;
         } else if let Some(v) = tok.strip_prefix("reservoir=") {
             spec.reservoir = match v {
                 "offer" => sgs_query::ReservoirMode::Offer,
                 "skip" => sgs_query::ReservoirMode::Skip,
                 other => {
-                    eprintln!(
-                        "error: queries line {line_no}: reservoir must be offer|skip, got '{other}'"
-                    );
-                    exit(2);
+                    return Err(bad(format!(
+                        "queries line {line_no}: reservoir must be offer|skip, got '{other}'"
+                    )));
                 }
             };
         } else {
-            eprintln!("error: queries line {line_no}: unknown token '{tok}'");
-            exit(2);
+            return Err(bad(format!(
+                "queries line {line_no}: unknown token '{tok}'"
+            )));
         }
     }
-    spec
+    Ok(spec)
 }
 
 /// Parse `--l0 {dispatch,predicated}`: which ℓ₀-bank feed path
@@ -263,8 +401,8 @@ fn parse_l0(args: &Args) -> sgs_query::L0Mode {
 /// shared pass per round, reporting per-query estimates plus aggregate
 /// throughput and the admission report's slow-query diagnosis.
 fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
-    let g = load_graph(args);
-    let m = g.num_edges();
+    let src = load_source(args);
+    let m = src.live_edges();
     let eps: f64 = args.num("eps", 0.2);
     let shards: usize = args.num("shards", 1).max(1);
     let block: usize = args.num("block", sgs_query::exec::DEFAULT_BLOCK);
@@ -272,15 +410,16 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
     let turnstile = args.has("turnstile");
     let text = std::fs::read_to_string(queries_path)
         .unwrap_or_else(|e| fail_persist(PersistError::io(Path::new(queries_path), e)));
-    let mut specs: Vec<sgs_core::MultiQuerySpec> = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| {
-            let t = l.trim();
-            !t.is_empty() && !t.starts_with('#')
-        })
-        .map(|(i, l)| parse_query_line(l.trim(), i + 1, seed))
-        .collect();
+    let mut specs: Vec<sgs_core::MultiQuerySpec> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let Some(line) = effective_query_line(raw) else {
+            continue;
+        };
+        match parse_query_line(line, i + 1, seed) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => fail_persist(e.located(Path::new(queries_path))),
+        }
+    }
     if specs.is_empty() {
         eprintln!("error: {queries_path}: no queries (every line blank or comment)");
         exit(2);
@@ -308,7 +447,7 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
     let mut arena = sgs_query::RouterArena::new();
     let t0 = std::time::Instant::now();
     let (ests, admission) = if turnstile {
-        let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+        let s = src.turnstile_stream(seed);
         let feed = sgs_stream::ShardedFeed::partition(&s, shards);
         if args.has("broadcast") {
             sgs_core::fgp::estimate_multi_turnstile_broadcast(
@@ -322,7 +461,7 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
             sgs_core::fgp::estimate_multi_turnstile(&specs, &feed, &mut arena, opts, policy)
         }
     } else {
-        let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+        let s = src.insertion_stream(seed);
         let feed = sgs_stream::ShardedFeed::partition(&s, shards);
         if args.has("broadcast") {
             sgs_core::fgp::estimate_multi_insertion_broadcast(
@@ -338,14 +477,18 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
     }
     .expect("plans validated above");
     let elapsed = t0.elapsed();
+    // --bits appends the exact f64 so answers can be compared byte-for-
+    // byte against a live `sgs serve` node's COUNT replies.
+    let bits = args.has("bits");
     for (spec, est) in specs.iter().zip(&ests) {
         println!(
-            "#{} ≈ {:.1}   (hits {}/{}, seed {})",
+            "#{} ≈ {:.1}   (hits {}/{}, seed {}){}",
             spec.pattern.name(),
             est.estimate,
             est.hits,
             est.trials,
             spec.seed,
+            bits_suffix(bits, est.estimate),
         );
     }
     let n = specs.len();
@@ -388,6 +531,17 @@ fn run_multi_count(args: &Args, queries_path: &str, seed: u64) {
     }
 }
 
+/// The ` bits=<hex>` suffix `--bits` appends to estimate lines: the
+/// exact IEEE-754 bit pattern, for byte-identity checks against a live
+/// `sgs serve` node.
+fn bits_suffix(enabled: bool, estimate: f64) -> String {
+    if enabled {
+        format!(" bits={:016x}", estimate.to_bits())
+    } else {
+        String::new()
+    }
+}
+
 fn need_pattern(args: &Args) -> Pattern {
     let Some(ps) = args.get("pattern") else {
         eprintln!("error: --pattern NAME is required");
@@ -405,7 +559,7 @@ fn need_pattern(args: &Args) -> Pattern {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
-        eprintln!("usage: sgs <count|recover|search|cliques|info|rho> [flags]");
+        eprintln!("usage: sgs <count|serve|recover|search|cliques|info|rho> [flags]");
         exit(2);
     };
     let args = parse_args(&argv[1..]);
@@ -424,8 +578,8 @@ fn main() {
                 return;
             }
             let pattern = need_pattern(&args);
-            let g = load_graph(&args);
-            let m = g.num_edges();
+            let src = load_source(&args);
+            let m = src.live_edges();
             let eps: f64 = args.num("eps", 0.2);
             let plan = match SamplerPlan::new(&pattern) {
                 Some(p) => p,
@@ -513,13 +667,13 @@ fn main() {
                 let mut arena = sgs_query::RouterArena::new();
                 let bcast = sgs_query::BroadcastOpts::with_policy(policy);
                 let bundle = if turnstile {
-                    let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+                    let s = src.turnstile_stream(seed);
                     let feed = sgs_stream::ShardedFeed::partition(&s, shards);
                     sgs_core::fgp::estimate_turnstile_broadcast_with_exec(
                         &pattern, &feed, trials, seed, &mut arena, opts, consumers, bcast,
                     )
                 } else {
-                    let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+                    let s = src.insertion_stream(seed);
                     let feed = sgs_stream::ShardedFeed::partition(&s, shards);
                     sgs_core::fgp::estimate_insertion_broadcast_with_exec(
                         &pattern, &feed, trials, seed, &mut arena, opts, sampler, consumers, bcast,
@@ -528,7 +682,7 @@ fn main() {
                 .expect("plan validated above");
                 let est = &bundle.estimate;
                 println!(
-                    "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, broadcast)",
+                    "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, broadcast){}",
                     pattern.name(),
                     est.estimate,
                     est.hits,
@@ -538,6 +692,7 @@ fn main() {
                     m,
                     shards,
                     if shards == 1 { "" } else { "s" },
+                    bits_suffix(args.has("bits"), est.estimate),
                 );
                 if let Some(t) = &bundle.triest {
                     println!("  triest baseline ≈ {:.1} (same ingest)", t.estimate);
@@ -584,10 +739,10 @@ fn main() {
                 // small W to see any snapshot at all.
                 let wal_block: usize = args.num("wal-block", sgs_query::DEFAULT_CHECKPOINT_CHUNK);
                 let feed = if turnstile {
-                    let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+                    let s = src.turnstile_stream(seed);
                     sgs_stream::ShardedFeed::partition(&s, shards)
                 } else {
-                    let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+                    let s = src.insertion_stream(seed);
                     sgs_stream::ShardedFeed::partition(&s, shards)
                 };
                 let cfg = CliConfig {
@@ -642,7 +797,7 @@ fn main() {
                     Err(e) => fail_persist(e),
                 };
                 println!(
-                    "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{})",
+                    "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}){}",
                     pattern.name(),
                     est.estimate,
                     est.hits,
@@ -652,6 +807,7 @@ fn main() {
                     m,
                     shards,
                     if shards == 1 { "" } else { "s" },
+                    bits_suffix(args.has("bits"), est.estimate),
                 );
                 println!(
                     "  checkpointed: WAL + {snapshots} snapshot{} in {} \
@@ -682,19 +838,19 @@ fn main() {
                     );
                     exit(2);
                 }
-                let s = TurnstileStream::from_graph_with_churn(&g, 1.0, seed ^ 0x77);
+                let s = src.turnstile_stream(seed);
                 sgs_core::fgp::estimate_turnstile_threaded_with_exec(
                     &pattern, &s, trials, shards, seed, opts, policy,
                 )
             } else {
-                let s = InsertionStream::from_graph(&g, seed ^ 0x77);
+                let s = src.insertion_stream(seed);
                 sgs_core::fgp::estimate_insertion_threaded_with_exec(
                     &pattern, &s, trials, shards, seed, opts, sampler, policy,
                 )
             }
             .expect("plan validated above");
             println!(
-                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, block {}, reservoir {})",
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, block {}, reservoir {}){}",
                 pattern.name(),
                 est.estimate,
                 est.hits,
@@ -713,7 +869,142 @@ fn main() {
                     "l0".to_string()
                 } else {
                     format!("{reservoir:?}").to_lowercase()
+                },
+                bits_suffix(args.has("bits"), est.estimate),
+            );
+        }
+        "serve" => {
+            // `sgs serve DIR` — a long-lived node: WAL-backed ingest
+            // through an open broadcast ring, a persistent shard worker
+            // pool, and a line protocol (INGEST/COUNT/SNAPSHOT/STAT/
+            // QUIT) over TCP and/or a Unix socket. If DIR already holds
+            // a serve log the node resumes from it (its persisted
+            // CONFIG wins over flags); QUIT shuts down gracefully and
+            // a later `sgs serve DIR` continues where it left off.
+            let Some(dirs) = argv
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .cloned()
+                .or_else(|| args.get("dir").map(str::to_string))
+            else {
+                eprintln!("usage: sgs serve DIR [--listen ADDR] [--unix PATH] [flags]");
+                exit(2);
+            };
+            let dir = PathBuf::from(&dirs);
+            let defaults = sgs_query::ServeConfig::default();
+            let flag_cfg = sgs_query::ServeConfig {
+                shards: args.num("shards", 1).max(1),
+                wal_block: args.num("wal-block", sgs_query::DEFAULT_SERVE_BLOCK).max(1),
+                snapshot_every: args.num("snapshot-every", defaults.snapshot_every),
+                ring_capacity: args.num("ring-capacity", defaults.ring_capacity).max(1),
+                segment_bytes: defaults.segment_bytes,
+                seed,
+            };
+            let cfg = match read_config(&dir) {
+                Ok(Some(bytes)) if bytes.first() == Some(&sgs_query::SERVE_CONFIG_TAG) => {
+                    let persisted = sgs_query::decode_serve_config(&bytes)
+                        .unwrap_or_else(|e| fail_persist(e.located(dir.join("CONFIG"))));
+                    println!(
+                        "resuming with persisted config: {} shard{}, wal-block {}",
+                        persisted.shards,
+                        if persisted.shards == 1 { "" } else { "s" },
+                        persisted.wal_block,
+                    );
+                    persisted
                 }
+                Ok(Some(_)) => {
+                    eprintln!(
+                        "error: {} holds a `sgs count --checkpoint-dir` log, not a serve \
+                         directory (recover it with `sgs recover {}`)",
+                        dir.display(),
+                        dir.display(),
+                    );
+                    exit(2);
+                }
+                Ok(None) => flag_cfg,
+                Err(e) => fail_persist(e),
+            };
+            let policy = {
+                let p = sgs_query::ExecPolicy::from_env();
+                if args.has("pin") {
+                    p.with_pin()
+                } else {
+                    p
+                }
+            };
+            let node =
+                sgs_query::ServerNode::open(&dir, cfg, policy).unwrap_or_else(|e| fail_persist(e));
+            if let Some(t) = node.truncation() {
+                eprintln!("warning: {t}");
+            }
+            if node.recovered_blocks() > 0 {
+                println!(
+                    "recovered {} update{} in {} block{} from {}",
+                    node.ingested(),
+                    if node.ingested() == 1 { "" } else { "s" },
+                    node.recovered_blocks(),
+                    if node.recovered_blocks() == 1 {
+                        ""
+                    } else {
+                        "s"
+                    },
+                    dir.display(),
+                );
+            }
+            let mut listeners = sgs_core::Listeners::default();
+            #[cfg(unix)]
+            if let Some(path) = args.get("unix").filter(|p| !p.is_empty()) {
+                let path = Path::new(path);
+                // A stale socket file (kill -9) would make bind fail.
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)
+                    .unwrap_or_else(|e| fail_persist(PersistError::io(path, e)));
+                println!("LISTENING unix:{}", path.display());
+                listeners.unix = Some(l);
+            }
+            #[cfg(unix)]
+            let unix_only = listeners.unix.is_some() && !args.has("listen");
+            #[cfg(not(unix))]
+            let unix_only = false;
+            if !unix_only {
+                let addr = args
+                    .get("listen")
+                    .filter(|a| !a.is_empty())
+                    .unwrap_or("127.0.0.1:0");
+                let l = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+                    eprintln!("error: cannot listen on {addr}: {e}");
+                    exit(2);
+                });
+                let local = l.local_addr().expect("bound TCP socket has an address");
+                println!("LISTENING {local}");
+                listeners.tcp = Some(l);
+            }
+            // Flush so a parent process waiting on the LISTENING line
+            // (the protocol tests, the CI smoke) can proceed.
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let serve_opts = sgs_core::ServeOptions {
+                policy,
+                pass: sgs_query::PassOpts::with_block(
+                    args.num("block", sgs_query::exec::DEFAULT_BLOCK),
+                )
+                .l0(parse_l0(&args)),
+                eps: args.num("eps", 0.2),
+            };
+            let snap = sgs_core::run_server(node, listeners, serve_opts)
+                .unwrap_or_else(|e| fail_persist(e));
+            println!(
+                "shutdown: {} update{} in {} block{}, {} quer{} served, {} snapshot{} \
+                 (resume with `sgs serve {}`)",
+                snap.updates,
+                if snap.updates == 1 { "" } else { "s" },
+                snap.blocks,
+                if snap.blocks == 1 { "" } else { "s" },
+                snap.served,
+                if snap.served == 1 { "y" } else { "ies" },
+                snap.snapshots,
+                if snap.snapshots == 1 { "" } else { "s" },
+                dir.display(),
             );
         }
         "recover" => {
@@ -743,6 +1034,51 @@ fn main() {
                 }
                 Err(e) => fail_persist(e),
             };
+            // A serve directory (CONFIG leads with the serve tag) is
+            // inspected, not re-run: report what survives and point at
+            // `sgs serve DIR`, which resumes ingest and serving.
+            if cfg_bytes.first() == Some(&sgs_query::SERVE_CONFIG_TAG) {
+                let scfg = sgs_query::decode_serve_config(&cfg_bytes)
+                    .unwrap_or_else(|e| fail_persist(e.located(dir.join("CONFIG"))));
+                let recovered = read_wal(&dir).unwrap_or_else(|e| fail_persist(e));
+                if let Some(t) = &recovered.truncation {
+                    eprintln!("warning: {t}");
+                }
+                let updates: usize = recovered.blocks.iter().map(Vec::len).sum();
+                println!(
+                    "serve log: {} update{} in {} block{} ({} shard{}, {})",
+                    updates,
+                    if updates == 1 { "" } else { "s" },
+                    recovered.blocks.len(),
+                    if recovered.blocks.len() == 1 { "" } else { "s" },
+                    scfg.shards,
+                    if scfg.shards == 1 { "" } else { "s" },
+                    if recovered.meta.is_some() {
+                        "sealed by graceful shutdown"
+                    } else {
+                        "unsealed: the node was killed mid-ingest"
+                    },
+                );
+                match sgs_query::read_serve_snapshot(&dir) {
+                    Ok(Some((seq, snap))) => println!(
+                        "latest snapshot at block {seq}: ring cursor {}/{} blocks, \
+                         {} quer{} served, {} deletion{}",
+                        snap.cursor_blocks,
+                        snap.blocks,
+                        snap.served,
+                        if snap.served == 1 { "y" } else { "ies" },
+                        snap.deletions,
+                        if snap.deletions == 1 { "" } else { "s" },
+                    ),
+                    Ok(None) => println!("no snapshot yet (WAL-only recovery)"),
+                    Err(e) => fail_persist(e),
+                }
+                println!(
+                    "restart with `sgs serve {}` to resume serving",
+                    dir.display()
+                );
+                return;
+            }
             let cfg = decode_cli_config(&cfg_bytes)
                 .unwrap_or_else(|e| fail_persist(e.located(dir.join("CONFIG"))));
             let Some(pattern) = parse_pattern(&cfg.pattern) else {
@@ -808,7 +1144,7 @@ fn main() {
             .unwrap_or_else(|e| fail_persist(e))
             .expect("plan validated above");
             println!(
-                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, recovered)",
+                "#{} ≈ {:.1}   (hits {}/{}, rho={}, {} passes, m={}, {} shard{}, recovered){}",
                 pattern.name(),
                 est.estimate,
                 est.hits,
@@ -818,6 +1154,7 @@ fn main() {
                 est.m,
                 feed.num_shards(),
                 if feed.num_shards() == 1 { "" } else { "s" },
+                bits_suffix(args.has("bits"), est.estimate),
             );
         }
         "search" => {
@@ -879,5 +1216,88 @@ fn main() {
             eprintln!("unknown command '{other}'");
             exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_line_reports_one_based_or_none() {
+        assert_eq!(parse_error_line("bad token at line 17: 'x'"), Some(17));
+        assert_eq!(parse_error_line("line 1: not an integer"), Some(1));
+        // A malformed message naming no line must NOT become "line 0".
+        assert_eq!(parse_error_line("completely malformed message"), None);
+        assert_eq!(parse_error_line("line without digits"), None);
+    }
+
+    #[test]
+    fn graph_parse_error_marks_unknown_lines_explicitly() {
+        let with_line = graph_parse_error(Path::new("edges.txt"), "junk at line 3".into());
+        assert!(with_line.to_string().contains('3'), "{with_line}");
+        let without = graph_parse_error(Path::new("edges.txt"), "truncated file".into());
+        let msg = without.to_string();
+        assert!(msg.contains("unknown line"), "{msg}");
+        assert!(!msg.contains("line 0"), "{msg}");
+    }
+
+    #[test]
+    fn effective_query_line_skips_comment_only_lines() {
+        // Whitespace-only after an inline comment: skipped, never parsed
+        // (this input used to reach the parser's blank-line panic path).
+        assert_eq!(effective_query_line("   # just a comment"), None);
+        assert_eq!(effective_query_line(""), None);
+        assert_eq!(effective_query_line("   \t "), None);
+        assert_eq!(
+            effective_query_line("triangle # trailing note"),
+            Some("triangle")
+        );
+        assert_eq!(effective_query_line("K4 trials=5#x"), Some("K4 trials=5"));
+    }
+
+    #[test]
+    fn parse_query_line_returns_structured_errors_not_panics() {
+        // Key=value-only line: a structured error pointing at the line.
+        let err = parse_query_line("trials=5", 4, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("pattern"), "{msg}");
+        // Defensive: an empty effective line is an error, not a panic.
+        assert!(parse_query_line("", 2, 1).is_err());
+        assert!(parse_query_line("nosuchpattern", 1, 1).is_err());
+        assert!(parse_query_line("triangle trials=abc", 1, 1).is_err());
+        assert!(parse_query_line("triangle reservoir=bogus", 1, 1).is_err());
+        // And the happy path still parses.
+        let spec = parse_query_line("K4 trials=7 seed=3 reservoir=offer relaxed", 2, 10).unwrap();
+        assert_eq!(spec.trials, 7);
+        assert_eq!(spec.seed, 3);
+        assert!(matches!(spec.reservoir, sgs_query::ReservoirMode::Offer));
+        assert!(matches!(spec.sampler, SamplerMode::Relaxed));
+        // Default seed derives from the 1-based line number.
+        let spec = parse_query_line("triangle", 5, 100).unwrap();
+        assert_eq!(spec.seed, 105);
+    }
+
+    #[test]
+    fn updates_file_round_trips_and_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join("sgs_cli_updates_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.txt");
+        std::fs::write(&path, "# header\n0 1 +1\n1 2 +1  # inline\n0 1 -1\n\n").unwrap();
+        let (n, updates) = read_updates_file(&path).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(updates.len(), 3);
+        assert_eq!(updates[2].delta, -1);
+        std::fs::write(&path, "0 1 +1\n0 0 +1\n").unwrap();
+        assert!(read_updates_file(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("self-loop"));
+        std::fs::write(&path, "0 1 2\n").unwrap();
+        assert!(read_updates_file(&path).is_err());
+        std::fs::write(&path, "0 1\n").unwrap();
+        assert!(read_updates_file(&path).is_err());
     }
 }

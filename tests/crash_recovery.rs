@@ -326,6 +326,60 @@ fn version_bumped_or_corrupt_snapshot_is_rejected_cleanly() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Directory-entry loss, benign flavor: the `MANIFEST` vanishes (its
+/// rename was never made durable because the directory itself was not
+/// fsynced — the failure mode the post-rename `fsync_dir` calls close).
+/// Recovery must fall back to full WAL replay and still produce the
+/// byte-identical answer: the manifest is an accelerator, not a source
+/// of truth.
+#[test]
+fn lost_manifest_entry_recovers_via_full_wal_replay() {
+    let feed = feed_for(Cfg::InsertionSkip, 2);
+    let base_dir = tmp_dir("lost-manifest-base");
+    let mut session = CheckpointSession::create(&base_dir, &feed, SNAP_EVERY, CHUNK).unwrap();
+    let base = drive(Cfg::InsertionSkip, &feed, &mut session).expect("uninterrupted run completes");
+    std::fs::remove_dir_all(&base_dir).unwrap();
+
+    let (dir, _feed) = crashed_dir("lost-manifest");
+    assert!(
+        !snapshot_files(&dir).is_empty(),
+        "a snapshot exists for the manifest to have pointed at"
+    );
+    std::fs::remove_file(dir.join("MANIFEST")).unwrap();
+    let (mut session, wal_feed) =
+        CheckpointSession::resume(&dir, SNAP_EVERY).expect("resume survives a lost MANIFEST");
+    assert_eq!(
+        session.blocks_processed(),
+        0,
+        "without a manifest there is no snapshot to restore; replay starts from block 0"
+    );
+    let rec = drive(Cfg::InsertionSkip, &wal_feed, &mut session).expect("recovered run completes");
+    assert_identical(&rec, &base, "lost MANIFEST, full WAL replay");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Directory-entry loss, fatal flavor: the `MANIFEST` survived but the
+/// snapshot file it points at is gone. The manifest is the authority
+/// here — recovery must refuse with a structured error naming the
+/// missing snapshot, never panic, and never silently replay as if no
+/// snapshot had been published (that answer could differ from what a
+/// concurrent reader already saw).
+#[test]
+fn manifest_pointing_at_missing_snapshot_errors_cleanly() {
+    let (dir, _feed) = crashed_dir("lost-snap");
+    let snap = snapshot_files(&dir).pop().expect("a snapshot exists");
+    std::fs::remove_file(&snap).unwrap();
+    let err = CheckpointSession::resume(&dir, SNAP_EVERY)
+        .err()
+        .expect("a dangling MANIFEST pointer must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("missing snapshot") && msg.contains("directory entry lost?"),
+        "unexpected error: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Placement-aware recovery: a feed partitioned under a *non-uniform*
 /// [`ShardMap`] (load-balancing overrides) must checkpoint and resume
 /// into the **same** placement — the v2 WAL seal carries the override
